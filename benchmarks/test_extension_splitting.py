@@ -1,0 +1,46 @@
+"""Extension benchmark: how much throughput does workload splitting recover?
+
+Not a paper figure — this quantifies the paper's future-work suggestion
+(dividing a task's instances across machines) on paper-style instances:
+for each random instance we compare the H4w mapping, its split
+re-optimisation, the exact unsplit optimum, and the fractional lower
+bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exact import solve_specialized_branch_and_bound
+from repro.extensions import split_specialized_mapping, splitting_lower_bound
+from repro.heuristics import get_heuristic
+from tests.helpers import make_random_instance
+
+
+def test_extension_workload_splitting(benchmark):
+    instances = [make_random_instance(14, 3, 6, seed=seed, f_low=0.01, f_high=0.05) for seed in range(6)]
+
+    def run() -> dict:
+        h4w_periods, split_periods, exact_periods, bounds = [], [], [], []
+        for inst in instances:
+            h4w = get_heuristic("H4w").solve(inst)
+            split = split_specialized_mapping(inst, h4w.mapping)
+            exact = solve_specialized_branch_and_bound(inst)
+            h4w_periods.append(h4w.period)
+            split_periods.append(split.period)
+            exact_periods.append(exact.period)
+            bounds.append(splitting_lower_bound(inst))
+        return {
+            "h4w": float(np.mean(h4w_periods)),
+            "h4w_split": float(np.mean(split_periods)),
+            "exact_unsplit": float(np.mean(exact_periods)),
+            "fractional_bound": float(np.mean(bounds)),
+        }
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nworkload splitting: {stats}")
+    # Splitting never hurts, and nothing beats the fractional bound.
+    assert stats["h4w_split"] <= stats["h4w"] + 1e-6
+    assert stats["fractional_bound"] <= stats["exact_unsplit"] + 1e-6
+    assert stats["fractional_bound"] <= stats["h4w_split"] + 1e-6

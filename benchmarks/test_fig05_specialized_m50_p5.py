@@ -1,0 +1,21 @@
+"""Figure 5 — specialized mappings, m=50, p=5, n=50..150, all six heuristics.
+
+Paper's conclusion: H1 and H4f are not competitive; the informed
+heuristics (H2, H3, H4, H4w) stay close together and much lower.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .conftest import run_figure_benchmark
+
+
+def test_fig05_specialized_m50_p5(benchmark, results_dir):
+    result = run_figure_benchmark(benchmark, results_dir, "fig5", seed=5)
+    means = {name: float(np.mean(series.means())) for name, series in result.series.items()}
+    informed_best = min(means["H2"], means["H3"], means["H4"], means["H4w"])
+    # Shape assertions (who wins), not absolute milliseconds.
+    assert means["H1"] > informed_best
+    assert means["H4f"] > informed_best
+    assert means["H4w"] <= 1.5 * informed_best

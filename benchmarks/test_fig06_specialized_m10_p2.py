@@ -1,0 +1,23 @@
+"""Figure 6 — specialized mappings, m=10, p=2, n=10..100 (H2, H3, H4, H4w).
+
+Paper's conclusion: on the small platform H4 sits slightly below the
+others; all four informed heuristics remain close.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .conftest import run_figure_benchmark
+
+
+def test_fig06_specialized_m10_p2(benchmark, results_dir):
+    result = run_figure_benchmark(benchmark, results_dir, "fig6", seed=6)
+    assert set(result.series) == {"H2", "H3", "H4", "H4w"}
+    means = {name: float(np.mean(series.means())) for name, series in result.series.items()}
+    best, worst = min(means.values()), max(means.values())
+    # The informed heuristics stay within a factor ~2 of each other.
+    assert worst <= 2.0 * best
+    # Period grows with the number of tasks for every curve.
+    for series in result.series.values():
+        assert series.means()[-1] > series.means()[0]

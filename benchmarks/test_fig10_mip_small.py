@@ -1,0 +1,30 @@
+"""Figure 10 — small instances (m=5, p=2, n=2..16), heuristics vs the MIP.
+
+Paper's conclusion: H4w is the best heuristic with H2/H4 close behind;
+the exact MIP sits below every heuristic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.runner import MIP_LABEL
+
+from .conftest import run_figure_benchmark
+
+
+def test_fig10_heuristics_vs_mip(benchmark, results_dir):
+    result = run_figure_benchmark(benchmark, results_dir, "fig10", seed=10)
+    assert MIP_LABEL in result.series
+    mip = result.series[MIP_LABEL]
+    # The exact optimum never exceeds any heuristic on the same instance.
+    for name in ("H2", "H3", "H4", "H4w"):
+        series = result.series[name]
+        for x in series.x_values:
+            for heuristic_value, optimum in zip(series.samples[x], mip.samples[x]):
+                if np.isfinite(optimum):
+                    assert heuristic_value >= optimum - 1e-6
+    # H4w is among the best heuristics overall.
+    report = result.normalization_report(MIP_LABEL)
+    assert report.factor("H4w") <= report.factor("H1")
+    assert report.factor("H4w") <= report.factor("H4f")

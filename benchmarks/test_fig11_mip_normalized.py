@@ -1,0 +1,31 @@
+"""Figure 11 — Figure 10's data normalised by the MIP optimum.
+
+Paper's conclusion: aggregate factors of roughly H4w = 1.33, H3 = 1.58,
+H2 = 1.73 over the MIP (H1 and H4f much higher).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import MIP_LABEL
+
+from .conftest import run_figure_benchmark
+
+
+def test_fig11_normalised_factors(benchmark, results_dir):
+    result = run_figure_benchmark(benchmark, results_dir, "fig11", seed=11)
+    # The reported series are the normalised ones (the MIP curve is the unit).
+    normalized = result.reported_series()
+    assert MIP_LABEL not in normalized
+    for series in normalized.values():
+        for x in series.x_values:
+            point = series.point(x)
+            if point.count:
+                assert point.mean >= 1.0 - 1e-9
+
+    report = result.normalization_report(MIP_LABEL)
+    # Coarse band check for the informed heuristics (paper: 1.33–1.73 at full
+    # scale) and ordering against the uninformed ones.
+    for name in ("H2", "H3", "H4", "H4w"):
+        assert 1.0 <= report.factor(name) < 2.2
+    assert report.factor("H1") > report.factor("H4w")
+    assert report.factor("H4f") > report.factor("H4")

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Sensitivity study: how failure rates change the right mapping strategy.
+
+The paper's headline conclusion is that, in the usual regime (failure
+rates of a few percent), speed matters more than reliability — H4w, which
+ignores failures entirely when choosing machines, wins.  Under heavy
+failure rates (Figure 8, up to 10%) the picture changes and the
+binary-search heuristic H2 copes best.
+
+This example sweeps a *failure-rate scale factor* on a fixed platform and
+prints, for every scale, the period achieved by H2, H4, H4w and H4f plus
+which heuristic wins — reproducing the crossover the paper describes.
+
+Run with::
+
+    python examples/failure_sensitivity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import FailureModel, Platform, ProblemInstance
+from repro.generators import random_chain_application, random_processing_times
+from repro.heuristics import get_heuristic
+
+HEURISTICS = ("H2", "H3", "H4", "H4w", "H4f")
+SCALES = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+BASE_RANGE = (0.005, 0.02)  # the paper's default failure-rate range
+
+
+def build_base(seed: int = 3):
+    """Fixed application/platform; failures are rescaled per sweep point."""
+    rng = np.random.default_rng(seed)
+    app = random_chain_application(40, 5, rng)
+    w = random_processing_times(app.types, 10, rng)
+    base_f = rng.uniform(BASE_RANGE[0], BASE_RANGE[1], size=(40, 10))
+    return app, w, base_f
+
+
+def main() -> None:
+    app, w, base_f = build_base()
+    platform = Platform(w, types=app.types)
+
+    print("Failure-rate sensitivity on a 40-task, 5-type, 10-machine line")
+    print(f"(base failure rates in [{BASE_RANGE[0]:.1%}, {BASE_RANGE[1]:.1%}], scaled per row)")
+    print()
+    header = "scale   max f   " + "".join(f"{name:>10s}" for name in HEURISTICS) + "   winner"
+    print(header)
+    print("-" * len(header))
+
+    for scale in SCALES:
+        rates = np.clip(base_f * scale, 0.0, 0.95)
+        instance = ProblemInstance(app, platform, FailureModel(rates))
+        periods = {}
+        for name in HEURISTICS:
+            result = get_heuristic(name).solve(instance, np.random.default_rng(0))
+            periods[name] = result.period
+        winner = min(periods, key=periods.get)
+        row = f"{scale:5.2f}  {rates.max():6.1%}  "
+        row += "".join(f"{periods[name]:10.0f}" for name in HEURISTICS)
+        row += f"   {winner}"
+        print(row)
+
+    print()
+    print("Reading: at small failure rates the speed-only H4w and the failure-aware")
+    print("H4 pick identical machines — reliability is a second-order effect, the")
+    print("paper's main conclusion.  As failures grow the two diverge (H4 pulls")
+    print("ahead of H4w) and the gap to the failure-blind H4f explodes; H2's global")
+    print("bisection copes best with heavy failure rates, as in Figure 8.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Reproduce any figure of the paper's evaluation from the library API.
+
+The command-line equivalent is ``microrepro run <figure>``; this example
+shows how to do the same programmatically, tweak the scale, and export the
+series as CSV for external plotting.
+
+Run with::
+
+    python examples/reproduce_figure.py            # quick, scaled-down fig10
+    python examples/reproduce_figure.py fig5       # another figure
+    python examples/reproduce_figure.py fig10 full # the paper's full sweep (slow)
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.experiments import FIGURES, figure_report, run_figure
+
+
+def main(argv: list[str]) -> int:
+    figure_id = argv[1] if len(argv) > 1 else "fig10"
+    full_scale = len(argv) > 2 and argv[2] == "full"
+    if figure_id not in FIGURES:
+        print(f"unknown figure {figure_id!r}; choose from {', '.join(FIGURES)}")
+        return 2
+
+    spec = FIGURES[figure_id]
+    print(f"Reproducing {figure_id}: {spec.scenario.description}")
+    print(f"Paper's expected shape: {spec.expected_shape}")
+    print()
+
+    if full_scale:
+        result = run_figure(figure_id, seed=0)
+    else:
+        # A quick look: 3 repetitions per point, 4 points along the x axis.
+        result = run_figure(figure_id, seed=0, repetitions=3, max_points=4)
+
+    print(figure_report(result))
+
+    out_path = Path(f"{figure_id}_series.csv")
+    out_path.write_text(result.to_csv())
+    print(f"Series written to {out_path} "
+          f"({result.elapsed_seconds:.1f}s, seed={result.seed}).")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

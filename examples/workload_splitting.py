@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Future-work extension: dividing a task's workload across machines.
+
+The paper's conclusion suggests that letting several machines share the
+instances of a single task could improve the throughput further.  The
+:mod:`repro.extensions.splitting` module implements that idea: for a fixed
+dedication of machines to task types, the optimal division of every task's
+product stream is a linear program.
+
+This example:
+
+1. builds a paper-style random instance;
+2. computes the best unsplit specialized mapping (heuristic H4w and the
+   exact branch-and-bound optimum);
+3. re-optimises the H4w mapping by splitting workloads over the machines
+   it dedicated, and reports the improvement;
+4. compares everything against the fractional lower bound, which no
+   specialized mapping (split or not) can beat.
+
+Run with::
+
+    python examples/workload_splitting.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import FailureModel, Platform, ProblemInstance
+from repro.exact import solve_specialized_branch_and_bound
+from repro.extensions import split_specialized_mapping, splitting_lower_bound
+from repro.generators import (
+    random_chain_application,
+    random_failure_rates,
+    random_processing_times,
+)
+from repro.heuristics import get_heuristic
+
+
+def build_instance(seed: int = 5) -> ProblemInstance:
+    rng = np.random.default_rng(seed)
+    app = random_chain_application(14, 3, rng)
+    w = random_processing_times(app.types, 6, rng)
+    f = random_failure_rates(14, 6, rng, low=0.01, high=0.05)
+    return ProblemInstance(app, Platform(w, types=app.types), FailureModel(f))
+
+
+def main() -> None:
+    instance = build_instance()
+    print(f"Instance: {instance}")
+    print()
+
+    h4w = get_heuristic("H4w").solve(instance)
+    exact = solve_specialized_branch_and_bound(instance)
+    split = split_specialized_mapping(instance, h4w.mapping)
+    bound = splitting_lower_bound(instance)
+
+    print(f"{'fractional lower bound':32s} {bound:8.1f} ms   (no specialized mapping can beat this)")
+    print(f"{'exact unsplit optimum (B&B)':32s} {exact.period:8.1f} ms")
+    print(f"{'H4w unsplit mapping':32s} {h4w.period:8.1f} ms")
+    print(f"{'H4w mapping, workload split':32s} {split.period:8.1f} ms   "
+          f"({split.improvement:+.1%} vs unsplit H4w)")
+    print()
+
+    divided = split.fractional.tasks_split()
+    if divided:
+        print("Tasks whose stream is divided across several machines:")
+        shares = split.fractional.shares()
+        for task in divided:
+            parts = ", ".join(
+                f"cell {machine}: {shares[task, machine]:.0%}"
+                for machine in range(instance.num_machines)
+                if shares[task, machine] > 1e-6
+            )
+            print(f"  T{task + 1}: {parts}")
+    else:
+        print("The optimal split keeps every task on a single machine for this draw.")
+
+    utilisation = split.fractional.machine_utilisation(instance)
+    print()
+    print("Machine utilisation under the split mapping:")
+    for machine, value in enumerate(utilisation):
+        if value > 1e-9:
+            print(f"  cell {machine}: {value:6.1%}")
+    print()
+    print("Reading: splitting recovers part of the gap between the heuristic and")
+    print("the fractional bound without changing which machine handles which type —")
+    print("exactly the improvement the paper's conclusion anticipates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so that ``pip install -e .`` keeps working on minimal offline
+environments where the ``wheel`` package (needed for PEP 660 editable
+installs) is unavailable and pip falls back to the legacy
+``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,104 @@
+"""microrepro — throughput optimization for failure-prone micro-factories.
+
+Reproduction of *Benoit, Dobrila, Nicod, Philippe, "Throughput
+optimization for micro-factories subject to task and machine failures"*
+(INRIA RR-7479 / IPPS 2010 line of work).
+
+The package is organised as follows:
+
+* :mod:`repro.core` — the formal model: typed in-tree applications,
+  machine platforms, per-(task, machine) transient failure rates, the
+  three mapping rules (one-to-one / specialized / general) and the
+  period / throughput objective;
+* :mod:`repro.heuristics` — the paper's six polynomial heuristics
+  (H1, H2, H3, H4, H4w, H4f) plus extra baselines;
+* :mod:`repro.exact` — exact solvers: the optimal one-to-one mapping
+  (Theorem 1 / Figure 9), the Section-6.1 MIP, a from-scratch
+  branch-and-bound and an exhaustive oracle;
+* :mod:`repro.simulation` — a discrete-event micro-factory simulator with
+  stochastic transient failures (the Python equivalent of the paper's C++
+  simulator);
+* :mod:`repro.generators` — random instances with the paper's parameter
+  distributions;
+* :mod:`repro.analysis` / :mod:`repro.experiments` — statistics and the
+  runners that regenerate Figures 5-12;
+* :mod:`repro.cli` — the ``microrepro`` command-line interface.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import linear_chain, Platform, FailureModel, ProblemInstance
+>>> from repro.heuristics import get_heuristic
+>>> app = linear_chain(6, num_types=2)
+>>> rng = np.random.default_rng(0)
+>>> w = rng.uniform(100, 1000, size=(2, 4))[list(app.types), :]
+>>> f = rng.uniform(0.005, 0.02, size=(6, 4))
+>>> instance = ProblemInstance(app, Platform(w), FailureModel(f))
+>>> result = get_heuristic("H4w").solve(instance)
+>>> result.period > 0
+True
+"""
+
+from ._version import __version__
+from .core import (
+    Application,
+    FailureModel,
+    Mapping,
+    MappingEvaluation,
+    MappingRule,
+    Platform,
+    ProblemInstance,
+    Task,
+    TypeAssignment,
+    evaluate,
+    expected_products,
+    in_tree,
+    linear_chain,
+    machine_periods,
+    period,
+    required_inputs,
+    throughput,
+)
+from .exceptions import (
+    InfeasibleProblemError,
+    InvalidApplicationError,
+    InvalidFailureModelError,
+    InvalidInstanceError,
+    InvalidMappingError,
+    InvalidPlatformError,
+    MappingRuleViolation,
+    ReproError,
+    SimulationError,
+    SolverError,
+)
+
+__all__ = [
+    "__version__",
+    "Application",
+    "FailureModel",
+    "Mapping",
+    "MappingEvaluation",
+    "MappingRule",
+    "Platform",
+    "ProblemInstance",
+    "Task",
+    "TypeAssignment",
+    "evaluate",
+    "expected_products",
+    "in_tree",
+    "linear_chain",
+    "machine_periods",
+    "period",
+    "required_inputs",
+    "throughput",
+    "InfeasibleProblemError",
+    "InvalidApplicationError",
+    "InvalidFailureModelError",
+    "InvalidInstanceError",
+    "InvalidMappingError",
+    "InvalidPlatformError",
+    "MappingRuleViolation",
+    "ReproError",
+    "SimulationError",
+    "SolverError",
+]

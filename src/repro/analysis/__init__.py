@@ -1,0 +1,18 @@
+"""Statistics, normalisation and table rendering for experiment results."""
+
+from .normalize import NormalizationReport, normalize_series, overall_factor
+from .stats import PointSummary, Series, paired_ratio, summarize
+from .tables import format_table, series_table, series_to_csv
+
+__all__ = [
+    "NormalizationReport",
+    "normalize_series",
+    "overall_factor",
+    "PointSummary",
+    "Series",
+    "paired_ratio",
+    "summarize",
+    "format_table",
+    "series_table",
+    "series_to_csv",
+]

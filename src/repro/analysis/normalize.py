@@ -1,0 +1,97 @@
+"""Normalisation of heuristic results against exact baselines.
+
+Figure 11 of the paper plots each heuristic's period divided by the MIP
+optimum on the same instance, and Section 7 reports aggregate factors
+(H2 = 1.73x, H3 = 1.58x, H4w = 1.33x the MIP; 1.84 / 1.75 / 1.28 the
+optimal one-to-one mapping).  The helpers here compute those paired
+ratios from raw experiment records.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from .stats import PointSummary, Series, paired_ratio, summarize
+
+__all__ = ["normalize_series", "overall_factor", "NormalizationReport"]
+
+
+def normalize_series(series: Series, reference: Series) -> Series:
+    """Per-repetition ratio of ``series`` to ``reference`` at every x value.
+
+    Both series must have been built from the *same* instances in the same
+    repetition order (which the experiment runner guarantees); repetitions
+    where the reference is missing or non-finite are dropped.
+    """
+    result = Series(label=f"{series.label}/{reference.label}")
+    for x in series.x_values:
+        numerators = series.samples.get(x, [])
+        denominators = reference.samples.get(x, [])
+        count = min(len(numerators), len(denominators))
+        for index in range(count):
+            num, den = numerators[index], denominators[index]
+            if not (math.isfinite(num) and math.isfinite(den)) or den <= 0:
+                continue
+            result.add(x, num / den)
+    return result
+
+
+def overall_factor(series: Series, reference: Series) -> PointSummary:
+    """Aggregate paired ratio over *all* sweep points and repetitions.
+
+    This is the "H4w is at a factor of 1.33 from the optimal" style number
+    reported in Sections 7.2–7.4.
+    """
+    numerators: list[float] = []
+    denominators: list[float] = []
+    for x in series.x_values:
+        nums = series.samples.get(x, [])
+        dens = reference.samples.get(x, [])
+        count = min(len(nums), len(dens))
+        numerators.extend(nums[:count])
+        denominators.extend(dens[:count])
+    return paired_ratio(numerators, denominators)
+
+
+@dataclass(frozen=True, slots=True)
+class NormalizationReport:
+    """Normalisation factors of several heuristics against one reference.
+
+    Attributes
+    ----------
+    reference:
+        Label of the reference series (e.g. ``"MIP"`` or ``"OtO"``).
+    factors:
+        ``{heuristic label: PointSummary of the paired ratios}``.
+    """
+
+    reference: str
+    factors: dict[str, PointSummary]
+
+    def factor(self, label: str) -> float:
+        """Mean normalisation factor of one heuristic."""
+        return self.factors[label].mean
+
+    def as_rows(self) -> list[dict]:
+        """One dict per heuristic, sorted by increasing factor."""
+        rows = []
+        for label, summary in sorted(self.factors.items(), key=lambda kv: kv[1].mean):
+            row = {"label": label, "reference": self.reference}
+            row.update(summary.as_dict())
+            rows.append(row)
+        return rows
+
+    @classmethod
+    def from_series(
+        cls, series_by_label: Mapping[str, Series], reference_label: str
+    ) -> "NormalizationReport":
+        """Build the report from a dict of series containing the reference."""
+        reference = series_by_label[reference_label]
+        factors = {
+            label: overall_factor(series, reference)
+            for label, series in series_by_label.items()
+            if label != reference_label
+        }
+        return cls(reference=reference_label, factors=factors)

@@ -1,0 +1,109 @@
+"""Plain-text and CSV rendering of experiment results.
+
+Matplotlib is not available in the offline reproduction environment, so
+every figure of the paper is regenerated as a *table*: one row per sweep
+value, one column per curve (heuristic / exact baseline).  The same data
+can be exported as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Mapping, Sequence
+
+from .stats import Series
+
+__all__ = ["series_table", "series_to_csv", "format_table"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, float_format: str = "{:.1f}"
+) -> str:
+    """Render an aligned plain-text table.
+
+    Floats are formatted with ``float_format``; other values use ``str``.
+    """
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    text_rows = [[fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[index]) for index, cell in enumerate(cells))
+
+    separator = "  ".join("-" * width for width in widths)
+    output = [line(list(headers)), separator]
+    output.extend(line(row) for row in text_rows)
+    return "\n".join(output)
+
+
+def _collect_x_values(series_by_label: Mapping[str, Series]) -> list[int]:
+    x_values: list[int] = []
+    for series in series_by_label.values():
+        for x in series.x_values:
+            if x not in x_values:
+                x_values.append(x)
+    return sorted(x_values)
+
+
+def series_table(
+    series_by_label: Mapping[str, Series],
+    *,
+    x_name: str = "n",
+    float_format: str = "{:.1f}",
+) -> str:
+    """Plain-text table with one column per series (mean values)."""
+    labels = list(series_by_label)
+    headers = [x_name] + labels
+    rows: list[list[object]] = []
+    for x in _collect_x_values(series_by_label):
+        row: list[object] = [x]
+        for label in labels:
+            summary = series_by_label[label].point(x)
+            row.append(summary.mean if summary.count else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows, float_format=float_format)
+
+
+def series_to_csv(
+    series_by_label: Mapping[str, Series],
+    *,
+    x_name: str = "n",
+    include_spread: bool = True,
+) -> str:
+    """CSV export of the series (mean and, optionally, std / CI columns)."""
+    labels = list(series_by_label)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    header = [x_name]
+    for label in labels:
+        header.append(f"{label}_mean")
+        if include_spread:
+            header.extend([f"{label}_std", f"{label}_ci_low", f"{label}_ci_high", f"{label}_count"])
+    writer.writerow(header)
+    for x in _collect_x_values(series_by_label):
+        row: list[object] = [x]
+        for label in labels:
+            summary = series_by_label[label].point(x)
+            row.append(f"{summary.mean:.6f}" if summary.count else "")
+            if include_spread:
+                if summary.count:
+                    row.extend(
+                        [
+                            f"{summary.std:.6f}",
+                            f"{summary.ci_low:.6f}",
+                            f"{summary.ci_high:.6f}",
+                            summary.count,
+                        ]
+                    )
+                else:
+                    row.extend(["", "", "", 0])
+        writer.writerow(row)
+    return buffer.getvalue()

@@ -1,0 +1,163 @@
+"""Command-line interface.
+
+Examples
+--------
+List the reproducible figures::
+
+    microrepro list
+
+Reproduce Figure 10 with a reduced sweep (3 repetitions per point)::
+
+    microrepro run fig10 --repetitions 3 --seed 42
+
+Solve one random instance with every heuristic and the exact MIP::
+
+    microrepro solve --tasks 10 --types 3 --machines 5 --seed 7 --milp
+
+The same entry point is available as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from ._version import __version__
+from .core.failure import FailureModel
+from .core.instance import ProblemInstance
+from .core.platform import Platform
+from .exact.milp import solve_specialized_milp
+from .experiments.figures import FIGURES, figure_ids
+from .experiments.reporting import figure_report
+from .experiments.runner import run_figure
+from .generators.applications import random_chain_application
+from .generators.platforms import random_failure_rates, random_processing_times
+from .heuristics import PAPER_HEURISTICS, get_heuristic
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="microrepro",
+        description=(
+            "Throughput optimization for micro-factories subject to task and machine "
+            "failures — reproduction toolkit."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list reproducible figures")
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="reproduce one figure of the paper")
+    run_parser.add_argument("figure", choices=figure_ids(), help="figure identifier")
+    run_parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    run_parser.add_argument(
+        "--repetitions", type=int, default=None, help="repetitions per sweep point"
+    )
+    run_parser.add_argument(
+        "--max-points", type=int, default=None, help="maximum number of sweep points"
+    )
+    run_parser.add_argument(
+        "--no-milp", action="store_true", help="skip the exact MIP even if the figure uses it"
+    )
+    run_parser.add_argument(
+        "--milp-time-limit", type=float, default=30.0, help="per-instance MIP time limit (s)"
+    )
+    run_parser.add_argument("--csv", action="store_true", help="print CSV instead of a table")
+    run_parser.set_defaults(func=_cmd_run)
+
+    solve_parser = subparsers.add_parser(
+        "solve", help="solve one random instance with every heuristic"
+    )
+    solve_parser.add_argument("--tasks", type=int, default=10, help="number of tasks n")
+    solve_parser.add_argument("--types", type=int, default=3, help="number of task types p")
+    solve_parser.add_argument("--machines", type=int, default=5, help="number of machines m")
+    solve_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    solve_parser.add_argument(
+        "--high-failures", action="store_true", help="draw failure rates in [0, 10%%]"
+    )
+    solve_parser.add_argument(
+        "--milp", action="store_true", help="also solve the exact MIP for comparison"
+    )
+    solve_parser.set_defaults(func=_cmd_solve)
+
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for figure_id in figure_ids():
+        spec = FIGURES[figure_id]
+        suffix = " (normalised by the MIP)" if spec.normalize_to else ""
+        print(f"{figure_id:7s} {spec.scenario.description}{suffix}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_figure(
+        args.figure,
+        seed=args.seed,
+        repetitions=args.repetitions,
+        max_points=args.max_points,
+        include_milp=False if args.no_milp else None,
+        milp_time_limit=args.milp_time_limit,
+    )
+    if args.csv:
+        print(result.to_csv(), end="")
+    else:
+        print(figure_report(result))
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    application = random_chain_application(args.tasks, args.types, rng)
+    w = random_processing_times(application.types, args.machines, rng)
+    f_high = 0.10 if args.high_failures else 0.02
+    f_low = 0.0 if args.high_failures else 0.005
+    f = random_failure_rates(args.tasks, args.machines, rng, low=f_low, high=f_high)
+    instance = ProblemInstance(
+        application,
+        Platform(w, types=application.types),
+        FailureModel(f),
+        name="cli-instance",
+    )
+
+    print(
+        f"Random linear chain: n={args.tasks} tasks, p={args.types} types, "
+        f"m={args.machines} machines (seed={args.seed})"
+    )
+    rows = []
+    for name in PAPER_HEURISTICS:
+        heuristic = get_heuristic(name)
+        result = heuristic.solve(instance, np.random.default_rng(args.seed))
+        rows.append((name, result.period, result.throughput * 1000.0))
+    if args.milp:
+        milp = solve_specialized_milp(instance)
+        if milp.is_optimal:
+            rows.append(("MIP", milp.period, 1000.0 / milp.period))
+        else:
+            print(f"MIP did not prove optimality ({milp.status}: {milp.message})")
+
+    width = max(len(name) for name, _, _ in rows)
+    print(f"{'method'.ljust(width)}  period(ms)  throughput(/s)")
+    for name, period, thr in sorted(rows, key=lambda row: row[1]):
+        print(f"{name.ljust(width)}  {period:10.1f}  {thr:14.4f}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,198 @@
+"""Period / throughput evaluation of a mapping (Section 4.1 of the paper).
+
+Given an instance and a mapping ``a``, the key quantities are:
+
+* ``x_i`` — the average number of products task ``Ti`` must process so that
+  one finished product leaves the system.  For a sink task ``x = 1``; for a
+  task with successor ``Tj``, ``x_i = x_j / (1 - f[i, a(i)])``.  For a join
+  node each predecessor branch must supply one (expected) input product, so
+  the recursion propagates unchanged up every branch.
+* ``period(Mu) = sum_{i | a(i) = u} x_i * w[i, a(i)]`` — the time machine
+  ``Mu`` spends per finished product.
+* ``period = max_u period(Mu)`` — the application period; the machines
+  attaining the maximum are the *critical machines*.  The throughput is
+  ``1 / period``.
+
+The module also computes the expected number of raw products to feed at
+each source so that a target number of finished products is produced
+(Section 2: "we can compute the number of products needed as input of the
+system and guarantee the output for the desired number of products").
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import InvalidMappingError
+from .application import Application
+from .instance import ProblemInstance
+from .mapping import Mapping
+
+__all__ = [
+    "expected_products",
+    "machine_periods",
+    "period",
+    "throughput",
+    "critical_machines",
+    "evaluate",
+    "MappingEvaluation",
+    "required_inputs",
+]
+
+
+def _check_dimensions(instance: ProblemInstance, mapping: Mapping) -> None:
+    if mapping.num_tasks != instance.num_tasks:
+        raise InvalidMappingError(
+            f"mapping covers {mapping.num_tasks} tasks but the instance has "
+            f"{instance.num_tasks}"
+        )
+    if mapping.num_machines != instance.num_machines:
+        raise InvalidMappingError(
+            f"mapping assumes {mapping.num_machines} machines but the instance has "
+            f"{instance.num_machines}"
+        )
+
+
+def expected_products(instance: ProblemInstance, mapping: Mapping) -> np.ndarray:
+    """The vector ``x`` of expected products per task for a given mapping.
+
+    ``x[i]`` is the average number of products task ``Ti`` must process to
+    output one final product out of the system, computed by the backward
+    recursion of Section 4.1 over the in-tree application graph.
+    """
+    _check_dimensions(instance, mapping)
+    app = instance.application
+    f = instance.failure_rates
+    x = np.ones(instance.num_tasks, dtype=np.float64)
+    # Walk sinks-first so x[successor] is known when visiting a task.
+    for task in app.reverse_topological_order():
+        succ = app.successor(task)
+        x_down = 1.0 if succ is None else x[succ]
+        machine = mapping.machine_of(task)
+        x[task] = x_down / (1.0 - f[task, machine])
+    return x
+
+
+def machine_periods(instance: ProblemInstance, mapping: Mapping) -> np.ndarray:
+    """Per-machine periods ``period(Mu)`` in the same time unit as ``w``.
+
+    Machines with no task mapped to them have a period of ``0``.
+    """
+    _check_dimensions(instance, mapping)
+    x = expected_products(instance, mapping)
+    w = instance.processing_times
+    periods = np.zeros(instance.num_machines, dtype=np.float64)
+    assignment = mapping.as_array
+    np.add.at(periods, assignment, x * w[np.arange(instance.num_tasks), assignment])
+    return periods
+
+
+def period(instance: ProblemInstance, mapping: Mapping) -> float:
+    """The application period: ``max_u period(Mu)`` (lower is better)."""
+    return float(machine_periods(instance, mapping).max())
+
+
+def throughput(instance: ProblemInstance, mapping: Mapping) -> float:
+    """Number of finished products per time unit: ``1 / period``."""
+    p = period(instance, mapping)
+    return math.inf if p == 0.0 else 1.0 / p
+
+
+def critical_machines(
+    instance: ProblemInstance, mapping: Mapping, *, rel_tol: float = 1e-9
+) -> list[int]:
+    """Indices of the machines whose period attains the maximum."""
+    periods = machine_periods(instance, mapping)
+    top = periods.max()
+    if top == 0.0:
+        return []
+    return [int(u) for u in np.flatnonzero(periods >= top * (1.0 - rel_tol))]
+
+
+def required_inputs(
+    instance: ProblemInstance, mapping: Mapping, products_out: float = 1.0
+) -> dict[int, float]:
+    """Expected number of raw products to feed at each source task.
+
+    Parameters
+    ----------
+    products_out:
+        Desired number ``x_out`` of finished products.
+
+    Returns
+    -------
+    dict
+        ``{source task index: expected number of raw products}``; the value
+        is ``x[source] * products_out``.
+    """
+    if products_out < 0:
+        raise InvalidMappingError("products_out must be non-negative")
+    x = expected_products(instance, mapping)
+    return {src: float(x[src] * products_out) for src in instance.application.sources()}
+
+
+@dataclass(frozen=True, slots=True)
+class MappingEvaluation:
+    """Full evaluation of a mapping on an instance.
+
+    Attributes
+    ----------
+    mapping:
+        The evaluated allocation.
+    period:
+        Application period (max machine period).
+    throughput:
+        ``1 / period``.
+    machine_periods:
+        Per-machine period vector (length ``m``).
+    expected_products:
+        The ``x`` vector (length ``n``).
+    critical_machines:
+        Machines whose period equals the application period.
+    """
+
+    mapping: Mapping
+    period: float
+    throughput: float
+    machine_periods: tuple[float, ...]
+    expected_products: tuple[float, ...]
+    critical_machines: tuple[int, ...]
+
+    def as_dict(self) -> dict:
+        """Plain-dict representation, convenient for reports."""
+        return {
+            "assignment": list(self.mapping),
+            "period": self.period,
+            "throughput": self.throughput,
+            "machine_periods": list(self.machine_periods),
+            "expected_products": list(self.expected_products),
+            "critical_machines": list(self.critical_machines),
+        }
+
+
+def evaluate(instance: ProblemInstance, mapping: Mapping) -> MappingEvaluation:
+    """Evaluate a mapping and return every derived quantity at once."""
+    _check_dimensions(instance, mapping)
+    x = expected_products(instance, mapping)
+    w = instance.processing_times
+    periods = np.zeros(instance.num_machines, dtype=np.float64)
+    assignment = mapping.as_array
+    np.add.at(periods, assignment, x * w[np.arange(instance.num_tasks), assignment])
+    top = float(periods.max())
+    crit = (
+        tuple(int(u) for u in np.flatnonzero(periods >= top * (1.0 - 1e-9)))
+        if top > 0.0
+        else ()
+    )
+    return MappingEvaluation(
+        mapping=mapping,
+        period=top,
+        throughput=math.inf if top == 0.0 else 1.0 / top,
+        machine_periods=tuple(float(v) for v in periods),
+        expected_products=tuple(float(v) for v in x),
+        critical_machines=crit,
+    )

@@ -1,0 +1,40 @@
+"""Exact solvers: optimal one-to-one mappings, the MIP, and cross-checks.
+
+========================================  =====================================
+Solver                                    Use
+========================================  =====================================
+:func:`optimal_one_to_one`                Theorem-1 / Figure-9 polynomial cases
+:func:`solve_specialized_milp`            Section-6.1 MIP (HiGHS backend)
+:func:`solve_specialized_branch_and_bound`  pure-Python exact cross-check
+:func:`bruteforce_optimal`                exhaustive oracle for tiny instances
+========================================  =====================================
+"""
+
+from .branch_and_bound import BranchAndBoundResult, solve_specialized_branch_and_bound
+from .bruteforce import BruteForceResult, bruteforce_optimal
+from .hungarian import assignment_cost, bottleneck_assignment, min_cost_assignment
+from .milp import MilpModel, MilpResult, build_milp_model, solve_specialized_milp
+from .one_to_one import (
+    OneToOneResult,
+    optimal_one_to_one,
+    optimal_one_to_one_homogeneous,
+    optimal_one_to_one_task_dependent,
+)
+
+__all__ = [
+    "BranchAndBoundResult",
+    "solve_specialized_branch_and_bound",
+    "BruteForceResult",
+    "bruteforce_optimal",
+    "assignment_cost",
+    "bottleneck_assignment",
+    "min_cost_assignment",
+    "MilpModel",
+    "MilpResult",
+    "build_milp_model",
+    "solve_specialized_milp",
+    "OneToOneResult",
+    "optimal_one_to_one",
+    "optimal_one_to_one_homogeneous",
+    "optimal_one_to_one_task_dependent",
+]

@@ -1,0 +1,119 @@
+"""Exhaustive search for optimal mappings on tiny instances.
+
+The specialized and general mapping problems are NP-hard even for linear
+chains; exhaustive enumeration is the reference oracle used by the test
+suite to validate the MIP and the branch-and-bound solver on instances
+with a handful of tasks and machines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.mapping import Mapping, MappingRule
+from ..core.period import MappingEvaluation, evaluate
+from ..exceptions import InfeasibleProblemError, SolverError
+
+__all__ = ["BruteForceResult", "bruteforce_optimal"]
+
+#: Refuse to enumerate more candidate mappings than this.
+DEFAULT_ENUMERATION_LIMIT = 2_000_000
+
+
+@dataclass(frozen=True, slots=True)
+class BruteForceResult:
+    """Outcome of the exhaustive search.
+
+    Attributes
+    ----------
+    rule:
+        Mapping rule that was enforced during enumeration.
+    mapping:
+        An optimal mapping under that rule.
+    evaluation:
+        Its evaluation.
+    explored:
+        Number of valid mappings examined.
+    """
+
+    rule: MappingRule
+    mapping: Mapping
+    evaluation: MappingEvaluation
+    explored: int
+
+    @property
+    def period(self) -> float:
+        """Shortcut for ``evaluation.period``."""
+        return self.evaluation.period
+
+
+def _estimate_search_space(instance: ProblemInstance, rule: MappingRule) -> float:
+    n, m = instance.num_tasks, instance.num_machines
+    if rule is MappingRule.ONE_TO_ONE:
+        return math.perm(m, n) if m >= n else 0
+    return float(m) ** n
+
+
+def bruteforce_optimal(
+    instance: ProblemInstance,
+    rule: MappingRule | str = MappingRule.SPECIALIZED,
+    *,
+    limit: int = DEFAULT_ENUMERATION_LIMIT,
+) -> BruteForceResult:
+    """Enumerate every mapping satisfying ``rule`` and return an optimum.
+
+    Parameters
+    ----------
+    instance:
+        The problem instance (must be small).
+    rule:
+        Mapping rule to enforce (one-to-one, specialized or general).
+    limit:
+        Upper bound on the raw search-space size; a larger instance raises
+        :class:`~repro.exceptions.SolverError`.
+    """
+    rule = MappingRule.coerce(rule)
+    n, m = instance.num_tasks, instance.num_machines
+    if rule is MappingRule.ONE_TO_ONE and m < n:
+        raise InfeasibleProblemError("one-to-one mappings need m >= n")
+    if rule is MappingRule.SPECIALIZED and m < instance.num_types:
+        raise InfeasibleProblemError("specialized mappings need m >= p")
+    if _estimate_search_space(instance, rule) > limit:
+        raise SolverError(
+            f"search space exceeds the enumeration limit ({limit}); "
+            "use the MIP or branch-and-bound solver instead"
+        )
+
+    types = [instance.type_of(i) for i in range(n)]
+    best_mapping: Mapping | None = None
+    best_period = math.inf
+    explored = 0
+
+    for combo in product(range(m), repeat=n):
+        if rule is MappingRule.ONE_TO_ONE and len(set(combo)) != n:
+            continue
+        if rule is MappingRule.SPECIALIZED:
+            machine_type: dict[int, int] = {}
+            valid = True
+            for task, machine in enumerate(combo):
+                seen = machine_type.setdefault(machine, types[task])
+                if seen != types[task]:
+                    valid = False
+                    break
+            if not valid:
+                continue
+        mapping = Mapping(np.asarray(combo, dtype=np.int64), m)
+        explored += 1
+        result = evaluate(instance, mapping)
+        if result.period < best_period:
+            best_period = result.period
+            best_mapping = mapping
+
+    if best_mapping is None:
+        raise SolverError("no valid mapping exists for the requested rule")
+    return BruteForceResult(rule, best_mapping, evaluate(instance, best_mapping), explored)

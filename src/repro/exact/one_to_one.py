@@ -1,0 +1,166 @@
+"""Optimal one-to-one mappings (Section 5.1 / Theorem 1 and Figure 9).
+
+Two polynomial cases are implemented:
+
+1. **Homogeneous machines, linear chain** (Theorem 1): with ``w[i, u] = w``
+   the period is ``w * prod_j F[j, a(j)]`` (the bottleneck is the first
+   task), so the optimum minimises ``sum_j -log(1 - f[j, a(j)])`` — a
+   minimum-weight bipartite matching.
+
+2. **Task-dependent failures** (``f[i, u] = f[i]``, the setting of
+   Figure 9 and of the earlier paper [1]): the expected product counts
+   ``x_i`` do not depend on the mapping, so the period of a one-to-one
+   mapping is ``max_i x_i * w[i, a(i)]`` and the optimum is a *bottleneck*
+   assignment.
+
+For any other configuration the problem is NP-hard (Theorem 2);
+:func:`optimal_one_to_one` falls back to exhaustive search when the
+instance is small enough, and raises otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.mapping import Mapping, MappingRule
+from ..core.period import MappingEvaluation, evaluate
+from ..exceptions import InfeasibleProblemError, SolverError
+from .hungarian import bottleneck_assignment, min_cost_assignment
+
+__all__ = [
+    "OneToOneResult",
+    "optimal_one_to_one_homogeneous",
+    "optimal_one_to_one_task_dependent",
+    "optimal_one_to_one",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class OneToOneResult:
+    """Outcome of an exact one-to-one solver.
+
+    Attributes
+    ----------
+    method:
+        Which polynomial case (or fallback) produced the mapping.
+    mapping:
+        The optimal one-to-one allocation.
+    evaluation:
+        Full period / throughput evaluation.
+    """
+
+    method: str
+    mapping: Mapping
+    evaluation: MappingEvaluation
+
+    @property
+    def period(self) -> float:
+        """Shortcut for ``evaluation.period``."""
+        return self.evaluation.period
+
+
+def _check_one_to_one_feasible(instance: ProblemInstance) -> None:
+    if not instance.supports_one_to_one():
+        raise InfeasibleProblemError(
+            f"one-to-one mappings need m >= n; got m={instance.num_machines}, "
+            f"n={instance.num_tasks}"
+        )
+
+
+def optimal_one_to_one_homogeneous(instance: ProblemInstance) -> OneToOneResult:
+    """Theorem 1: optimal one-to-one mapping, linear chain, homogeneous ``w``.
+
+    Raises
+    ------
+    SolverError
+        If the instance is not a linear chain or the platform is not
+        homogeneous (the theorem's hypotheses).
+    InfeasibleProblemError
+        If there are fewer machines than tasks.
+    """
+    _check_one_to_one_feasible(instance)
+    if not instance.application.is_chain():
+        raise SolverError("Theorem 1 requires a linear-chain application")
+    if not instance.platform.is_homogeneous():
+        raise SolverError("Theorem 1 requires homogeneous machines (w[i,u] = w)")
+    # cost[i, u] = -log(1 - f[i, u]); minimising the sum minimises the
+    # product of the F factors, hence the period w * prod F.
+    cost = -np.log1p(-instance.failure_rates)
+    columns = min_cost_assignment(cost)
+    mapping = Mapping(columns, instance.num_machines)
+    mapping.validate(instance, MappingRule.ONE_TO_ONE)
+    return OneToOneResult("hungarian-homogeneous", mapping, evaluate(instance, mapping))
+
+
+def optimal_one_to_one_task_dependent(instance: ProblemInstance) -> OneToOneResult:
+    """Optimal one-to-one mapping when ``f[i, u] = f[i]`` (Figure 9 setting).
+
+    The ``x_i`` values are mapping-independent, so the period is
+    ``max_i x_i * w[i, a(i)]`` and a bottleneck assignment is optimal.
+    Works for arbitrary in-tree applications and heterogeneous machines.
+
+    Raises
+    ------
+    SolverError
+        If the failure rates actually depend on the machine.
+    """
+    _check_one_to_one_feasible(instance)
+    if not instance.failures.is_task_dependent():
+        raise SolverError(
+            "the bottleneck formulation requires failure rates attached to tasks only "
+            "(f[i, u] = f[i])"
+        )
+    app = instance.application
+    f_task = instance.failure_rates[:, 0]
+    x = np.ones(instance.num_tasks)
+    for task in app.reverse_topological_order():
+        succ = app.successor(task)
+        downstream = 1.0 if succ is None else x[succ]
+        x[task] = downstream / (1.0 - f_task[task])
+    cost = x[:, None] * instance.processing_times
+    columns = bottleneck_assignment(cost)
+    mapping = Mapping(columns, instance.num_machines)
+    mapping.validate(instance, MappingRule.ONE_TO_ONE)
+    return OneToOneResult("bottleneck-task-dependent", mapping, evaluate(instance, mapping))
+
+
+def _bruteforce_one_to_one(instance: ProblemInstance) -> OneToOneResult:
+    """Exhaustive search over injective allocations (tiny instances only)."""
+    from itertools import permutations
+
+    n, m = instance.num_tasks, instance.num_machines
+    if math.perm(m, n) > 500_000:
+        raise SolverError(
+            "instance too large for exhaustive one-to-one search and outside the "
+            "polynomial cases (Theorem 2: the general problem is NP-hard)"
+        )
+    best_mapping: Mapping | None = None
+    best_period = math.inf
+    for combo in permutations(range(m), n):
+        mapping = Mapping(np.asarray(combo, dtype=np.int64), m)
+        result = evaluate(instance, mapping)
+        if result.period < best_period:
+            best_period = result.period
+            best_mapping = mapping
+    assert best_mapping is not None
+    return OneToOneResult("bruteforce", best_mapping, evaluate(instance, best_mapping))
+
+
+def optimal_one_to_one(instance: ProblemInstance) -> OneToOneResult:
+    """Dispatch to the most appropriate exact one-to-one solver.
+
+    Order of preference: Theorem 1 (homogeneous chain), bottleneck
+    assignment (task-dependent failures), exhaustive search (tiny
+    instances).  Raises :class:`~repro.exceptions.SolverError` when none
+    applies.
+    """
+    _check_one_to_one_feasible(instance)
+    if instance.platform.is_homogeneous() and instance.application.is_chain():
+        return optimal_one_to_one_homogeneous(instance)
+    if instance.failures.is_task_dependent():
+        return optimal_one_to_one_task_dependent(instance)
+    return _bruteforce_one_to_one(instance)

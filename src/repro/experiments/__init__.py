@@ -1,0 +1,16 @@
+"""Reproduction of the paper's evaluation section (Figures 5-12)."""
+
+from .figures import FIGURES, FigureSpec, figure_ids
+from .reporting import figure_report, summary_line
+from .runner import ExperimentResult, run_figure, run_scenario
+
+__all__ = [
+    "FIGURES",
+    "FigureSpec",
+    "figure_ids",
+    "figure_report",
+    "summary_line",
+    "ExperimentResult",
+    "run_figure",
+    "run_scenario",
+]

@@ -1,0 +1,64 @@
+"""Text reports for experiment results.
+
+The reporting layer turns an :class:`~repro.experiments.runner.ExperimentResult`
+into the artefacts recorded in EXPERIMENTS.md: a header recalling the
+paper's setting and expected shape, the figure table, and (when an exact
+baseline is present) the aggregate normalisation factors.
+"""
+
+from __future__ import annotations
+
+import io
+
+from ..analysis.tables import format_table
+from .figures import FIGURES
+from .runner import MIP_LABEL, OTO_LABEL, ExperimentResult
+
+__all__ = ["figure_report", "summary_line"]
+
+
+def summary_line(result: ExperimentResult) -> str:
+    """One-line summary (used by the CLI and by EXPERIMENTS.md)."""
+    scenario = result.scenario
+    return (
+        f"{result.figure_id}: {scenario.description or scenario.name} "
+        f"[{scenario.repetitions} reps x {len(scenario.sweep_values)} points, "
+        f"seed={result.seed}, {result.elapsed_seconds:.1f}s]"
+    )
+
+
+def figure_report(result: ExperimentResult, *, float_format: str = "{:.1f}") -> str:
+    """Full plain-text report of one reproduced figure."""
+    buffer = io.StringIO()
+    spec = FIGURES.get(result.figure_id)
+
+    buffer.write(f"== {result.figure_id} ==\n")
+    buffer.write(summary_line(result) + "\n")
+    if spec is not None and spec.expected_shape:
+        buffer.write(f"Paper's expected shape: {spec.expected_shape}\n")
+    buffer.write("\n")
+    buffer.write(result.to_table(float_format=float_format))
+    buffer.write("\n")
+
+    for reference in (MIP_LABEL, OTO_LABEL):
+        if reference in result.series:
+            report = result.normalization_report(reference)
+            rows = [
+                [row["label"], row["mean"], row["ci_low"], row["ci_high"], row["count"]]
+                for row in report.as_rows()
+            ]
+            buffer.write(f"\nAggregate factors relative to {reference}:\n")
+            buffer.write(
+                format_table(
+                    ["heuristic", "factor", "ci_low", "ci_high", "pairs"],
+                    rows,
+                    float_format="{:.3f}",
+                )
+            )
+            buffer.write("\n")
+    if result.milp_failures:
+        buffer.write(
+            f"\nMIP did not prove optimality on {result.milp_failures} instance(s) "
+            "(expected on the larger task counts, cf. Figure 12).\n"
+        )
+    return buffer.getvalue()

@@ -1,0 +1,220 @@
+"""Experiment runner: regenerate any figure of the paper's evaluation.
+
+The runner draws the random instances of a scenario, runs every heuristic
+(and, where the figure calls for them, the exact MIP and the optimal
+one-to-one mapping) on the *same* instances, and collects the resulting
+periods into one :class:`~repro.analysis.Series` per curve.  The output
+:class:`ExperimentResult` renders the figure as a plain-text table or CSV
+and computes the aggregate normalisation factors reported in Section 7.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.normalize import NormalizationReport, normalize_series
+from ..analysis.stats import Series
+from ..analysis.tables import series_table, series_to_csv
+from ..exact.milp import solve_specialized_milp
+from ..exact.one_to_one import optimal_one_to_one
+from ..exceptions import ExperimentError, SolverError
+from ..generators.scenarios import ScenarioConfig, sample_instance
+from ..heuristics import get_heuristic
+from ..simulation.rng import RandomStreamFactory
+from .figures import FIGURES, FigureSpec
+
+__all__ = ["ExperimentResult", "run_figure", "run_scenario"]
+
+#: Label used for the exact MIP curve.
+MIP_LABEL = "MIP"
+#: Label used for the optimal one-to-one curve.
+OTO_LABEL = "OtO"
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """Everything produced by one experiment run.
+
+    Attributes
+    ----------
+    figure_id:
+        Which figure was reproduced.
+    scenario:
+        The (possibly scaled-down) scenario that was actually run.
+    series:
+        ``{curve label: Series}`` of raw periods (ms).
+    normalized:
+        Same curves divided by the reference curve, when the figure calls
+        for normalisation (Figure 11); ``None`` otherwise.
+    seed:
+        The root seed used for instance generation.
+    elapsed_seconds:
+        Wall-clock duration of the run.
+    milp_failures:
+        Number of (point, repetition) pairs where the MIP backend did not
+        return a proven optimum (mirrors the paper's observation that the
+        exact solver stops scaling around 15 tasks).
+    """
+
+    figure_id: str
+    scenario: ScenarioConfig
+    series: dict[str, Series]
+    normalized: dict[str, Series] | None
+    seed: int | None
+    elapsed_seconds: float
+    milp_failures: int = 0
+
+    @property
+    def x_name(self) -> str:
+        """Name of the sweep variable ("n" or "p")."""
+        return "n" if self.scenario.sweep == "tasks" else "p"
+
+    def reported_series(self) -> dict[str, Series]:
+        """The curves the figure actually shows (normalised when relevant)."""
+        return self.normalized if self.normalized is not None else self.series
+
+    def to_table(self, *, float_format: str = "{:.1f}") -> str:
+        """Plain-text rendition of the figure."""
+        return series_table(
+            self.reported_series(), x_name=self.x_name, float_format=float_format
+        )
+
+    def to_csv(self) -> str:
+        """CSV rendition of the figure (means plus spread columns)."""
+        return series_to_csv(self.reported_series(), x_name=self.x_name)
+
+    def normalization_report(self, reference: str) -> NormalizationReport:
+        """Aggregate factors of every curve against ``reference``."""
+        if reference not in self.series:
+            raise ExperimentError(
+                f"no series named {reference!r} in this experiment; available: "
+                f"{sorted(self.series)}"
+            )
+        return NormalizationReport.from_series(self.series, reference)
+
+
+def run_scenario(
+    scenario: ScenarioConfig,
+    *,
+    seed: int | None = 0,
+    include_milp: bool | None = None,
+    include_one_to_one: bool | None = None,
+    milp_time_limit: float = 30.0,
+    figure_id: str = "custom",
+    normalize_to: str | None = None,
+) -> ExperimentResult:
+    """Run one scenario and collect the per-curve period series.
+
+    Parameters
+    ----------
+    scenario:
+        The scenario to run (use :meth:`ScenarioConfig.scaled` to shrink
+        the paper's full sweep for quick runs).
+    seed:
+        Root seed for reproducible instance generation.
+    include_milp, include_one_to_one:
+        Override the scenario's flags (useful to skip the expensive MIP).
+    milp_time_limit:
+        Per-instance time limit handed to the MIP backend.
+    figure_id, normalize_to:
+        Reporting metadata (filled automatically by :func:`run_figure`).
+    """
+    start = time.perf_counter()
+    streams = RandomStreamFactory(seed)
+    use_milp = scenario.include_milp if include_milp is None else include_milp
+    use_oto = scenario.include_one_to_one if include_one_to_one is None else include_one_to_one
+
+    series: dict[str, Series] = {name: Series(label=name) for name in scenario.heuristics}
+    if use_milp:
+        series[MIP_LABEL] = Series(label=MIP_LABEL)
+    if use_oto:
+        series[OTO_LABEL] = Series(label=OTO_LABEL)
+
+    heuristics = {name: get_heuristic(name) for name in scenario.heuristics}
+    milp_failures = 0
+
+    for sweep_value in scenario.sweep_values:
+        for repetition in range(scenario.repetitions):
+            instance = sample_instance(scenario, sweep_value, repetition, streams)
+            for name, heuristic in heuristics.items():
+                rng = streams.stream(f"heuristic/{name}/{sweep_value}", repetition)
+                result = heuristic.solve(instance, rng)
+                series[name].add(sweep_value, result.period)
+            if use_oto:
+                try:
+                    oto = optimal_one_to_one(instance)
+                    series[OTO_LABEL].add(sweep_value, oto.period)
+                except SolverError:
+                    series[OTO_LABEL].add(sweep_value, float("nan"))
+            if use_milp:
+                milp = solve_specialized_milp(instance, time_limit=milp_time_limit)
+                if milp.is_optimal:
+                    series[MIP_LABEL].add(sweep_value, milp.period)
+                else:
+                    milp_failures += 1
+                    series[MIP_LABEL].add(sweep_value, float("nan"))
+
+    normalized: dict[str, Series] | None = None
+    if normalize_to is not None:
+        if normalize_to not in series:
+            raise ExperimentError(
+                f"cannot normalise to {normalize_to!r}: that curve was not produced"
+            )
+        reference = series[normalize_to]
+        normalized = {
+            label: normalize_series(curve, reference)
+            for label, curve in series.items()
+            if label != normalize_to
+        }
+
+    return ExperimentResult(
+        figure_id=figure_id,
+        scenario=scenario,
+        series=series,
+        normalized=normalized,
+        seed=seed,
+        elapsed_seconds=time.perf_counter() - start,
+        milp_failures=milp_failures,
+    )
+
+
+def run_figure(
+    figure_id: str,
+    *,
+    seed: int | None = 0,
+    repetitions: int | None = None,
+    max_points: int | None = None,
+    include_milp: bool | None = None,
+    include_one_to_one: bool | None = None,
+    milp_time_limit: float = 30.0,
+) -> ExperimentResult:
+    """Reproduce one figure of the paper.
+
+    Parameters
+    ----------
+    figure_id:
+        One of :func:`repro.experiments.figures.figure_ids` ("fig5" ..
+        "fig12").
+    repetitions, max_points:
+        Optional scaling-down of the paper's full sweep (fewer repetitions
+        per point / fewer sweep points), for quick runs and benchmarks.
+    """
+    try:
+        spec: FigureSpec = FIGURES[figure_id]
+    except KeyError as exc:
+        raise ExperimentError(
+            f"unknown figure {figure_id!r}; known figures: {sorted(FIGURES)}"
+        ) from exc
+    scenario = spec.scenario.scaled(repetitions=repetitions, max_points=max_points)
+    return run_scenario(
+        scenario,
+        seed=seed,
+        include_milp=include_milp,
+        include_one_to_one=include_one_to_one,
+        milp_time_limit=milp_time_limit,
+        figure_id=figure_id,
+        normalize_to=spec.normalize_to,
+    )

@@ -1,0 +1,39 @@
+"""Extensions beyond the paper's core contribution.
+
+* :mod:`repro.extensions.splitting` — the paper's stated future work:
+  dividing a task's workload across several machines of its type (LP-based
+  optimal split, fractional mappings, specialized-period lower bound);
+* :mod:`repro.extensions.reconfiguration` — an explicit reconfiguration
+  cost model for *general* mappings, quantifying the paper's argument that
+  re-tooling costs make them impractical.
+"""
+
+from .reconfiguration import (
+    ReconfigurationAwareHeuristic,
+    ReconfigurationModel,
+    machine_periods_with_reconfiguration,
+    period_with_reconfiguration,
+    specialization_break_even,
+)
+from .splitting import (
+    FractionalMapping,
+    SplitResult,
+    dedication_from_mapping,
+    optimal_split_for_dedication,
+    split_specialized_mapping,
+    splitting_lower_bound,
+)
+
+__all__ = [
+    "ReconfigurationAwareHeuristic",
+    "ReconfigurationModel",
+    "machine_periods_with_reconfiguration",
+    "period_with_reconfiguration",
+    "specialization_break_even",
+    "FractionalMapping",
+    "SplitResult",
+    "dedication_from_mapping",
+    "optimal_split_for_dedication",
+    "split_specialized_mapping",
+    "splitting_lower_bound",
+]

@@ -1,0 +1,229 @@
+"""General mappings with explicit reconfiguration costs.
+
+The paper dismisses *general* mappings (a machine processing several task
+types) "because of the unaffordable reconfiguration costs": a robotic cell
+must be re-tooled between operations of different types.  This module
+makes that argument quantitative:
+
+* :func:`period_with_reconfiguration` evaluates a general mapping when
+  switching a machine between types costs ``setup_time`` per switch and
+  per produced unit of output (a machine cycling through ``k`` types pays
+  ``k`` switches per period when ``k >= 2``, none when it is specialized);
+* :class:`ReconfigurationAwareHeuristic` is a greedy general-mapping
+  heuristic in the spirit of H4 whose machine scores include the setup
+  penalty — with a zero setup time it may mix types freely, with a large
+  one it naturally degenerates to a specialized mapping;
+* :func:`specialization_break_even` computes, for an instance and a
+  mapping pair (one general, one specialized), the setup time above which
+  the specialized mapping wins — i.e. the justification of the paper's
+  focus on specialized mappings, as a number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.mapping import Mapping
+from ..core.period import expected_products
+from ..exceptions import InfeasibleProblemError, ReproError
+from ..heuristics.base import Heuristic, backward_task_order
+
+__all__ = [
+    "ReconfigurationModel",
+    "period_with_reconfiguration",
+    "machine_periods_with_reconfiguration",
+    "ReconfigurationAwareHeuristic",
+    "specialization_break_even",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ReconfigurationModel:
+    """Cost model for switching a machine between task types.
+
+    Attributes
+    ----------
+    setup_time:
+        Time (same unit as ``w``) needed to reconfigure a machine from one
+        type to another.
+    switches_per_period:
+        How many reconfigurations a machine running ``k >= 2`` distinct
+        types pays per produced output.  The default ``"cycle"`` charges
+        ``k`` switches (the machine cycles through its types once per
+        period); ``"amortized"`` charges ``k - 1`` (a one-off re-tooling
+        order amortised over the cycle).
+    """
+
+    setup_time: float
+    policy: str = "cycle"
+
+    def __post_init__(self) -> None:
+        if self.setup_time < 0:
+            raise ReproError("setup_time must be non-negative")
+        if self.policy not in ("cycle", "amortized"):
+            raise ReproError(f"unknown reconfiguration policy {self.policy!r}")
+
+    def switches(self, num_types_on_machine: int) -> int:
+        """Number of setups charged per period for a machine running ``k`` types."""
+        if num_types_on_machine <= 1:
+            return 0
+        if self.policy == "cycle":
+            return num_types_on_machine
+        return num_types_on_machine - 1
+
+
+def machine_periods_with_reconfiguration(
+    instance: ProblemInstance,
+    mapping: Mapping,
+    model: ReconfigurationModel,
+) -> np.ndarray:
+    """Per-machine periods including reconfiguration overheads."""
+    x = expected_products(instance, mapping)
+    w = instance.processing_times
+    periods = np.zeros(instance.num_machines)
+    types_on_machine: dict[int, set[int]] = {}
+    for task, machine in enumerate(mapping):
+        periods[machine] += x[task] * w[task, machine]
+        types_on_machine.setdefault(machine, set()).add(instance.type_of(task))
+    for machine, types in types_on_machine.items():
+        periods[machine] += model.setup_time * model.switches(len(types))
+    return periods
+
+
+def period_with_reconfiguration(
+    instance: ProblemInstance,
+    mapping: Mapping,
+    model: ReconfigurationModel,
+) -> float:
+    """Application period of a general mapping under reconfiguration costs."""
+    return float(machine_periods_with_reconfiguration(instance, mapping, model).max())
+
+
+class ReconfigurationAwareHeuristic(Heuristic):
+    """Greedy general-mapping heuristic with a setup-time penalty.
+
+    Walks the tasks sinks-first (like H4) and assigns every task to the
+    machine minimising ``accu_u + x_i(u) * w[i, u] + setup penalty``, where
+    the penalty is the *increase* in reconfiguration cost caused by adding
+    the task's type to the machine's current type set.  No type-dedication
+    constraint is enforced — this is a *general* mapping.
+    """
+
+    name = "H4-reconfig"
+
+    def __init__(self, model: ReconfigurationModel):
+        self.model = model
+
+    def check_feasible(self, instance: ProblemInstance) -> None:
+        if instance.num_machines < 1:
+            raise InfeasibleProblemError("at least one machine is required")
+
+    def solve_mapping(self, instance, rng=None):
+        order = backward_task_order(instance)
+        n, m = instance.num_tasks, instance.num_machines
+        assignment = np.full(n, -1, dtype=np.int64)
+        x = np.zeros(n)
+        accumulated = np.zeros(m)
+        types_on_machine: list[set[int]] = [set() for _ in range(m)]
+        app = instance.application
+
+        for task in order:
+            succ = app.successor(task)
+            demand = 1.0 if succ is None else float(x[succ])
+            task_type = instance.type_of(task)
+
+            def score(machine: int) -> tuple[float, int]:
+                x_task = demand / (1.0 - instance.f(task, machine))
+                work = x_task * instance.w(task, machine)
+                current_types = types_on_machine[machine]
+                before = self.model.switches(len(current_types))
+                after = self.model.switches(len(current_types | {task_type}))
+                penalty = self.model.setup_time * (after - before)
+                return (float(accumulated[machine] + work + penalty), machine)
+
+            best = min(range(m), key=score)
+            x_task = demand / (1.0 - instance.f(task, best))
+            x[task] = x_task
+            before = self.model.switches(len(types_on_machine[best]))
+            types_on_machine[best].add(task_type)
+            after = self.model.switches(len(types_on_machine[best]))
+            accumulated[best] += x_task * instance.w(task, best) + self.model.setup_time * (
+                after - before
+            )
+            assignment[task] = best
+
+        return Mapping(assignment, m), 1, {"policy": self.model.policy}
+
+    def solve(self, instance, rng=None):
+        # Override to evaluate with the reconfiguration-aware period rather
+        # than the plain specialized evaluation of the base class.
+        from ..core.period import evaluate as plain_evaluate
+        from .reconfiguration import period_with_reconfiguration  # self-import for clarity
+
+        self.check_feasible(instance)
+        mapping, iterations, metadata = self.solve_mapping(instance, rng)
+        evaluation = plain_evaluate(instance, mapping)
+        metadata = dict(metadata)
+        metadata["period_with_reconfiguration"] = period_with_reconfiguration(
+            instance, mapping, self.model
+        )
+        from ..heuristics.base import HeuristicResult
+
+        return HeuristicResult(
+            heuristic=self.name,
+            mapping=mapping,
+            evaluation=evaluation,
+            iterations=iterations,
+            metadata=metadata,
+        )
+
+
+def specialization_break_even(
+    instance: ProblemInstance,
+    general_mapping: Mapping,
+    specialized_mapping: Mapping,
+    *,
+    policy: str = "cycle",
+    tolerance: float = 1e-6,
+    max_setup: float = 1e9,
+) -> float:
+    """Setup time above which the specialized mapping beats the general one.
+
+    Returns the smallest setup time ``s`` such that
+    ``period_with_reconfiguration(general, s) >= period(specialized)``
+    (the specialized mapping pays no reconfiguration by definition).
+    Returns ``0.0`` when the specialized mapping is already at least as
+    good without any setup cost, and ``inf`` when the general mapping wins
+    for every setup time up to ``max_setup`` (only possible if it is
+    actually specialized itself).
+    """
+    from ..core.period import period as plain_period
+
+    specialized_period = plain_period(instance, specialized_mapping)
+    zero = ReconfigurationModel(0.0, policy)
+    if period_with_reconfiguration(instance, general_mapping, zero) >= specialized_period:
+        return 0.0
+
+    low, high = 0.0, 1.0
+    while (
+        period_with_reconfiguration(
+            instance, general_mapping, ReconfigurationModel(high, policy)
+        )
+        < specialized_period
+    ):
+        high *= 2.0
+        if high > max_setup:
+            return float("inf")
+    while high - low > tolerance * max(1.0, high):
+        mid = (low + high) / 2.0
+        mid_period = period_with_reconfiguration(
+            instance, general_mapping, ReconfigurationModel(mid, policy)
+        )
+        if mid_period >= specialized_period:
+            high = mid
+        else:
+            low = mid
+    return high

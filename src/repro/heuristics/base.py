@@ -1,0 +1,374 @@
+"""Shared infrastructure for the mapping heuristics.
+
+The six heuristics of the paper (H1, H2, H3, H4, H4w, H4f) all build a
+*specialized* mapping by walking the application graph **backward** (from
+the last task towards the first) and greedily choosing a machine for each
+task.  They share a substantial amount of state-keeping:
+
+* which machine is *dedicated* to which task type (a machine becomes
+  dedicated to ``t(i)`` the first time a task of that type is assigned to
+  it, and can then only receive tasks of that type);
+* the accumulated expected execution time of each machine
+  (``accu_u = sum_{j assigned to u} x_j * w[j, u]``);
+* the expected-product values ``x_j`` of already assigned tasks, which are
+  known because assignment proceeds sinks-first.
+
+:class:`AssignmentState` encapsulates this bookkeeping; the concrete
+heuristics only differ in *how* they rank candidate machines.
+
+Feasibility guard
+-----------------
+The paper's pseudo-code assumes that a type-compatible machine always
+exists.  When the number of machines is close to the number of types this
+is not guaranteed (all machines could become dedicated to other types
+before some type shows up).  :class:`AssignmentState` therefore refuses to
+dedicate a *free* machine to a new type when doing so would leave fewer
+free machines than the number of still-unseen types — exactly the
+``nbFreeMachines > nbTypesToGo`` bookkeeping that the paper makes explicit
+in Algorithm 1 (H1).  This guard is applied uniformly to every heuristic so
+that all of them always return a valid specialized mapping whenever one
+exists (``m >= p``).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.mapping import Mapping, MappingRule
+from ..core.period import MappingEvaluation, evaluate
+from ..exceptions import InfeasibleProblemError, ReproError
+
+__all__ = [
+    "HeuristicResult",
+    "Heuristic",
+    "AssignmentState",
+    "register_heuristic",
+    "get_heuristic",
+    "available_heuristics",
+    "backward_task_order",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class HeuristicResult:
+    """Outcome of a heuristic run.
+
+    Attributes
+    ----------
+    heuristic:
+        Name of the heuristic ("H1", "H2", ...).
+    mapping:
+        The produced allocation.
+    evaluation:
+        Full period / throughput evaluation of the mapping.
+    iterations:
+        Number of outer iterations performed (binary-search steps for
+        H2/H3, 1 for the greedy heuristics).
+    metadata:
+        Free-form additional information (e.g. final binary-search bounds).
+    """
+
+    heuristic: str
+    mapping: Mapping
+    evaluation: MappingEvaluation
+    iterations: int = 1
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def period(self) -> float:
+        """Shortcut for ``evaluation.period``."""
+        return self.evaluation.period
+
+    @property
+    def throughput(self) -> float:
+        """Shortcut for ``evaluation.throughput``."""
+        return self.evaluation.throughput
+
+
+def backward_task_order(instance: ProblemInstance) -> tuple[int, ...]:
+    """Order in which heuristics assign tasks: sinks first, sources last.
+
+    For a linear chain this is ``T_n, T_{n-1}, ..., T_1``, exactly the
+    traversal described in Section 6.2.
+    """
+    return instance.application.reverse_topological_order()
+
+
+class AssignmentState:
+    """Incremental state of a backward greedy assignment.
+
+    Parameters
+    ----------
+    instance:
+        The problem instance being solved.
+    order:
+        The task order used by the heuristic (defaults to the backward
+        order).  The state tracks which types still have unassigned tasks
+        to implement the free-machine feasibility guard.
+    """
+
+    __slots__ = (
+        "instance",
+        "_order",
+        "_position",
+        "assignment",
+        "machine_type",
+        "accumulated",
+        "x",
+        "_remaining_type_counts",
+        "_free_machines",
+    )
+
+    def __init__(self, instance: ProblemInstance, order: Sequence[int] | None = None):
+        self.instance = instance
+        self._order = tuple(order) if order is not None else backward_task_order(instance)
+        if sorted(self._order) != list(range(instance.num_tasks)):
+            raise ReproError("order must be a permutation of all task indices")
+        self._position = 0
+        n, m = instance.num_tasks, instance.num_machines
+        self.assignment = np.full(n, -1, dtype=np.int64)
+        #: machine index -> type it is dedicated to (absent = free machine)
+        self.machine_type: dict[int, int] = {}
+        #: accumulated expected busy time per machine (x_j * w[j, u] summed)
+        self.accumulated = np.zeros(m, dtype=np.float64)
+        #: expected products per task; -1 until the task is assigned
+        self.x = np.full(n, -1.0, dtype=np.float64)
+        types = instance.application.types
+        self._remaining_type_counts: dict[int, int] = {}
+        for task in range(n):
+            t = types[task]
+            self._remaining_type_counts[t] = self._remaining_type_counts.get(t, 0) + 1
+        self._free_machines = m
+
+    # -- traversal ------------------------------------------------------------------
+    @property
+    def order(self) -> tuple[int, ...]:
+        """The task traversal order."""
+        return self._order
+
+    def remaining_tasks(self) -> tuple[int, ...]:
+        """Tasks not yet assigned, in traversal order."""
+        return self._order[self._position :]
+
+    def next_task(self) -> int | None:
+        """The next task to assign, or ``None`` when every task is assigned."""
+        if self._position >= len(self._order):
+            return None
+        return self._order[self._position]
+
+    def is_complete(self) -> bool:
+        """True when every task has been assigned."""
+        return self._position >= len(self._order)
+
+    # -- demand bookkeeping ------------------------------------------------------------
+    def downstream_demand(self, task: int) -> float:
+        """Products the successor of ``task`` requires (1.0 for a sink).
+
+        Because assignment proceeds sinks-first, the successor of the next
+        task to assign has always been assigned already, so its ``x`` value
+        is known exactly.
+        """
+        succ = self.instance.application.successor(task)
+        if succ is None:
+            return 1.0
+        x_succ = self.x[succ]
+        if x_succ < 0:
+            raise ReproError(
+                f"successor {succ} of task {task} has not been assigned yet; "
+                "heuristics must traverse the graph sinks-first"
+            )
+        return float(x_succ)
+
+    def candidate_products(self, task: int, machine: int) -> float:
+        """``x_i`` that task would get if assigned to ``machine``."""
+        demand = self.downstream_demand(task)
+        return demand / (1.0 - self.instance.f(task, machine))
+
+    def candidate_exec(self, task: int, machine: int) -> float:
+        """Machine completion time if ``task`` were assigned to ``machine``.
+
+        ``accu_u + x_i(u) * w[i, u]`` with the true (failure-aware) ``x_i``.
+        This is the quantity compared against the period bound in the
+        binary-search heuristics.
+        """
+        return float(
+            self.accumulated[machine]
+            + self.candidate_products(task, machine) * self.instance.w(task, machine)
+        )
+
+    # -- machine eligibility --------------------------------------------------------------
+    def num_free_machines(self) -> int:
+        """Machines not yet dedicated to any type."""
+        return self._free_machines
+
+    def num_pending_types(self) -> int:
+        """Types that still have unassigned tasks and no dedicated machine."""
+        return sum(
+            1
+            for t, count in self._remaining_type_counts.items()
+            if count > 0 and not self._has_machine_for(t)
+        )
+
+    def _has_machine_for(self, type_index: int) -> bool:
+        return any(t == type_index for t in self.machine_type.values())
+
+    def machines_of_type(self, type_index: int) -> list[int]:
+        """Machines already dedicated to ``type_index``."""
+        return sorted(u for u, t in self.machine_type.items() if t == type_index)
+
+    def is_eligible(self, task: int, machine: int) -> bool:
+        """True if ``machine`` may receive ``task`` under the specialized rule.
+
+        A machine is eligible when it is already dedicated to ``t(task)``,
+        or when it is free *and* dedicating it would not starve another
+        still-pending type of its last free machine.
+        """
+        task_type = self.instance.type_of(task)
+        dedicated = self.machine_type.get(machine)
+        if dedicated is not None:
+            return dedicated == task_type
+        # Free machine: apply the nbFreeMachines / nbTypesToGo guard.
+        pending = self.num_pending_types()
+        if self._has_machine_for(task_type):
+            # The type already owns a machine; taking a new free machine is
+            # only allowed if enough free machines remain for pending types.
+            return self._free_machines - 1 >= pending
+        # The type has no machine yet: it is itself one of the pending
+        # types, so using a free machine for it always keeps the invariant.
+        return self._free_machines - 1 >= pending - 1
+
+    def eligible_machines(self, task: int) -> list[int]:
+        """All machines that may receive ``task`` (ascending index)."""
+        return [u for u in range(self.instance.num_machines) if self.is_eligible(task, u)]
+
+    # -- mutation ---------------------------------------------------------------------
+    def assign(self, task: int, machine: int) -> None:
+        """Assign the next task of the traversal to ``machine``.
+
+        Raises
+        ------
+        ReproError
+            If ``task`` is not the next task in the traversal order or the
+            machine is not eligible.
+        """
+        expected = self.next_task()
+        if expected is None or task != expected:
+            raise ReproError(
+                f"tasks must be assigned in traversal order; expected task {expected}, "
+                f"got {task}"
+            )
+        if not self.is_eligible(task, machine):
+            raise ReproError(
+                f"machine {machine} is not eligible for task {task} under the "
+                "specialized rule"
+            )
+        task_type = self.instance.type_of(task)
+        if machine not in self.machine_type:
+            self.machine_type[machine] = task_type
+            self._free_machines -= 1
+        x_task = self.candidate_products(task, machine)
+        self.x[task] = x_task
+        self.accumulated[machine] += x_task * self.instance.w(task, machine)
+        self.assignment[task] = machine
+        self._remaining_type_counts[task_type] -= 1
+        self._position += 1
+
+    # -- result ---------------------------------------------------------------------
+    def to_mapping(self) -> Mapping:
+        """Freeze the assignment into a :class:`~repro.core.Mapping`.
+
+        Raises
+        ------
+        ReproError
+            If some tasks are still unassigned.
+        """
+        if not self.is_complete():
+            raise ReproError("assignment is incomplete")
+        return Mapping(self.assignment, self.instance.num_machines)
+
+
+class Heuristic(abc.ABC):
+    """Base class for mapping heuristics.
+
+    Subclasses implement :meth:`solve_mapping` and set the class attributes
+    ``name`` (paper identifier) and ``rule`` (mapping rule they produce).
+    """
+
+    #: Paper identifier (e.g. ``"H4w"``); must be unique across the registry.
+    name: str = ""
+    #: Mapping rule produced by the heuristic.
+    rule: MappingRule = MappingRule.SPECIALIZED
+    #: Whether the heuristic uses randomness (and therefore an RNG argument).
+    randomized: bool = False
+
+    def check_feasible(self, instance: ProblemInstance) -> None:
+        """Raise if no specialized mapping can exist for the instance."""
+        if not instance.supports_specialized():
+            raise InfeasibleProblemError(
+                f"specialized mappings need m >= p; got m={instance.num_machines}, "
+                f"p={instance.num_types}"
+            )
+
+    @abc.abstractmethod
+    def solve_mapping(
+        self, instance: ProblemInstance, rng: np.random.Generator | None = None
+    ) -> tuple[Mapping, int, dict]:
+        """Produce ``(mapping, iterations, metadata)`` for the instance."""
+
+    def solve(
+        self, instance: ProblemInstance, rng: np.random.Generator | None = None
+    ) -> HeuristicResult:
+        """Run the heuristic and evaluate the resulting mapping."""
+        self.check_feasible(instance)
+        if self.randomized and rng is None:
+            rng = np.random.default_rng()
+        mapping, iterations, metadata = self.solve_mapping(instance, rng)
+        mapping.validate(instance, self.rule)
+        return HeuristicResult(
+            heuristic=self.name,
+            mapping=mapping,
+            evaluation=evaluate(instance, mapping),
+            iterations=iterations,
+            metadata=metadata,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+_REGISTRY: dict[str, Callable[[], Heuristic]] = {}
+
+
+def register_heuristic(factory: Callable[[], Heuristic]) -> Callable[[], Heuristic]:
+    """Register a heuristic factory under its instance ``name``.
+
+    Usable as a class decorator on :class:`Heuristic` subclasses.
+    """
+    instance = factory()
+    key = instance.name.lower()
+    if not key:
+        raise ReproError("heuristic must define a non-empty name")
+    if key in _REGISTRY:
+        raise ReproError(f"heuristic {instance.name!r} is already registered")
+    _REGISTRY[key] = factory
+    return factory
+
+
+def get_heuristic(name: str) -> Heuristic:
+    """Instantiate a registered heuristic by (case-insensitive) name."""
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ReproError(f"unknown heuristic {name!r}; known: {known}") from exc
+    return factory()
+
+
+def available_heuristics() -> list[str]:
+    """Names of all registered heuristics, in registration order."""
+    return [factory().name for factory in _REGISTRY.values()]

@@ -1,0 +1,176 @@
+"""Additional baseline mapping strategies (not from the paper).
+
+The paper compares its heuristics against H1 (random grouping) and against
+exact solvers.  For sanity checking and ablation we provide three further
+baselines that downstream users of the library may find handy:
+
+* :class:`UniformRandomSpecialized` — a *uniform* random valid specialized
+  mapping (H1 is biased towards opening new groups; this one samples a
+  machine for each type uniformly first, then assigns every task of the
+  type to one of the machines dedicated to it uniformly);
+* :class:`RoundRobinHeuristic` — deterministic round-robin of types over
+  machines, then of tasks over the machines of their type;
+* :class:`GreedyLoadBalanceHeuristic` — a forward (sources-first) variant
+  of H4 used by the traversal-direction ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.mapping import Mapping
+from ..exceptions import ReproError
+from .base import AssignmentState, Heuristic, register_heuristic
+
+__all__ = [
+    "UniformRandomSpecialized",
+    "RoundRobinHeuristic",
+    "GreedyLoadBalanceHeuristic",
+]
+
+
+def _partition_machines_among_types(
+    instance: ProblemInstance, rng: np.random.Generator | None
+) -> dict[int, list[int]]:
+    """Split the machines into non-empty groups, one per used task type.
+
+    Every used type receives at least one machine; remaining machines are
+    spread (randomly when an RNG is given, round-robin otherwise).
+    """
+    used_types = instance.application.types.used_types()
+    m = instance.num_machines
+    if len(used_types) > m:
+        raise ReproError("more task types than machines; no specialized mapping exists")
+    machine_indices = list(range(m))
+    if rng is not None:
+        rng.shuffle(machine_indices)
+    groups: dict[int, list[int]] = {t: [] for t in used_types}
+    # One machine per type first, then distribute the rest.
+    for i, t in enumerate(used_types):
+        groups[t].append(machine_indices[i])
+    rest = machine_indices[len(used_types) :]
+    for i, machine in enumerate(rest):
+        if rng is not None:
+            t = used_types[int(rng.integers(len(used_types)))]
+        else:
+            t = used_types[i % len(used_types)]
+        groups[t].append(machine)
+    return groups
+
+
+@register_heuristic
+class UniformRandomSpecialized(Heuristic):
+    """Uniform random specialized mapping (baseline, not in the paper)."""
+
+    name = "RandomUniform"
+    randomized = True
+
+    def solve_mapping(
+        self, instance: ProblemInstance, rng: np.random.Generator | None = None
+    ) -> tuple[Mapping, int, dict]:
+        if rng is None:  # pragma: no cover - Heuristic.solve always passes one
+            rng = np.random.default_rng()
+        groups = _partition_machines_among_types(instance, rng)
+        assignment = np.empty(instance.num_tasks, dtype=np.int64)
+        for task in range(instance.num_tasks):
+            machines = groups[instance.type_of(task)]
+            assignment[task] = machines[int(rng.integers(len(machines)))]
+        return Mapping(assignment, instance.num_machines), 1, {}
+
+
+@register_heuristic
+class RoundRobinHeuristic(Heuristic):
+    """Deterministic round-robin specialized mapping (baseline)."""
+
+    name = "RoundRobin"
+
+    def solve_mapping(
+        self, instance: ProblemInstance, rng: np.random.Generator | None = None
+    ) -> tuple[Mapping, int, dict]:
+        groups = _partition_machines_among_types(instance, None)
+        cursor: dict[int, int] = defaultdict(int)
+        assignment = np.empty(instance.num_tasks, dtype=np.int64)
+        for task in range(instance.num_tasks):
+            task_type = instance.type_of(task)
+            machines = groups[task_type]
+            assignment[task] = machines[cursor[task_type] % len(machines)]
+            cursor[task_type] += 1
+        return Mapping(assignment, instance.num_machines), 1, {}
+
+
+@register_heuristic
+class GreedyLoadBalanceHeuristic(Heuristic):
+    """Forward-traversal variant of H4 (used by the traversal ablation).
+
+    Walks the tasks sources-first; because the downstream expected-product
+    counts are then unknown, the criterion uses the worst-case attempts
+    factor of the path below each task as an estimate.  Comparing this
+    heuristic against H4 quantifies the value of the paper's backward
+    traversal.
+    """
+
+    name = "H4-forward"
+
+    def solve_mapping(
+        self, instance: ProblemInstance, rng: np.random.Generator | None = None
+    ) -> tuple[Mapping, int, dict]:
+        app = instance.application
+        worst_attempts = instance.failures.worst_case_attempts()
+        # Estimate of x_i assuming worst-case failures downstream.
+        x_estimate = np.ones(instance.num_tasks)
+        for task in app.reverse_topological_order():
+            succ = app.successor(task)
+            downstream = 1.0 if succ is None else x_estimate[succ]
+            x_estimate[task] = downstream * worst_attempts[task]
+
+        order = app.topological_order()
+        machine_type: dict[int, int] = {}
+        accumulated = np.zeros(instance.num_machines)
+        assignment = np.full(instance.num_tasks, -1, dtype=np.int64)
+        remaining_types: dict[int, int] = defaultdict(int)
+        for task in range(instance.num_tasks):
+            remaining_types[instance.type_of(task)] += 1
+        free = instance.num_machines
+
+        def pending_types() -> int:
+            dedicated = set(machine_type.values())
+            return sum(
+                1 for t, c in remaining_types.items() if c > 0 and t not in dedicated
+            )
+
+        for task in order:
+            task_type = instance.type_of(task)
+            candidates = []
+            for u in range(instance.num_machines):
+                dedicated = machine_type.get(u)
+                if dedicated is not None and dedicated != task_type:
+                    continue
+                if dedicated is None:
+                    has_machine = task_type in machine_type.values()
+                    needed = pending_types() - (0 if has_machine else 1)
+                    if free - 1 < needed:
+                        continue
+                candidates.append(u)
+            if not candidates:
+                raise ReproError("no eligible machine; instance has more types than machines")
+            cost = lambda u: (
+                accumulated[u]
+                + x_estimate[task]
+                * instance.w(task, u)
+                * instance.attempts_factor(task, u),
+                u,
+            )
+            best = min(candidates, key=cost)
+            if best not in machine_type:
+                machine_type[best] = task_type
+                free -= 1
+            accumulated[best] += (
+                x_estimate[task] * instance.w(task, best) * instance.attempts_factor(task, best)
+            )
+            assignment[task] = best
+            remaining_types[task_type] -= 1
+
+        return Mapping(assignment, instance.num_machines), 1, {}

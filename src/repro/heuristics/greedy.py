@@ -1,0 +1,108 @@
+"""H4, H4w and H4f — single-pass greedy heuristics (Algorithms 4, 5, 6).
+
+All three walk the tasks sinks-first and assign each task to the machine
+minimising a local *completion score* ``accu_u + criterion(i, u)`` among the
+type-compatible machines, where ``accu_u`` is the expected busy time already
+accumulated on machine ``u``.  They differ only in the criterion:
+
+* **H4  (best performance)** — ``x_down * w[i, u] * F[i, u]``: expected time
+  per finished product, accounting for both speed and reliability;
+* **H4w (fastest machine)** — ``x_down * w[i, u]``: speed only, failures are
+  ignored during selection (the paper's overall winner);
+* **H4f (most reliable machine)** — ``x_down * F[i, u]``: reliability only,
+  speed is ignored (the paper's weakest heuristic together with H1).
+
+``x_down`` is the number of products required by the successor of ``Ti``
+(known exactly because the traversal is sinks-first), and
+``F[i, u] = 1 / (1 - f[i, u])``.  Whatever criterion is used for the
+*choice*, the accumulated load and the final mapping are always evaluated
+with the true failure-aware expected product counts.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.mapping import Mapping
+from .base import AssignmentState, Heuristic, backward_task_order, register_heuristic
+
+__all__ = [
+    "GreedyCompletionHeuristic",
+    "BestPerformanceHeuristic",
+    "FastestMachineHeuristic",
+    "ReliableMachineHeuristic",
+]
+
+
+class GreedyCompletionHeuristic(Heuristic):
+    """Shared single-pass greedy driver for the H4 family."""
+
+    @abc.abstractmethod
+    def criterion(
+        self, instance: ProblemInstance, task: int, machine: int, downstream_demand: float
+    ) -> float:
+        """The task-local cost added to ``accu_u`` when scoring ``machine``."""
+
+    def solve_mapping(
+        self, instance: ProblemInstance, rng: np.random.Generator | None = None
+    ) -> tuple[Mapping, int, dict]:
+        state = AssignmentState(instance, backward_task_order(instance))
+        while not state.is_complete():
+            task = state.next_task()
+            assert task is not None
+            demand = state.downstream_demand(task)
+            eligible = state.eligible_machines(task)
+            # The AssignmentState feasibility guard guarantees eligibility
+            # whenever m >= p, which check_feasible() has already verified.
+            best_machine = min(
+                eligible,
+                key=lambda u: (
+                    float(state.accumulated[u]) + self.criterion(instance, task, u, demand),
+                    u,
+                ),
+            )
+            state.assign(task, best_machine)
+        return state.to_mapping(), 1, {}
+
+
+@register_heuristic
+class BestPerformanceHeuristic(GreedyCompletionHeuristic):
+    """Paper heuristic H4: minimise expected time per finished product."""
+
+    name = "H4"
+
+    def criterion(
+        self, instance: ProblemInstance, task: int, machine: int, downstream_demand: float
+    ) -> float:
+        return (
+            downstream_demand
+            * instance.w(task, machine)
+            * instance.attempts_factor(task, machine)
+        )
+
+
+@register_heuristic
+class FastestMachineHeuristic(GreedyCompletionHeuristic):
+    """Paper heuristic H4w: minimise processing time, ignore failures."""
+
+    name = "H4w"
+
+    def criterion(
+        self, instance: ProblemInstance, task: int, machine: int, downstream_demand: float
+    ) -> float:
+        return downstream_demand * instance.w(task, machine)
+
+
+@register_heuristic
+class ReliableMachineHeuristic(GreedyCompletionHeuristic):
+    """Paper heuristic H4f: minimise failure impact, ignore speed."""
+
+    name = "H4f"
+
+    def criterion(
+        self, instance: ProblemInstance, task: int, machine: int, downstream_demand: float
+    ) -> float:
+        return downstream_demand * instance.attempts_factor(task, machine)

@@ -1,0 +1,71 @@
+"""H1 — random heuristic (Algorithm 1 of the paper).
+
+Tasks are grouped by type at random: when a task's type already owns at
+least one group, the heuristic either opens a new group (if enough free
+machines remain for the types that have not been seen yet) or picks one of
+the existing groups of that type, uniformly at random.  Groups are finally
+assigned to machines by a random one-to-one draw.
+
+H1 is the *baseline* of the experimental section — it produces valid
+specialized mappings but ignores both processing times and failure rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.mapping import Mapping
+from .base import AssignmentState, Heuristic, backward_task_order, register_heuristic
+
+__all__ = ["RandomHeuristic"]
+
+
+@register_heuristic
+class RandomHeuristic(Heuristic):
+    """Paper heuristic H1: random type grouping, random machine choice."""
+
+    name = "H1"
+    randomized = True
+
+    def solve_mapping(
+        self, instance: ProblemInstance, rng: np.random.Generator | None = None
+    ) -> tuple[Mapping, int, dict]:
+        if rng is None:  # pragma: no cover - Heuristic.solve always passes one
+            rng = np.random.default_rng()
+        state = AssignmentState(instance, backward_task_order(instance))
+
+        new_groups_opened = 0
+        while not state.is_complete():
+            task = state.next_task()
+            assert task is not None
+            task_type = instance.type_of(task)
+            existing = [
+                u for u in state.machines_of_type(task_type) if state.is_eligible(task, u)
+            ]
+            free = [
+                u
+                for u in range(instance.num_machines)
+                if u not in state.machine_type and state.is_eligible(task, u)
+            ]
+
+            if not existing:
+                # First task of this type: a new group must be opened.
+                machine = int(rng.choice(free))
+                new_groups_opened += 1
+            elif free and state.num_free_machines() > state.num_pending_types():
+                # The paper opens a new group when spare machines remain;
+                # choose at random between opening one and reusing a group,
+                # matching the "choose a new group" / "choose an existing
+                # group" branches of Algorithm 1.
+                if rng.random() < 0.5:
+                    machine = int(rng.choice(free))
+                    new_groups_opened += 1
+                else:
+                    machine = int(rng.choice(existing))
+            else:
+                machine = int(rng.choice(existing))
+
+            state.assign(task, machine)
+
+        return state.to_mapping(), 1, {"groups_opened": new_groups_opened}

@@ -1,0 +1,102 @@
+"""Event types and the event calendar of the discrete-event engine.
+
+The engine is deliberately small but general: events are ``(time,
+priority, sequence, payload)`` tuples ordered by time (then priority, then
+insertion order for determinism), stored in a binary heap.  The
+micro-factory simulation only needs a couple of event kinds, but the
+engine is reusable for other production-line models.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..exceptions import SimulationError
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(enum.IntEnum):
+    """Kinds of events known to the micro-factory simulation.
+
+    The integer value doubles as the tie-breaking priority: when several
+    events share a timestamp, completions are processed before new
+    arrivals so that a machine frees itself before its next job is drawn.
+    """
+
+    MACHINE_COMPLETION = 0
+    PRODUCT_ARRIVAL = 1
+    SOURCE_FEED = 2
+    CONTROL = 3
+
+
+@dataclass(frozen=True, slots=True, order=False)
+class Event:
+    """A scheduled event.
+
+    Attributes
+    ----------
+    time:
+        Simulation timestamp (same unit as the ``w`` matrix, i.e. ms).
+    kind:
+        Event kind (also the tie-break priority).
+    payload:
+        Arbitrary data interpreted by the handler (task index, machine
+        index, product identifier...).
+    """
+
+    time: float
+    kind: EventKind
+    payload: Any = None
+
+
+class EventQueue:
+    """A deterministic time-ordered event calendar."""
+
+    __slots__ = ("_heap", "_counter", "_size")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def push(self, event: Event) -> None:
+        """Schedule an event.  Times may not be negative."""
+        if event.time < 0:
+            raise SimulationError(f"event time must be non-negative, got {event.time}")
+        heapq.heappush(self._heap, (event.time, int(event.kind), next(self._counter), event))
+        self._size += 1
+
+    def schedule(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        """Convenience wrapper building and pushing an :class:`Event`."""
+        event = Event(time=time, kind=kind, payload=payload)
+        self.push(event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the next event (earliest time, lowest priority)."""
+        if not self._heap:
+            raise SimulationError("cannot pop from an empty event queue")
+        self._size -= 1
+        return heapq.heappop(self._heap)[3]
+
+    def peek_time(self) -> float:
+        """Timestamp of the next event without removing it."""
+        if not self._heap:
+            raise SimulationError("cannot peek into an empty event queue")
+        return self._heap[0][0]
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._size = 0

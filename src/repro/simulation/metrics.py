@@ -1,0 +1,121 @@
+"""Metrics collected by the micro-factory simulation.
+
+The simulator's purpose in this reproduction is to *validate* the analytic
+period model of Section 4.1: running a mapped production line with
+stochastic transient failures must yield, in the long run,
+
+* an empirical expected-product count per task that converges to ``x_i``;
+* a busy time per finished product on each machine that converges to
+  ``period(Mu)``;
+* an output rate that converges to ``1 / max_u period(Mu)``.
+
+:class:`SimulationMetrics` exposes exactly those quantities plus the raw
+counters they are derived from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SimulationMetrics"]
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationMetrics:
+    """Aggregated results of one simulation run.
+
+    All arrays are indexed by task or machine index; time values share the
+    unit of the instance's ``w`` matrix (milliseconds in the paper).
+
+    Attributes
+    ----------
+    finished_products:
+        Number of products that left the system.
+    makespan:
+        Simulation time at which the last finished product was output.
+    raw_products_injected:
+        Raw products fed to each *source* task (zero for non-source tasks).
+    executions:
+        Number of task executions per task (successful or not).
+    successes, losses:
+        Number of successful executions and of lost products per task.
+    machine_busy_time:
+        Total processing time spent by each machine.
+    machine_executions:
+        Number of executions performed by each machine.
+    output_times:
+        Timestamps at which finished products were produced (sorted).
+    """
+
+    finished_products: int
+    makespan: float
+    raw_products_injected: np.ndarray
+    executions: np.ndarray
+    successes: np.ndarray
+    losses: np.ndarray
+    machine_busy_time: np.ndarray
+    machine_executions: np.ndarray
+    output_times: np.ndarray
+
+    # -- derived quantities --------------------------------------------------------
+    @property
+    def empirical_failure_rates(self) -> np.ndarray:
+        """Observed per-task loss ratio (NaN for tasks never executed)."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(self.executions > 0, self.losses / self.executions, np.nan)
+
+    @property
+    def empirical_products_per_output(self) -> np.ndarray:
+        """Observed ``x_i`` estimate: executions per finished product."""
+        if self.finished_products == 0:
+            return np.full_like(self.executions, np.nan, dtype=np.float64)
+        return self.executions / float(self.finished_products)
+
+    @property
+    def empirical_machine_periods(self) -> np.ndarray:
+        """Observed ``period(Mu)`` estimate: busy time per finished product."""
+        if self.finished_products == 0:
+            return np.full_like(self.machine_busy_time, np.nan, dtype=np.float64)
+        return self.machine_busy_time / float(self.finished_products)
+
+    @property
+    def empirical_period(self) -> float:
+        """Observed application period estimate (max machine period)."""
+        periods = self.empirical_machine_periods
+        return float(np.nanmax(periods)) if periods.size else float("nan")
+
+    @property
+    def empirical_throughput(self) -> float:
+        """Observed throughput estimate (finished products per time unit)."""
+        if self.makespan <= 0:
+            return float("nan")
+        return self.finished_products / self.makespan
+
+    @property
+    def steady_state_output_interval(self) -> float:
+        """Mean inter-output time over the second half of the outputs.
+
+        Discarding the first half removes the pipeline fill-up transient;
+        in steady state this converges to the application period.
+        """
+        if self.output_times.size < 4:
+            return float("nan")
+        half = self.output_times.size // 2
+        tail = self.output_times[half:]
+        if tail.size < 2:
+            return float("nan")
+        return float((tail[-1] - tail[0]) / (tail.size - 1))
+
+    def summary(self) -> dict:
+        """Scalar summary convenient for reports and assertions."""
+        return {
+            "finished_products": self.finished_products,
+            "makespan": self.makespan,
+            "empirical_period": self.empirical_period,
+            "empirical_throughput": self.empirical_throughput,
+            "steady_state_output_interval": self.steady_state_output_interval,
+            "total_losses": int(self.losses.sum()),
+            "total_executions": int(self.executions.sum()),
+        }

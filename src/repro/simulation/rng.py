@@ -1,0 +1,83 @@
+"""Reproducible random-number streams for simulations and experiments.
+
+Every stochastic component of the library (instance generation, heuristic
+H1, failure sampling in the simulator) takes a ``numpy.random.Generator``.
+This module centralises how those generators are derived from a single
+experiment seed so that:
+
+* two runs with the same seed produce identical results;
+* independent components (e.g. repetition 7 of figure 5 versus
+  repetition 8) get *independent* streams, obtained by spawning from a
+  ``numpy.random.SeedSequence`` rather than by reusing or offsetting seeds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["RandomStreamFactory", "spawn_generators", "generator_from"]
+
+
+def generator_from(seed: int | np.random.SeedSequence | np.random.Generator | None) -> np.random.Generator:
+    """Coerce a seed / seed sequence / generator / ``None`` into a generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(
+    seed: int | np.random.SeedSequence | None, count: int
+) -> list[np.random.Generator]:
+    """Create ``count`` statistically independent generators from one seed."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    base = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in base.spawn(count)]
+
+
+class RandomStreamFactory:
+    """Named, reproducible sub-streams derived from a single root seed.
+
+    Each distinct ``(label, index)`` pair maps to a deterministic child
+    stream, regardless of the order in which streams are requested.  This
+    lets an experiment ask for, say, the stream of repetition 13 without
+    generating the first twelve.
+
+    Parameters
+    ----------
+    seed:
+        Root seed of the experiment (``None`` = non-reproducible).
+    """
+
+    __slots__ = ("_root",)
+
+    def __init__(self, seed: int | np.random.SeedSequence | None = None):
+        self._root = (
+            seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+        )
+
+    @property
+    def root_entropy(self) -> int | None:
+        """The root entropy (useful for logging the effective seed)."""
+        entropy = self._root.entropy
+        if isinstance(entropy, (list, tuple)):
+            return int(entropy[0]) if entropy else None
+        return int(entropy) if entropy is not None else None
+
+    def stream(self, label: str, index: int = 0) -> np.random.Generator:
+        """Deterministic generator for the given ``(label, index)`` pair."""
+        # Hash the label into a stable integer key; SeedSequence accepts a
+        # spawn_key-like tuple through its `spawn_key` argument indirectly
+        # via constructing a child sequence with extra entropy words.
+        label_key = abs(hash(label)) % (2**32)
+        child = np.random.SeedSequence(
+            entropy=self._root.entropy, spawn_key=(label_key, int(index))
+        )
+        return np.random.default_rng(child)
+
+    def streams(self, label: str, count: int) -> Iterator[np.random.Generator]:
+        """Iterator over ``count`` streams ``(label, 0..count-1)``."""
+        for index in range(count):
+            yield self.stream(label, index)

@@ -1,0 +1,93 @@
+"""Optional event tracing for the micro-factory simulation.
+
+A :class:`SimulationTrace` records the interesting transitions of a run
+(executions started / finished, products lost, products output) so that
+tests and examples can inspect the exact sequence of events.  Tracing is
+off by default because traces grow linearly with the number of executions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["TraceEventType", "TraceRecord", "SimulationTrace"]
+
+
+class TraceEventType(enum.Enum):
+    """Kinds of trace records."""
+
+    RAW_INJECTED = "raw-injected"
+    EXECUTION_STARTED = "execution-started"
+    EXECUTION_SUCCEEDED = "execution-succeeded"
+    PRODUCT_LOST = "product-lost"
+    PRODUCT_OUTPUT = "product-output"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes
+    ----------
+    time:
+        Simulation timestamp.
+    event:
+        What happened.
+    task:
+        Task index involved (-1 when not applicable).
+    machine:
+        Machine index involved (-1 when not applicable).
+    product:
+        Product identifier involved (-1 when not applicable).
+    """
+
+    time: float
+    event: TraceEventType
+    task: int = -1
+    machine: int = -1
+    product: int = -1
+
+
+class SimulationTrace:
+    """An append-only list of :class:`TraceRecord` with simple queries."""
+
+    __slots__ = ("_records", "max_records")
+
+    def __init__(self, max_records: int | None = None):
+        self._records: list[TraceRecord] = []
+        self.max_records = max_records
+
+    def record(
+        self,
+        time: float,
+        event: TraceEventType,
+        *,
+        task: int = -1,
+        machine: int = -1,
+        product: int = -1,
+    ) -> None:
+        """Append a record unless the trace is full."""
+        if self.max_records is not None and len(self._records) >= self.max_records:
+            return
+        self._records.append(
+            TraceRecord(time=time, event=event, task=task, machine=machine, product=product)
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    def filter(self, event: TraceEventType) -> list[TraceRecord]:
+        """All records of a given type, in chronological order."""
+        return [r for r in self._records if r.event is event]
+
+    def count(self, event: TraceEventType) -> int:
+        """Number of records of a given type."""
+        return sum(1 for r in self._records if r.event is event)

@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Application,
+    FailureModel,
+    Platform,
+    ProblemInstance,
+    TypeAssignment,
+    linear_chain,
+)
+from repro.generators import (
+    random_chain_application,
+    random_failure_rates,
+    random_processing_times,
+)
+from tests.helpers import make_random_instance as _make_random_instance
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def chain4() -> Application:
+    """A 4-task linear chain with 2 types: types [0, 1, 0, 1]."""
+    return Application.chain(TypeAssignment([0, 1, 0, 1]))
+
+
+@pytest.fixture
+def small_instance(chain4: Application) -> ProblemInstance:
+    """A tiny deterministic instance: 4 tasks, 2 types, 3 machines.
+
+    Processing times depend only on the type (type 0 rows equal, type 1
+    rows equal); failure rates are small and distinct per couple.
+    """
+    w = np.array(
+        [
+            [100.0, 200.0, 300.0],
+            [400.0, 150.0, 250.0],
+            [100.0, 200.0, 300.0],
+            [400.0, 150.0, 250.0],
+        ]
+    )
+    f = np.array(
+        [
+            [0.01, 0.02, 0.03],
+            [0.02, 0.01, 0.04],
+            [0.03, 0.02, 0.01],
+            [0.01, 0.03, 0.02],
+        ]
+    )
+    return ProblemInstance(chain4, Platform(w, types=chain4.types), FailureModel(f))
+
+
+@pytest.fixture
+def failure_free_instance(chain4: Application) -> ProblemInstance:
+    """Same structure as ``small_instance`` but with no failures at all."""
+    w = np.array(
+        [
+            [100.0, 200.0, 300.0],
+            [400.0, 150.0, 250.0],
+            [100.0, 200.0, 300.0],
+            [400.0, 150.0, 250.0],
+        ]
+    )
+    return ProblemInstance(
+        chain4, Platform(w, types=chain4.types), FailureModel.failure_free(4, 3)
+    )
+
+
+@pytest.fixture
+def random_instance_factory():
+    """Factory fixture returning :func:`tests.helpers.make_random_instance`."""
+    return _make_random_instance

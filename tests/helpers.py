@@ -1,0 +1,39 @@
+"""Shared helpers importable from any test module (``from tests.helpers import ...``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import FailureModel, Platform, ProblemInstance
+from repro.generators import (
+    random_chain_application,
+    random_failure_rates,
+    random_processing_times,
+)
+
+__all__ = ["make_random_instance"]
+
+
+def make_random_instance(
+    num_tasks: int,
+    num_types: int,
+    num_machines: int,
+    seed: int = 0,
+    *,
+    f_low: float = 0.005,
+    f_high: float = 0.02,
+    task_dependent: bool = False,
+) -> ProblemInstance:
+    """Build a random paper-style linear-chain instance."""
+    generator = np.random.default_rng(seed)
+    app = random_chain_application(num_tasks, num_types, generator)
+    w = random_processing_times(app.types, num_machines, generator)
+    f = random_failure_rates(
+        num_tasks,
+        num_machines,
+        generator,
+        low=f_low,
+        high=f_high,
+        task_dependent=task_dependent,
+    )
+    return ProblemInstance(app, Platform(w, types=app.types), FailureModel(f))

@@ -1,0 +1,84 @@
+"""Integration tests: the stochastic simulator validates the analytic model.
+
+Section 4.1 defines the period analytically; the discrete-event simulator
+executes the mapped line with sampled transient failures.  For long enough
+runs the two must agree:
+
+* the saturating-feed empirical period converges to the analytic period;
+* the batch-feed executions-per-output converge to the analytic ``x_i``;
+* the observed per-couple loss ratios converge to ``f[i, u]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate
+from repro.heuristics import get_heuristic
+from repro.simulation import MicroFactorySimulation, simulate_mapping
+from tests.helpers import make_random_instance
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_saturated_simulation_matches_analytic_period(seed):
+    inst = make_random_instance(10, 3, 5, seed=seed, f_low=0.01, f_high=0.05)
+    mapping = get_heuristic("H4w").solve(inst).mapping
+    analytic = evaluate(inst, mapping).period
+    metrics = simulate_mapping(
+        inst, mapping, 400, rng=np.random.default_rng(1000 + seed), max_events=2_000_000
+    )
+    assert metrics.finished_products == 400
+    assert metrics.empirical_period == pytest.approx(analytic, rel=0.08)
+    assert metrics.steady_state_output_interval == pytest.approx(analytic, rel=0.08)
+
+
+def test_batch_simulation_matches_expected_products():
+    inst = make_random_instance(6, 2, 3, seed=7, f_low=0.05, f_high=0.15)
+    mapping = get_heuristic("H4").solve(inst).mapping
+    x = np.asarray(evaluate(inst, mapping).expected_products)
+    sim = MicroFactorySimulation(inst, mapping, np.random.default_rng(11))
+    metrics = sim.run_batch(6000, max_events=3_000_000)
+    assert metrics.finished_products > 0
+    observed = metrics.empirical_products_per_output
+    # Downstream tasks see plenty of samples; compare them all within 6%.
+    assert np.allclose(observed, x, rtol=0.06)
+
+
+def test_observed_failure_rates_match_the_model():
+    inst = make_random_instance(5, 2, 3, seed=9, f_low=0.05, f_high=0.20)
+    mapping = get_heuristic("H4w").solve(inst).mapping
+    metrics = simulate_mapping(
+        inst, mapping, 800, rng=np.random.default_rng(3), max_events=3_000_000
+    )
+    f = inst.failure_rates
+    for task in range(inst.num_tasks):
+        machine = mapping[task]
+        if metrics.executions[task] >= 500:
+            assert metrics.empirical_failure_rates[task] == pytest.approx(
+                f[task, machine], abs=0.04
+            )
+
+
+def test_better_mapping_yields_better_simulated_throughput():
+    inst = make_random_instance(12, 3, 6, seed=13, f_low=0.01, f_high=0.05)
+    good = get_heuristic("H4w").solve(inst)
+    bad = get_heuristic("H1").solve(inst, np.random.default_rng(5))
+    # Only meaningful when the analytic gap is clear.
+    if bad.period < good.period * 1.3:
+        pytest.skip("random mapping happened to be competitive on this draw")
+    good_sim = simulate_mapping(inst, good.mapping, 300, rng=np.random.default_rng(1))
+    bad_sim = simulate_mapping(inst, bad.mapping, 300, rng=np.random.default_rng(1))
+    assert good_sim.empirical_period < bad_sim.empirical_period
+
+
+def test_failure_free_simulation_is_exactly_deterministic():
+    inst = make_random_instance(8, 2, 4, seed=21, f_low=0.0, f_high=0.0)
+    mapping = get_heuristic("H4w").solve(inst).mapping
+    analytic = evaluate(inst, mapping).period
+    metrics = simulate_mapping(inst, mapping, 200, rng=np.random.default_rng(0))
+    assert metrics.losses.sum() == 0
+    # Without failures the busy time per output of the critical machine equals
+    # the analytic period exactly once the pipeline is full (2% tolerance for
+    # the warm-up products).
+    assert metrics.empirical_period == pytest.approx(analytic, rel=0.02)

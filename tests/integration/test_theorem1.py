@@ -1,0 +1,159 @@
+"""Integration tests for the complexity results of Section 5.
+
+Theorem 1 (one-to-one, linear chain, homogeneous machines is polynomial)
+is validated by checking the Hungarian-based solver against exhaustive
+search, and the structural claims used in its proof are checked on random
+instances.  The 3-PARTITION reduction of Theorem 2 is exercised by building
+the instance family used in the proof and verifying the correspondence
+between partitions and mapping periods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Application,
+    FailureModel,
+    Mapping,
+    Platform,
+    ProblemInstance,
+    TypeAssignment,
+    evaluate,
+    linear_chain,
+)
+from repro.exact import bruteforce_optimal, optimal_one_to_one_homogeneous
+from tests.helpers import make_random_instance
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_hungarian_equals_bruteforce_on_random_homogeneous_chains(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = 5, 6
+        app = linear_chain(n, num_types=n)
+        inst = ProblemInstance(
+            app,
+            Platform.homogeneous(n, m, float(rng.integers(50, 500))),
+            FailureModel(rng.uniform(0.0, 0.4, size=(n, m))),
+        )
+        exact = optimal_one_to_one_homogeneous(inst)
+        brute = bruteforce_optimal(inst, "one-to-one")
+        assert exact.period == pytest.approx(brute.period, rel=1e-9)
+
+    def test_first_task_is_the_bottleneck(self):
+        # In the proof, x_1 = max_i x_i, so the machine of T1 is critical.
+        rng = np.random.default_rng(3)
+        n, m = 6, 8
+        app = linear_chain(n, num_types=n)
+        inst = ProblemInstance(
+            app,
+            Platform.homogeneous(n, m, 100.0),
+            FailureModel(rng.uniform(0.01, 0.3, size=(n, m))),
+        )
+        result = optimal_one_to_one_homogeneous(inst)
+        evaluation = evaluate(inst, result.mapping)
+        machine_of_first_task = result.mapping[0]
+        assert machine_of_first_task in evaluation.critical_machines
+
+    def test_minimising_log_sum_equals_minimising_period(self):
+        # The Hungarian cost is sum(-log(1-f)); check that the produced
+        # mapping indeed minimises the product of F factors among a sample
+        # of random one-to-one mappings.
+        rng = np.random.default_rng(4)
+        n, m = 5, 7
+        app = linear_chain(n, num_types=n)
+        f = rng.uniform(0.0, 0.4, size=(n, m))
+        inst = ProblemInstance(app, Platform.homogeneous(n, m, 100.0), FailureModel(f))
+        optimal = optimal_one_to_one_homogeneous(inst)
+        opt_product = np.prod(
+            [1.0 / (1.0 - f[i, optimal.mapping[i]]) for i in range(n)]
+        )
+        for _ in range(50):
+            columns = rng.permutation(m)[:n]
+            random_product = np.prod([1.0 / (1.0 - f[i, columns[i]]) for i in range(n)])
+            assert opt_product <= random_product + 1e-9
+
+
+class TestTheorem2Construction:
+    """Exercise the 3-PARTITION gadget used in the NP-hardness proof."""
+
+    def _build_gadget(self, triplets: list[list[int]], Z: int):
+        """Build the Theorem-2 instance for a YES 3-PARTITION instance.
+
+        ``triplets`` is a partition of the integers into groups of three
+        summing to ``Z`` each; machine u (one per integer) has failure rate
+        ``(2^z - 1) / 2^z``; one extra reliable machine hosts the shared
+        final task.
+        """
+        integers = [z for group in triplets for z in group]
+        chains = len(triplets)
+        # Application: `chains` branches of 3 tasks joining into T_final.
+        from repro.core import in_tree
+
+        app = in_tree([3] * chains, num_types=1, shared_tail_length=1)
+        n = app.num_tasks
+        m = len(integers) + 1
+        f = np.zeros((n, m))
+        for u, z in enumerate(integers):
+            f[:, u] = (2.0**z - 1.0) / (2.0**z)
+        # Last machine is perfectly reliable.
+        f[:, m - 1] = 0.0
+        platform = Platform.homogeneous(n, m, 1.0)
+        inst = ProblemInstance(app, platform, FailureModel(f))
+        return app, inst, integers
+
+    def test_partition_solution_reaches_period_2_pow_z(self):
+        triplets = [[1, 2, 3], [2, 2, 2]]  # each sums to Z = 6
+        Z = 6
+        app, inst, integers = self._build_gadget(triplets, Z)
+        # Build the mapping of the proof: branch i's three tasks go to the
+        # machines of triplet i, the shared final task to the reliable machine.
+        assignment = np.empty(inst.num_tasks, dtype=np.int64)
+        machine_index = 0
+        task_index = 0
+        for group in triplets:
+            for _ in group:
+                assignment[task_index] = machine_index
+                task_index += 1
+                machine_index += 1
+        assignment[task_index] = inst.num_machines - 1  # final task, reliable machine
+        mapping = Mapping(assignment, inst.num_machines)
+        result = evaluate(inst, mapping)
+        # Every branch head has x = prod 2^z = 2^Z and w = 1.
+        assert result.period == pytest.approx(2.0**Z, rel=1e-9)
+
+    def test_unbalanced_partition_is_strictly_worse(self):
+        triplets = [[1, 2, 3], [2, 2, 2]]
+        Z = 6
+        app, inst, integers = self._build_gadget(triplets, Z)
+        # Swap two integers across the groups to unbalance them (sums 5 and 7).
+        unbalanced = [[1, 2, 2], [3, 2, 2]]
+        assignment = np.empty(inst.num_tasks, dtype=np.int64)
+        machine_of_integer = {i: u for u, i in enumerate(integers)}
+        # Assign greedily: group g's tasks to machines holding its integers.
+        used = set()
+        task_index = 0
+        for group in unbalanced:
+            for z in group:
+                candidates = [
+                    u for u, zz in enumerate(integers) if zz == z and u not in used
+                ]
+                machine = candidates[0]
+                used.add(machine)
+                assignment[task_index] = machine
+                task_index += 1
+        assignment[task_index] = inst.num_machines - 1
+        result = evaluate(inst, Mapping(assignment, inst.num_machines))
+        assert result.period > 2.0**Z * (1.0 + 1e-9)
+
+
+class TestSpecializedHardnessIntuition:
+    def test_grouping_constraint_costs_throughput(self):
+        # The specialized optimum can be strictly worse than the general
+        # optimum on the same instance — the restriction is real.
+        inst = make_random_instance(6, 2, 3, seed=17, f_low=0.05, f_high=0.15)
+        specialized = bruteforce_optimal(inst, "specialized").period
+        general = bruteforce_optimal(inst, "general").period
+        assert general <= specialized + 1e-9

@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) on the core model invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Application,
+    FailureModel,
+    Mapping,
+    Platform,
+    ProblemInstance,
+    TypeAssignment,
+    evaluate,
+    expected_products,
+    machine_periods,
+    period,
+    required_inputs,
+    throughput,
+)
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def chain_instances(draw, max_tasks: int = 8, max_machines: int = 6):
+    """A random linear-chain ProblemInstance with small dimensions."""
+    n = draw(st.integers(min_value=1, max_value=max_tasks))
+    m = draw(st.integers(min_value=1, max_value=max_machines))
+    p = draw(st.integers(min_value=1, max_value=n))
+    types = [draw(st.integers(min_value=0, max_value=p - 1)) for _ in range(n)]
+    # Guarantee type indices are dense enough to define p properly.
+    types[: min(p, n)] = list(range(min(p, n)))
+    app = Application.chain(TypeAssignment(types, num_types=p))
+    per_type_w = draw(
+        st.lists(
+            st.lists(
+                st.floats(min_value=1.0, max_value=1000.0, allow_nan=False),
+                min_size=m,
+                max_size=m,
+            ),
+            min_size=p,
+            max_size=p,
+        )
+    )
+    w = np.asarray(per_type_w)[np.asarray(types), :]
+    f = np.asarray(
+        draw(
+            st.lists(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+                    min_size=m,
+                    max_size=m,
+                ),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    instance = ProblemInstance(app, Platform(w), FailureModel(f))
+    return instance
+
+
+@st.composite
+def instance_and_mapping(draw):
+    """A chain instance plus a uniformly random (general) mapping."""
+    instance = draw(chain_instances())
+    assignment = [
+        draw(st.integers(min_value=0, max_value=instance.num_machines - 1))
+        for _ in range(instance.num_tasks)
+    ]
+    return instance, Mapping(assignment, instance.num_machines)
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+
+class TestPeriodProperties:
+    @given(instance_and_mapping())
+    @settings(max_examples=60, deadline=None)
+    def test_expected_products_at_least_one(self, data):
+        instance, mapping = data
+        x = expected_products(instance, mapping)
+        assert np.all(x >= 1.0 - 1e-12)
+
+    @given(instance_and_mapping())
+    @settings(max_examples=60, deadline=None)
+    def test_x_non_decreasing_towards_the_source(self, data):
+        # Along a chain, x_i = F * x_{i+1} with F >= 1.
+        instance, mapping = data
+        x = expected_products(instance, mapping)
+        for i in range(instance.num_tasks - 1):
+            assert x[i] >= x[i + 1] - 1e-9
+
+    @given(instance_and_mapping())
+    @settings(max_examples=60, deadline=None)
+    def test_period_is_max_of_machine_periods(self, data):
+        instance, mapping = data
+        periods = machine_periods(instance, mapping)
+        assert period(instance, mapping) == pytest.approx(periods.max())
+        assert np.all(periods >= 0.0)
+
+    @given(instance_and_mapping())
+    @settings(max_examples=60, deadline=None)
+    def test_period_positive_and_throughput_inverse(self, data):
+        instance, mapping = data
+        p = period(instance, mapping)
+        assert p > 0.0
+        assert throughput(instance, mapping) == pytest.approx(1.0 / p)
+
+    @given(instance_and_mapping())
+    @settings(max_examples=60, deadline=None)
+    def test_evaluation_consistent_with_individual_functions(self, data):
+        instance, mapping = data
+        result = evaluate(instance, mapping)
+        assert result.period == pytest.approx(period(instance, mapping))
+        assert list(result.expected_products) == pytest.approx(
+            list(expected_products(instance, mapping))
+        )
+        assert max(result.machine_periods) == pytest.approx(result.period)
+
+    @given(instance_and_mapping())
+    @settings(max_examples=40, deadline=None)
+    def test_period_lower_bounded_by_any_single_assigned_task(self, data):
+        # Each machine period is at least the contribution of any one of its
+        # tasks, so the global period is at least max_i x_i * w[i, a(i)] / n.
+        instance, mapping = data
+        x = expected_products(instance, mapping)
+        contributions = [
+            x[i] * instance.w(i, mapping[i]) for i in range(instance.num_tasks)
+        ]
+        assert period(instance, mapping) >= max(contributions) - 1e-9
+
+    @given(instance_and_mapping(), st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_required_inputs_scale_linearly(self, data, target):
+        instance, mapping = data
+        one = required_inputs(instance, mapping, 1.0)
+        scaled = required_inputs(instance, mapping, target)
+        for source, value in scaled.items():
+            assert value == pytest.approx(one[source] * target)
+
+    @given(instance_and_mapping())
+    @settings(max_examples=40, deadline=None)
+    def test_removing_failures_never_increases_period(self, data):
+        instance, mapping = data
+        failure_free = ProblemInstance(
+            instance.application,
+            instance.platform,
+            FailureModel.failure_free(instance.num_tasks, instance.num_machines),
+        )
+        assert period(failure_free, mapping) <= period(instance, mapping) + 1e-9
+
+
+class TestMappingProperties:
+    @given(instance_and_mapping())
+    @settings(max_examples=60, deadline=None)
+    def test_rule_classification_consistent(self, data):
+        instance, mapping = data
+        types = list(instance.application.types)
+        rule = mapping.rule(types)
+        if mapping.satisfies_one_to_one():
+            assert rule.value == "one-to-one"
+        if rule.value == "one-to-one":
+            assert mapping.satisfies_specialized(types)
+
+    @given(instance_and_mapping())
+    @settings(max_examples=60, deadline=None)
+    def test_machine_loads_partition_tasks(self, data):
+        _, mapping = data
+        loads = mapping.machine_loads()
+        all_tasks = sorted(task for tasks in loads.values() for task in tasks)
+        assert all_tasks == list(range(mapping.num_tasks))
+
+    @given(instance_and_mapping())
+    @settings(max_examples=60, deadline=None)
+    def test_serialization_round_trip(self, data):
+        instance, mapping = data
+        assert Mapping.from_dict(mapping.to_dict()) == mapping
+        clone = ProblemInstance.from_dict(instance.to_dict())
+        assert clone.num_tasks == instance.num_tasks
+        assert period(clone, mapping) == pytest.approx(period(instance, mapping))

@@ -1,0 +1,174 @@
+"""Unit tests for repro.analysis (stats, normalisation, tables)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    NormalizationReport,
+    Series,
+    format_table,
+    normalize_series,
+    overall_factor,
+    paired_ratio,
+    series_table,
+    series_to_csv,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        assert s.ci_low < 2.5 < s.ci_high
+
+    def test_single_sample(self):
+        s = summarize([5.0])
+        assert s.count == 1
+        assert s.mean == 5.0
+        assert s.ci_low == s.ci_high == 5.0
+
+    def test_ignores_non_finite(self):
+        s = summarize([1.0, float("nan"), float("inf"), 3.0])
+        assert s.count == 2
+        assert s.mean == pytest.approx(2.0)
+
+    def test_empty(self):
+        s = summarize([])
+        assert s.count == 0
+        assert math.isnan(s.mean)
+
+    def test_as_dict(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert set(d) == {"count", "mean", "std", "min", "max", "ci_low", "ci_high"}
+
+
+class TestPairedRatio:
+    def test_mean_of_ratios(self):
+        s = paired_ratio([2.0, 6.0], [1.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+
+    def test_skips_invalid_pairs(self):
+        s = paired_ratio([2.0, 6.0, 4.0], [1.0, float("nan"), 0.0])
+        assert s.count == 1
+        assert s.mean == pytest.approx(2.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_ratio([1.0], [1.0, 2.0])
+
+
+class TestSeries:
+    def test_add_and_point(self):
+        s = Series("H4w")
+        s.add(10, 100.0)
+        s.add(10, 120.0)
+        s.add(20, 300.0)
+        assert s.x_values == [10, 20]
+        assert s.point(10).mean == pytest.approx(110.0)
+        assert s.point(20).count == 1
+        assert s.means() == [pytest.approx(110.0), pytest.approx(300.0)]
+
+    def test_extend(self):
+        s = Series("H2")
+        s.extend(5, [1.0, 2.0, 3.0])
+        assert s.point(5).count == 3
+
+    def test_as_rows(self):
+        s = Series("H2")
+        s.add(5, 2.0)
+        rows = s.as_rows()
+        assert rows[0]["x"] == 5
+        assert rows[0]["label"] == "H2"
+        assert rows[0]["mean"] == 2.0
+
+    def test_missing_point_is_empty_summary(self):
+        assert Series("x").point(99).count == 0
+
+
+class TestNormalization:
+    def _series(self) -> tuple[Series, Series]:
+        heuristic = Series("H4w")
+        reference = Series("MIP")
+        for x in (5, 10):
+            for rep in range(3):
+                base = 100.0 * (1 + rep)
+                reference.add(x, base)
+                heuristic.add(x, base * 1.5)
+        return heuristic, reference
+
+    def test_normalize_series_ratio(self):
+        heuristic, reference = self._series()
+        normalized = normalize_series(heuristic, reference)
+        assert normalized.label == "H4w/MIP"
+        for x in (5, 10):
+            assert normalized.point(x).mean == pytest.approx(1.5)
+
+    def test_normalize_skips_nan_reference(self):
+        heuristic, reference = self._series()
+        reference.add(15, float("nan"))
+        heuristic.add(15, 100.0)
+        normalized = normalize_series(heuristic, reference)
+        assert normalized.point(15).count == 0
+
+    def test_overall_factor(self):
+        heuristic, reference = self._series()
+        assert overall_factor(heuristic, reference).mean == pytest.approx(1.5)
+
+    def test_normalization_report(self):
+        heuristic, reference = self._series()
+        other = Series("H1")
+        for x in (5, 10):
+            for rep in range(3):
+                other.add(x, 100.0 * (1 + rep) * 2.5)
+        report = NormalizationReport.from_series(
+            {"H4w": heuristic, "H1": other, "MIP": reference}, "MIP"
+        )
+        assert report.factor("H4w") == pytest.approx(1.5)
+        assert report.factor("H1") == pytest.approx(2.5)
+        rows = report.as_rows()
+        assert rows[0]["label"] == "H4w"  # sorted by increasing factor
+        assert rows[-1]["label"] == "H1"
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "bb" in lines[0]
+        assert "-" in lines[1]
+        assert "30" in lines[3]
+
+    def test_series_table_contains_all_labels(self):
+        s1, s2 = Series("H2"), Series("H4w")
+        s1.add(10, 100.0)
+        s2.add(10, 90.0)
+        s2.add(20, 95.0)
+        text = series_table({"H2": s1, "H4w": s2}, x_name="n")
+        assert "H2" in text and "H4w" in text
+        assert "nan" in text  # H2 has no value at n=20
+
+    def test_series_to_csv_structure(self):
+        s = Series("H2")
+        s.add(10, 100.0)
+        s.add(20, 200.0)
+        csv_text = series_to_csv({"H2": s}, x_name="n")
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("n,H2_mean")
+        assert len(lines) == 3
+        assert lines[1].split(",")[0] == "10"
+
+    def test_series_to_csv_without_spread(self):
+        s = Series("H2")
+        s.add(10, 100.0)
+        csv_text = series_to_csv({"H2": s}, include_spread=False)
+        assert csv_text.splitlines()[0] == "n,H2_mean"

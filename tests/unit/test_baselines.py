@@ -1,0 +1,69 @@
+"""Unit tests for the extra baseline heuristics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate
+from repro.heuristics import get_heuristic
+from repro.heuristics.baselines import (
+    GreedyLoadBalanceHeuristic,
+    RoundRobinHeuristic,
+    UniformRandomSpecialized,
+)
+from tests.helpers import make_random_instance
+
+
+class TestUniformRandomSpecialized:
+    def test_valid_specialized_mapping(self):
+        inst = make_random_instance(20, 4, 8, seed=0)
+        result = UniformRandomSpecialized().solve(inst, np.random.default_rng(1))
+        result.mapping.validate(inst, "specialized")
+
+    def test_registered(self):
+        assert get_heuristic("RandomUniform").name == "RandomUniform"
+
+    def test_reproducible(self):
+        inst = make_random_instance(15, 3, 6, seed=1)
+        a = UniformRandomSpecialized().solve(inst, np.random.default_rng(5))
+        b = UniformRandomSpecialized().solve(inst, np.random.default_rng(5))
+        assert list(a.mapping) == list(b.mapping)
+
+
+class TestRoundRobin:
+    def test_valid_and_deterministic(self):
+        inst = make_random_instance(20, 4, 8, seed=2)
+        a = RoundRobinHeuristic().solve(inst)
+        b = RoundRobinHeuristic().solve(inst)
+        a.mapping.validate(inst, "specialized")
+        assert list(a.mapping) == list(b.mapping)
+
+    def test_spreads_tasks_of_one_type(self):
+        # 8 tasks of a single type over 4 machines: round robin gives 2 each.
+        inst = make_random_instance(8, 1, 4, seed=3)
+        result = RoundRobinHeuristic().solve(inst)
+        loads = result.mapping.machine_loads()
+        assert sorted(len(v) for v in loads.values()) == [2, 2, 2, 2]
+
+
+class TestGreedyForwardAblation:
+    def test_valid_specialized_mapping(self):
+        inst = make_random_instance(20, 4, 8, seed=4)
+        result = GreedyLoadBalanceHeuristic().solve(inst)
+        result.mapping.validate(inst, "specialized")
+
+    def test_backward_h4_not_worse_on_average(self):
+        # The paper's backward traversal should be at least as good as the
+        # forward variant on average (this is the ablation's point).
+        forward_periods, backward_periods = [], []
+        for seed in range(6):
+            inst = make_random_instance(30, 4, 8, seed=50 + seed)
+            forward_periods.append(GreedyLoadBalanceHeuristic().solve(inst).period)
+            backward_periods.append(get_heuristic("H4").solve(inst).period)
+        assert np.mean(backward_periods) <= np.mean(forward_periods) * 1.10
+
+    def test_evaluation_consistency(self):
+        inst = make_random_instance(12, 3, 5, seed=6)
+        result = GreedyLoadBalanceHeuristic().solve(inst)
+        assert result.period == pytest.approx(evaluate(inst, result.mapping).period)

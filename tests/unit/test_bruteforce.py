@@ -1,0 +1,72 @@
+"""Unit tests for the exhaustive oracle (repro.exact.bruteforce)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FailureModel, Mapping, MappingRule, Platform, ProblemInstance, evaluate
+from repro.core.application import Application
+from repro.core.types import TypeAssignment
+from repro.exact.bruteforce import bruteforce_optimal
+from repro.exceptions import InfeasibleProblemError, SolverError
+from tests.helpers import make_random_instance
+
+
+class TestBruteForce:
+    def test_specialized_optimum_on_tiny_instance(self, small_instance):
+        result = bruteforce_optimal(small_instance, "specialized")
+        result.mapping.validate(small_instance, "specialized")
+        # No specialized mapping can beat the reported optimum.
+        assert result.explored > 0
+        assert result.period == pytest.approx(evaluate(small_instance, result.mapping).period)
+
+    def test_general_at_least_as_good_as_specialized(self, small_instance):
+        specialized = bruteforce_optimal(small_instance, "specialized")
+        general = bruteforce_optimal(small_instance, "general")
+        assert general.period <= specialized.period + 1e-9
+
+    def test_one_to_one_explores_injective_mappings_only(self):
+        inst = make_random_instance(3, 3, 4, seed=0)
+        result = bruteforce_optimal(inst, MappingRule.ONE_TO_ONE)
+        result.mapping.validate(inst, "one-to-one")
+        # 4 * 3 * 2 injective mappings of 3 tasks onto 4 machines.
+        assert result.explored == 24
+
+    def test_specialized_explored_counts_only_valid_mappings(self):
+        # 2 tasks of different types on 2 machines: the 2 mappings putting
+        # both tasks on one machine are invalid, leaving 2 valid ones.
+        app = Application.chain(TypeAssignment([0, 1]))
+        inst = ProblemInstance(
+            app, Platform.homogeneous(2, 2, 10.0), FailureModel.failure_free(2, 2)
+        )
+        result = bruteforce_optimal(inst, "specialized")
+        assert result.explored == 2
+
+    def test_infeasible_one_to_one(self):
+        inst = make_random_instance(5, 2, 3, seed=1)
+        with pytest.raises(InfeasibleProblemError):
+            bruteforce_optimal(inst, "one-to-one")
+
+    def test_infeasible_specialized(self):
+        app = Application.chain(TypeAssignment([0, 1, 2]))
+        inst = ProblemInstance(
+            app, Platform.homogeneous(3, 2, 10.0), FailureModel.failure_free(3, 2)
+        )
+        with pytest.raises(InfeasibleProblemError):
+            bruteforce_optimal(inst, "specialized")
+
+    def test_search_space_limit(self):
+        inst = make_random_instance(12, 3, 8, seed=2)
+        with pytest.raises(SolverError, match="enumeration limit"):
+            bruteforce_optimal(inst, "general", limit=1000)
+
+    def test_optimum_dominates_every_heuristic(self, small_instance):
+        from repro.heuristics import PAPER_HEURISTICS, get_heuristic
+        import numpy as np
+
+        optimum = bruteforce_optimal(small_instance, "specialized").period
+        for name in PAPER_HEURISTICS:
+            heuristic_period = (
+                get_heuristic(name).solve(small_instance, np.random.default_rng(0)).period
+            )
+            assert heuristic_period >= optimum - 1e-9

@@ -1,0 +1,116 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_run_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+
+class TestListCommand:
+    def test_lists_every_figure(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for fig in ("fig5", "fig9", "fig12"):
+            assert fig in output
+
+
+class TestSolveCommand:
+    def test_solve_prints_all_heuristics(self, capsys):
+        code = main(["solve", "--tasks", "6", "--types", "2", "--machines", "3", "--seed", "1"])
+        assert code == 0
+        output = capsys.readouterr().out
+        for name in ("H1", "H2", "H3", "H4", "H4w", "H4f"):
+            assert name in output
+        assert "period(ms)" in output
+
+    def test_solve_with_milp(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--tasks",
+                "5",
+                "--types",
+                "2",
+                "--machines",
+                "3",
+                "--seed",
+                "2",
+                "--milp",
+            ]
+        )
+        assert code == 0
+        assert "MIP" in capsys.readouterr().out
+
+    def test_solve_high_failures(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--tasks",
+                "6",
+                "--types",
+                "2",
+                "--machines",
+                "4",
+                "--seed",
+                "3",
+                "--high-failures",
+            ]
+        )
+        assert code == 0
+
+
+class TestRunCommand:
+    def test_run_figure_table(self, capsys):
+        code = main(
+            [
+                "run",
+                "fig6",
+                "--repetitions",
+                "1",
+                "--max-points",
+                "2",
+                "--seed",
+                "0",
+                "--no-milp",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "== fig6 ==" in output
+        assert "H4w" in output
+
+    def test_run_figure_csv(self, capsys):
+        code = main(
+            [
+                "run",
+                "fig6",
+                "--repetitions",
+                "1",
+                "--max-points",
+                "2",
+                "--seed",
+                "0",
+                "--no-milp",
+                "--csv",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert output.startswith("n,")
+        assert "H2_mean" in output

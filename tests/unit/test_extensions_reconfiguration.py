@@ -1,0 +1,142 @@
+"""Unit tests for the reconfiguration-cost extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Application, FailureModel, Mapping, Platform, ProblemInstance, TypeAssignment, period
+from repro.exceptions import ReproError
+from repro.extensions import (
+    ReconfigurationAwareHeuristic,
+    ReconfigurationModel,
+    machine_periods_with_reconfiguration,
+    period_with_reconfiguration,
+    specialization_break_even,
+)
+from repro.heuristics import get_heuristic
+from tests.helpers import make_random_instance
+
+
+class TestReconfigurationModel:
+    def test_switch_counts_cycle_policy(self):
+        model = ReconfigurationModel(setup_time=50.0, policy="cycle")
+        assert model.switches(1) == 0
+        assert model.switches(2) == 2
+        assert model.switches(3) == 3
+
+    def test_switch_counts_amortized_policy(self):
+        model = ReconfigurationModel(setup_time=50.0, policy="amortized")
+        assert model.switches(1) == 0
+        assert model.switches(2) == 1
+        assert model.switches(4) == 3
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ReconfigurationModel(setup_time=-1.0)
+        with pytest.raises(ReproError):
+            ReconfigurationModel(setup_time=1.0, policy="bogus")
+
+
+class TestPeriodWithReconfiguration:
+    def test_specialized_mapping_pays_nothing(self, small_instance):
+        mapping = Mapping([0, 1, 0, 1], 3)  # one type per machine
+        model = ReconfigurationModel(setup_time=500.0)
+        assert period_with_reconfiguration(small_instance, mapping, model) == pytest.approx(
+            period(small_instance, mapping)
+        )
+
+    def test_general_mapping_pays_per_switch(self, small_instance):
+        mapping = Mapping([0, 0, 0, 0], 3)  # both types on machine 0
+        model = ReconfigurationModel(setup_time=100.0, policy="cycle")
+        plain = period(small_instance, mapping)
+        with_setup = period_with_reconfiguration(small_instance, mapping, model)
+        assert with_setup == pytest.approx(plain + 2 * 100.0)
+
+    def test_machine_periods_vector(self, small_instance):
+        mapping = Mapping([0, 0, 1, 1], 3)
+        model = ReconfigurationModel(setup_time=10.0)
+        periods = machine_periods_with_reconfiguration(small_instance, mapping, model)
+        assert periods.shape == (3,)
+        assert periods[2] == 0.0
+        # Machine 0 runs types {0, 1} -> 2 switches; machine 1 runs {0, 1} too.
+        assert periods[0] > 0 and periods[1] > 0
+
+    def test_zero_setup_equals_plain_period(self):
+        inst = make_random_instance(10, 3, 4, seed=1)
+        mapping = get_heuristic("H4").solve(inst).mapping
+        model = ReconfigurationModel(setup_time=0.0)
+        assert period_with_reconfiguration(inst, mapping, model) == pytest.approx(
+            period(inst, mapping)
+        )
+
+
+class TestReconfigurationAwareHeuristic:
+    def test_zero_setup_may_mix_types(self):
+        # With no setup cost and a single very fast machine, mixing types on
+        # that machine can be optimal; the heuristic must at least produce a
+        # valid general mapping.
+        inst = make_random_instance(10, 3, 4, seed=2)
+        heuristic = ReconfigurationAwareHeuristic(ReconfigurationModel(0.0))
+        result = heuristic.solve(inst)
+        result.mapping.validate(inst, "general")
+        assert result.period > 0
+        assert "period_with_reconfiguration" in result.metadata
+
+    def test_large_setup_produces_specialized_mapping(self):
+        inst = make_random_instance(12, 3, 6, seed=3)
+        heuristic = ReconfigurationAwareHeuristic(ReconfigurationModel(1e6))
+        result = heuristic.solve(inst)
+        # A prohibitive setup cost forces one type per machine.
+        assert result.mapping.satisfies_specialized(list(inst.application.types))
+
+    def test_metadata_reports_reconfiguration_period(self):
+        inst = make_random_instance(8, 2, 3, seed=4)
+        model = ReconfigurationModel(setup_time=250.0)
+        result = ReconfigurationAwareHeuristic(model).solve(inst)
+        reported = result.metadata["period_with_reconfiguration"]
+        assert reported == pytest.approx(
+            period_with_reconfiguration(inst, result.mapping, model)
+        )
+        assert reported >= result.period - 1e-9
+
+
+class TestBreakEven:
+    def test_break_even_zero_when_specialized_already_wins(self):
+        inst = make_random_instance(10, 2, 5, seed=5)
+        specialized = get_heuristic("H4w").solve(inst).mapping
+        # Use the same mapping as the "general" candidate: specialized wins
+        # (ties) already at zero setup cost.
+        assert specialization_break_even(inst, specialized, specialized) == 0.0
+
+    def test_break_even_positive_when_general_mapping_is_better_unpenalised(self):
+        # Construct a case where mixing types on the single fast machine is
+        # better without setup costs: 2 types, machine 0 fast for both.
+        app = Application.chain(TypeAssignment([0, 1]))
+        w = np.array([[100.0, 500.0], [100.0, 500.0]])
+        inst = ProblemInstance(app, Platform(w), FailureModel.failure_free(2, 2))
+        general = Mapping([0, 0], 2)  # both tasks on the fast machine
+        specialized = Mapping([0, 1], 2)
+        assert period(inst, general) < period(inst, specialized)
+        threshold = specialization_break_even(inst, general, specialized)
+        assert threshold > 0.0
+        # Above the threshold the specialized mapping wins.
+        above = ReconfigurationModel(threshold * 1.01)
+        assert period_with_reconfiguration(inst, general, above) >= period(
+            inst, specialized
+        ) - 1e-6
+        # Below it, the general mapping still wins.
+        below = ReconfigurationModel(threshold * 0.5)
+        assert period_with_reconfiguration(inst, general, below) < period(inst, specialized)
+
+    def test_break_even_monotone_in_policy(self):
+        app = Application.chain(TypeAssignment([0, 1]))
+        w = np.array([[100.0, 500.0], [100.0, 500.0]])
+        inst = ProblemInstance(app, Platform(w), FailureModel.failure_free(2, 2))
+        general = Mapping([0, 0], 2)
+        specialized = Mapping([0, 1], 2)
+        cycle = specialization_break_even(inst, general, specialized, policy="cycle")
+        amortized = specialization_break_even(inst, general, specialized, policy="amortized")
+        # The amortized policy charges fewer switches, so the general mapping
+        # survives up to a larger setup time.
+        assert amortized >= cycle - 1e-9

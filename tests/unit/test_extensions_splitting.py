@@ -1,0 +1,152 @@
+"""Unit tests for the workload-splitting extension (repro.extensions.splitting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Application, FailureModel, Mapping, Platform, ProblemInstance, TypeAssignment, period
+from repro.exact import solve_specialized_branch_and_bound
+from repro.exceptions import InfeasibleProblemError
+from repro.extensions import (
+    dedication_from_mapping,
+    optimal_split_for_dedication,
+    split_specialized_mapping,
+    splitting_lower_bound,
+)
+from repro.heuristics import get_heuristic
+from tests.helpers import make_random_instance
+
+
+def _single_type_instance() -> ProblemInstance:
+    """Four identical tasks of one type on two machines of different speed."""
+    app = Application.chain(TypeAssignment([0, 0, 0, 0]))
+    w = np.tile(np.array([[100.0, 300.0]]), (4, 1))
+    return ProblemInstance(app, Platform(w), FailureModel.failure_free(4, 2))
+
+
+class TestDedication:
+    def test_from_mapping(self, small_instance):
+        mapping = Mapping([0, 1, 0, 1], 3)
+        dedication = dedication_from_mapping(small_instance, mapping)
+        assert dedication == {0: 0, 1: 1}
+
+    def test_missing_type_rejected(self, small_instance):
+        with pytest.raises(InfeasibleProblemError):
+            optimal_split_for_dedication(small_instance, {0: 0})  # type 1 uncovered
+
+    def test_bad_indices_rejected(self, small_instance):
+        with pytest.raises(InfeasibleProblemError):
+            optimal_split_for_dedication(small_instance, {9: 0, 1: 1})
+        with pytest.raises(InfeasibleProblemError):
+            optimal_split_for_dedication(small_instance, {0: 7, 1: 1})
+
+
+class TestOptimalSplit:
+    def test_failure_free_two_machines_share_by_speed(self):
+        # Both machines dedicated to the single type; optimal split loads
+        # them inversely to their speed: throughput = sum_u 1 / (total work on u).
+        inst = _single_type_instance()
+        result = optimal_split_for_dedication(inst, {0: 0, 1: 0})
+        # Total work per product is 4 tasks; with speeds 100 and 300 ms/task
+        # the combined capacity is 1/400 + 1/1200 products per ms.
+        expected_throughput = 1.0 / 400.0 + 1.0 / 1200.0
+        assert result.throughput == pytest.approx(expected_throughput, rel=1e-6)
+        assert result.period == pytest.approx(1.0 / expected_throughput, rel=1e-6)
+
+    def test_split_never_worse_than_unsplit_mapping(self):
+        for seed in range(5):
+            inst = make_random_instance(12, 3, 5, seed=seed)
+            mapping = get_heuristic("H4w").solve(inst).mapping
+            result = split_specialized_mapping(inst, mapping)
+            assert result.period <= period(inst, mapping) + 1e-6
+            assert result.baseline_period == pytest.approx(period(inst, mapping))
+            assert 0.0 <= result.improvement <= 1.0 or np.isnan(result.improvement)
+
+    def test_split_helps_when_one_machine_is_overloaded(self):
+        # The unsplit mapping puts everything on machine 0 (period 400 ms);
+        # dedicating the second machine to the same type and splitting must
+        # strictly improve the period (here down to 300 ms).
+        inst = _single_type_instance()
+        unsplit = Mapping([0, 0, 0, 0], 2)
+        result = optimal_split_for_dedication(inst, {0: 0, 1: 0})
+        assert result.period < period(inst, unsplit) - 1e-6
+        assert result.period == pytest.approx(300.0, rel=1e-6)
+
+    def test_single_task_stream_is_divided_across_machines(self):
+        # With a single task, the only way to use both machines is to divide
+        # its stream — the paper's future-work scenario in its purest form.
+        app = Application.chain(TypeAssignment([0]))
+        inst = ProblemInstance(
+            app, Platform(np.array([[100.0, 300.0]])), FailureModel.failure_free(1, 2)
+        )
+        unsplit_period = period(inst, Mapping([0], 2))  # 100 ms on the fast machine
+        result = optimal_split_for_dedication(inst, {0: 0, 1: 0})
+        assert result.fractional.tasks_split() == [0]
+        assert result.period == pytest.approx(75.0, rel=1e-6)
+        assert result.period < unsplit_period
+
+    def test_split_limited_to_the_mapping_dedication(self):
+        # split_specialized_mapping keeps the mapping's own machine set: with
+        # a single dedicated machine there is nothing to split and the period
+        # is unchanged.
+        inst = _single_type_instance()
+        unsplit = Mapping([0, 0, 0, 0], 2)
+        result = split_specialized_mapping(inst, unsplit)
+        assert result.period == pytest.approx(period(inst, unsplit), rel=1e-9)
+        assert result.dedication == {0: 0}
+
+    def test_rates_respect_dedication(self):
+        inst = make_random_instance(10, 2, 4, seed=3)
+        mapping = get_heuristic("H4").solve(inst).mapping
+        result = split_specialized_mapping(inst, mapping)
+        for task in range(inst.num_tasks):
+            for machine in range(inst.num_machines):
+                if result.fractional.rates[task, machine] > 1e-9:
+                    assert result.dedication[machine] == inst.type_of(task)
+
+    def test_machine_utilisation_bounded_by_one(self):
+        inst = make_random_instance(15, 3, 6, seed=4)
+        mapping = get_heuristic("H4w").solve(inst).mapping
+        result = split_specialized_mapping(inst, mapping)
+        utilisation = result.fractional.machine_utilisation(inst)
+        assert np.all(utilisation <= 1.0 + 1e-6)
+        # The bottleneck machine of the split solution is fully utilised.
+        assert utilisation.max() == pytest.approx(1.0, abs=1e-6)
+
+    def test_shares_sum_to_one_for_active_tasks(self):
+        inst = make_random_instance(8, 2, 4, seed=5)
+        mapping = get_heuristic("H2").solve(inst).mapping
+        result = split_specialized_mapping(inst, mapping)
+        shares = result.fractional.shares()
+        assert np.allclose(shares.sum(axis=1), 1.0, atol=1e-6)
+
+
+class TestLowerBound:
+    def test_lower_bound_below_exact_specialized_optimum(self):
+        for seed in range(4):
+            inst = make_random_instance(8, 3, 4, seed=40 + seed)
+            bound = splitting_lower_bound(inst)
+            exact = solve_specialized_branch_and_bound(inst).period
+            assert bound <= exact + 1e-6
+
+    def test_lower_bound_below_any_split_result(self):
+        inst = make_random_instance(10, 2, 5, seed=50)
+        mapping = get_heuristic("H4w").solve(inst).mapping
+        split = split_specialized_mapping(inst, mapping)
+        assert splitting_lower_bound(inst) <= split.period + 1e-6
+
+    def test_infeasible_instance_rejected(self):
+        app = Application.chain(TypeAssignment([0, 1, 2]))
+        inst = ProblemInstance(
+            app, Platform.homogeneous(3, 2, 10.0), FailureModel.failure_free(3, 2)
+        )
+        with pytest.raises(InfeasibleProblemError):
+            splitting_lower_bound(inst)
+
+    def test_failure_free_single_machine_bound_is_total_work(self):
+        app = Application.chain(TypeAssignment([0, 0]))
+        inst = ProblemInstance(
+            app, Platform([[100.0], [200.0]]), FailureModel.failure_free(2, 1)
+        )
+        assert splitting_lower_bound(inst) == pytest.approx(300.0, rel=1e-6)

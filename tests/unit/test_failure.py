@@ -1,0 +1,134 @@
+"""Unit tests for repro.core.failure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.failure import FailureModel
+from repro.core.types import TypeAssignment
+from repro.exceptions import InvalidFailureModelError
+
+
+class TestConstruction:
+    def test_basic(self):
+        f = FailureModel([[0.1, 0.2], [0.0, 0.5]])
+        assert f.num_tasks == 2
+        assert f.num_machines == 2
+        assert f.rate(1, 1) == 0.5
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidFailureModelError):
+            FailureModel([[1.0]])
+        with pytest.raises(InvalidFailureModelError):
+            FailureModel([[-0.1]])
+        with pytest.raises(InvalidFailureModelError):
+            FailureModel([[np.nan]])
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(InvalidFailureModelError):
+            FailureModel([0.1, 0.2])
+        with pytest.raises(InvalidFailureModelError):
+            FailureModel(np.empty((0, 2)))
+
+    def test_matrix_read_only(self):
+        f = FailureModel([[0.1]])
+        with pytest.raises(ValueError):
+            f.rates[0, 0] = 0.5
+
+    def test_type_consistency_optional(self):
+        types = TypeAssignment([0, 0])
+        rates = [[0.1, 0.2], [0.3, 0.2]]
+        # Not enforced by default.
+        FailureModel(rates, types=types)
+        with pytest.raises(InvalidFailureModelError):
+            FailureModel(rates, types=types, enforce_type_consistency=True)
+
+
+class TestConstructors:
+    def test_failure_free(self):
+        f = FailureModel.failure_free(3, 2)
+        assert f.is_failure_free()
+        assert np.all(f.attempts_factors == 1.0)
+
+    def test_failure_free_validation(self):
+        with pytest.raises(InvalidFailureModelError):
+            FailureModel.failure_free(0, 2)
+
+    def test_uniform(self):
+        f = FailureModel.uniform(2, 2, 0.25)
+        assert np.all(f.rates == 0.25)
+        with pytest.raises(InvalidFailureModelError):
+            FailureModel.uniform(2, 2, 1.0)
+
+    def test_task_dependent(self):
+        f = FailureModel.task_dependent([0.1, 0.2], 3)
+        assert f.is_task_dependent()
+        assert f.rates.shape == (2, 3)
+        assert np.all(f.rates[1] == 0.2)
+
+    def test_task_dependent_validation(self):
+        with pytest.raises(InvalidFailureModelError):
+            FailureModel.task_dependent([], 3)
+        with pytest.raises(InvalidFailureModelError):
+            FailureModel.task_dependent([0.1], 0)
+
+    def test_machine_dependent(self):
+        f = FailureModel.machine_dependent([0.1, 0.2, 0.3], 2)
+        assert f.is_machine_dependent()
+        assert f.rates.shape == (2, 3)
+        assert np.all(f.rates[:, 2] == 0.3)
+
+    def test_machine_dependent_validation(self):
+        with pytest.raises(InvalidFailureModelError):
+            FailureModel.machine_dependent([], 2)
+        with pytest.raises(InvalidFailureModelError):
+            FailureModel.machine_dependent([0.1], 0)
+
+    def test_from_loss_counts(self):
+        # f = l / b as in the paper: 1 product lost every 50 processed.
+        f = FailureModel.from_loss_counts([[1, 2]], [[50, 100]])
+        assert f.rate(0, 0) == pytest.approx(0.02)
+        assert f.rate(0, 1) == pytest.approx(0.02)
+
+    def test_from_loss_counts_validation(self):
+        with pytest.raises(InvalidFailureModelError):
+            FailureModel.from_loss_counts([[1]], [[1]])  # l == b
+        with pytest.raises(InvalidFailureModelError):
+            FailureModel.from_loss_counts([[1]], [[0]])
+        with pytest.raises(InvalidFailureModelError):
+            FailureModel.from_loss_counts([[1, 1]], [[2]])
+
+
+class TestQueries:
+    def test_attempts_factor(self):
+        f = FailureModel([[0.5]])
+        assert f.attempts_factor(0, 0) == pytest.approx(2.0)
+        assert f.success_rate(0, 0) == pytest.approx(0.5)
+
+    def test_attempts_factors_matrix(self):
+        f = FailureModel([[0.0, 0.5], [0.2, 0.75]])
+        expected = np.array([[1.0, 2.0], [1.25, 4.0]])
+        assert np.allclose(f.attempts_factors, expected)
+
+    def test_dependency_predicates(self):
+        per_task = FailureModel.task_dependent([0.1, 0.3], 4)
+        per_machine = FailureModel.machine_dependent([0.1, 0.3], 4)
+        general = FailureModel([[0.1, 0.2], [0.3, 0.1]])
+        assert per_task.is_task_dependent() and not per_task.is_machine_dependent()
+        assert per_machine.is_machine_dependent() and not per_machine.is_task_dependent()
+        assert not general.is_task_dependent() and not general.is_machine_dependent()
+
+    def test_uniform_is_both_task_and_machine_dependent(self):
+        f = FailureModel.uniform(3, 3, 0.1)
+        assert f.is_task_dependent()
+        assert f.is_machine_dependent()
+
+    def test_worst_case_attempts(self):
+        f = FailureModel([[0.1, 0.5], [0.0, 0.2]])
+        assert np.allclose(f.worst_case_attempts(), [2.0, 1.25])
+
+    def test_round_trip_serialization(self):
+        f = FailureModel([[0.1, 0.2], [0.3, 0.4]])
+        clone = FailureModel.from_dict(f.to_dict())
+        assert np.allclose(clone.rates, f.rates)

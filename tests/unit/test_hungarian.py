@@ -1,0 +1,104 @@
+"""Unit tests for the from-scratch assignment solvers (repro.exact.hungarian)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.optimize import linear_sum_assignment
+
+from repro.exact.hungarian import (
+    assignment_cost,
+    bottleneck_assignment,
+    min_cost_assignment,
+)
+from repro.exceptions import InfeasibleProblemError, SolverError
+
+
+class TestMinCostAssignment:
+    def test_trivial_identity(self):
+        cost = np.array([[1.0, 10.0], [10.0, 1.0]])
+        cols = min_cost_assignment(cost)
+        assert cols.tolist() == [0, 1]
+        assert assignment_cost(cost, cols) == pytest.approx(2.0)
+
+    def test_forces_conflict_resolution(self):
+        # Both rows prefer column 0; the optimum sacrifices one of them.
+        cost = np.array([[1.0, 5.0], [2.0, 100.0]])
+        cols = min_cost_assignment(cost)
+        assert sorted(cols.tolist()) == [0, 1]
+        assert assignment_cost(cost, cols) == pytest.approx(7.0)
+
+    def test_rectangular_matrix(self):
+        cost = np.array([[9.0, 1.0, 9.0], [1.0, 9.0, 9.0]])
+        cols = min_cost_assignment(cost)
+        assert cols.tolist() == [1, 0]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_scipy_on_random_matrices(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = int(rng.integers(2, 9)), int(rng.integers(9, 14))
+        cost = rng.uniform(0, 100, size=(n, m))
+        ours = min_cost_assignment(cost)
+        rows, cols = linear_sum_assignment(cost)
+        assert len(set(ours.tolist())) == n  # injective
+        assert assignment_cost(cost, ours) == pytest.approx(cost[rows, cols].sum())
+
+    def test_square_large_random(self):
+        rng = np.random.default_rng(123)
+        cost = rng.uniform(0, 1, size=(40, 40))
+        ours = min_cost_assignment(cost)
+        rows, cols = linear_sum_assignment(cost)
+        assert assignment_cost(cost, ours) == pytest.approx(cost[rows, cols].sum())
+
+    def test_more_rows_than_columns_rejected(self):
+        with pytest.raises(InfeasibleProblemError):
+            min_cost_assignment(np.ones((3, 2)))
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(SolverError):
+            min_cost_assignment(np.array([1.0, 2.0]))
+        with pytest.raises(SolverError):
+            min_cost_assignment(np.array([[1.0, np.inf]]))
+
+
+class TestBottleneckAssignment:
+    def test_minimises_the_maximum(self):
+        cost = np.array([[10.0, 2.0], [3.0, 10.0]])
+        cols = bottleneck_assignment(cost)
+        assert cols.tolist() == [1, 0]
+        assert cost[[0, 1], cols].max() == pytest.approx(3.0)
+
+    def test_differs_from_min_sum_when_appropriate(self):
+        # Min-sum picks (0->0, 1->1) with costs (1, 9): total 10, max 9.
+        # Bottleneck prefers (0->1, 1->0) with costs (5, 4): max 5.
+        cost = np.array([[1.0, 5.0], [4.0, 9.0]])
+        sum_cols = min_cost_assignment(cost)
+        bottleneck_cols = bottleneck_assignment(cost)
+        assert cost[[0, 1], sum_cols].sum() <= cost[[0, 1], bottleneck_cols].sum()
+        assert cost[[0, 1], bottleneck_cols].max() <= cost[[0, 1], sum_cols].max()
+        assert cost[[0, 1], bottleneck_cols].max() == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_bruteforce_on_small_random(self, seed):
+        from itertools import permutations
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        m = n + int(rng.integers(0, 3))
+        cost = rng.uniform(0, 100, size=(n, m))
+        cols = bottleneck_assignment(cost)
+        value = cost[np.arange(n), cols].max()
+        best = min(
+            max(cost[i, perm[i]] for i in range(n)) for perm in permutations(range(m), n)
+        )
+        assert value == pytest.approx(best)
+
+    def test_rectangular(self):
+        cost = np.array([[5.0, 1.0, 9.0]])
+        assert bottleneck_assignment(cost).tolist() == [1]
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(InfeasibleProblemError):
+            bottleneck_assignment(np.ones((3, 2)))
+        with pytest.raises(SolverError):
+            bottleneck_assignment(np.array([[np.nan, 1.0]]))

@@ -1,0 +1,90 @@
+"""Unit tests for repro.core.instance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Application,
+    FailureModel,
+    Platform,
+    ProblemInstance,
+    TypeAssignment,
+    linear_chain,
+)
+from repro.exceptions import InvalidInstanceError
+
+
+def _simple_instance() -> ProblemInstance:
+    app = Application.chain(TypeAssignment([0, 1, 0]))
+    w = [[100.0, 200.0], [50.0, 60.0], [100.0, 200.0]]
+    f = [[0.1, 0.2], [0.0, 0.05], [0.02, 0.01]]
+    return ProblemInstance(app, Platform(w, types=app.types), FailureModel(f), name="demo")
+
+
+class TestValidation:
+    def test_dimensions_exposed(self):
+        inst = _simple_instance()
+        assert inst.num_tasks == 3
+        assert inst.num_types == 2
+        assert inst.num_machines == 2
+        assert inst.name == "demo"
+
+    def test_platform_task_mismatch(self):
+        app = linear_chain(3, num_types=1)
+        platform = Platform.homogeneous(2, 2, 100.0)
+        failures = FailureModel.failure_free(3, 2)
+        with pytest.raises(InvalidInstanceError):
+            ProblemInstance(app, platform, failures)
+
+    def test_failure_task_mismatch(self):
+        app = linear_chain(3, num_types=1)
+        platform = Platform.homogeneous(3, 2, 100.0)
+        failures = FailureModel.failure_free(2, 2)
+        with pytest.raises(InvalidInstanceError):
+            ProblemInstance(app, platform, failures)
+
+    def test_failure_machine_mismatch(self):
+        app = linear_chain(3, num_types=1)
+        platform = Platform.homogeneous(3, 2, 100.0)
+        failures = FailureModel.failure_free(3, 4)
+        with pytest.raises(InvalidInstanceError):
+            ProblemInstance(app, platform, failures)
+
+
+class TestQueries:
+    def test_w_and_f_accessors(self):
+        inst = _simple_instance()
+        assert inst.w(1, 0) == 50.0
+        assert inst.f(0, 1) == 0.2
+        assert inst.attempts_factor(0, 0) == pytest.approx(1.0 / 0.9)
+        assert inst.type_of(2) == 0
+
+    def test_effective_cost(self):
+        inst = _simple_instance()
+        assert inst.effective_cost(0, 0) == pytest.approx(100.0 / 0.9)
+
+    def test_matrix_views(self):
+        inst = _simple_instance()
+        assert inst.processing_times.shape == (3, 2)
+        assert inst.failure_rates.shape == (3, 2)
+
+    def test_support_predicates(self):
+        inst = _simple_instance()
+        assert not inst.supports_one_to_one()  # m=2 < n=3
+        assert inst.supports_specialized()  # m=2 >= p=2
+
+    def test_repr_contains_dimensions(self):
+        assert "n=3" in repr(_simple_instance())
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        inst = _simple_instance()
+        clone = ProblemInstance.from_dict(inst.to_dict())
+        assert clone.num_tasks == inst.num_tasks
+        assert clone.name == "demo"
+        assert np.allclose(clone.processing_times, inst.processing_times)
+        assert np.allclose(clone.failure_rates, inst.failure_rates)
+        assert list(clone.application.types) == list(inst.application.types)

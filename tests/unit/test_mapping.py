@@ -1,0 +1,133 @@
+"""Unit tests for repro.core.mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import Mapping, MappingRule
+from repro.exceptions import InvalidMappingError, MappingRuleViolation
+
+
+class TestMappingRule:
+    def test_coerce_from_string(self):
+        assert MappingRule.coerce("one-to-one") is MappingRule.ONE_TO_ONE
+        assert MappingRule.coerce("specialized") is MappingRule.SPECIALIZED
+        assert MappingRule.coerce(MappingRule.GENERAL) is MappingRule.GENERAL
+
+    def test_coerce_unknown(self):
+        with pytest.raises(InvalidMappingError):
+            MappingRule.coerce("bogus")
+
+    def test_str(self):
+        assert str(MappingRule.SPECIALIZED) == "specialized"
+
+
+class TestMappingBasics:
+    def test_construction_and_access(self):
+        m = Mapping([0, 2, 1], 3)
+        assert len(m) == 3
+        assert m[1] == 2
+        assert m.machine_of(2) == 1
+        assert list(m) == [0, 2, 1]
+        assert m.num_machines == 3
+
+    def test_rejects_invalid_indices(self):
+        with pytest.raises(InvalidMappingError):
+            Mapping([0, 3], 3)
+        with pytest.raises(InvalidMappingError):
+            Mapping([0, -1], 3)
+        with pytest.raises(InvalidMappingError):
+            Mapping([], 3)
+        with pytest.raises(InvalidMappingError):
+            Mapping([0], 0)
+
+    def test_equality_and_hash(self):
+        assert Mapping([0, 1], 2) == Mapping([0, 1], 2)
+        assert Mapping([0, 1], 2) != Mapping([0, 1], 3)
+        assert Mapping([0, 1], 2) != Mapping([1, 0], 2)
+        assert len({Mapping([0, 1], 2), Mapping([0, 1], 2)}) == 1
+
+    def test_replace_returns_new_mapping(self):
+        original = Mapping([0, 0], 2)
+        updated = original.replace(1, 1)
+        assert list(original) == [0, 0]
+        assert list(updated) == [0, 1]
+
+    def test_identity(self):
+        m = Mapping.identity(3)
+        assert list(m) == [0, 1, 2]
+        m2 = Mapping.identity(2, num_machines=5)
+        assert m2.num_machines == 5
+        with pytest.raises(InvalidMappingError):
+            Mapping.identity(4, num_machines=2)
+
+    def test_array_read_only(self):
+        m = Mapping([0, 1], 2)
+        with pytest.raises(ValueError):
+            m.as_array[0] = 1
+
+
+class TestStructureQueries:
+    def test_tasks_on_and_loads(self):
+        m = Mapping([0, 1, 0, 1, 0], 3)
+        assert m.tasks_on(0) == [0, 2, 4]
+        assert m.tasks_on(2) == []
+        assert m.machine_loads() == {0: [0, 2, 4], 1: [1, 3]}
+        assert m.used_machines() == [0, 1]
+
+    def test_one_to_one_check(self):
+        assert Mapping([0, 1, 2], 3).satisfies_one_to_one()
+        assert not Mapping([0, 1, 0], 3).satisfies_one_to_one()
+
+    def test_specialized_check(self):
+        types = [0, 1, 0, 1]
+        assert Mapping([0, 1, 0, 1], 2).satisfies_specialized(types)
+        assert not Mapping([0, 0, 0, 0], 2).satisfies_specialized(types)
+        # One-to-one is always specialized.
+        assert Mapping([0, 1, 2, 3], 4).satisfies_specialized(types)
+
+    def test_specialized_check_length_mismatch(self):
+        with pytest.raises(InvalidMappingError):
+            Mapping([0, 1], 2).satisfies_specialized([0])
+
+    def test_machine_specializations(self):
+        m = Mapping([0, 1, 0], 2)
+        spec = m.machine_specializations([0, 1, 0])
+        assert spec == {0: {0}, 1: {1}}
+        general = Mapping([0, 0], 1).machine_specializations([0, 1])
+        assert general == {0: {0, 1}}
+
+    def test_rule_classification(self):
+        types = [0, 1, 0]
+        assert Mapping([0, 1, 2], 3).rule(types) is MappingRule.ONE_TO_ONE
+        assert Mapping([0, 1, 0], 3).rule(types) is MappingRule.SPECIALIZED
+        assert Mapping([0, 0, 0], 3).rule(types) is MappingRule.GENERAL
+
+
+class TestValidateAgainstInstance:
+    def test_validate_dimensions(self, small_instance):
+        good = Mapping([0, 1, 0, 1], 3)
+        good.validate(small_instance)
+        with pytest.raises(InvalidMappingError):
+            Mapping([0, 1, 0], 3).validate(small_instance)
+        with pytest.raises(InvalidMappingError):
+            Mapping([0, 1, 0, 1], 2).validate(small_instance)
+
+    def test_validate_one_to_one_rule(self, small_instance):
+        with pytest.raises(MappingRuleViolation):
+            Mapping([0, 1, 0, 1], 3).validate(small_instance, MappingRule.ONE_TO_ONE)
+
+    def test_validate_specialized_rule(self, small_instance):
+        # Types are [0, 1, 0, 1]; machine 0 would mix types 0 and 1.
+        with pytest.raises(MappingRuleViolation):
+            Mapping([0, 0, 1, 1], 3).validate(small_instance, MappingRule.SPECIALIZED)
+        Mapping([0, 1, 0, 1], 3).validate(small_instance, "specialized")
+
+    def test_validate_general_always_ok(self, small_instance):
+        Mapping([0, 0, 0, 0], 3).validate(small_instance, MappingRule.GENERAL)
+
+    def test_round_trip_serialization(self):
+        m = Mapping([0, 2, 1], 4)
+        clone = Mapping.from_dict(m.to_dict())
+        assert clone == m

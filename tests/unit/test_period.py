@@ -1,0 +1,150 @@
+"""Unit tests for repro.core.period (the analytic objective of Section 4.1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Application,
+    FailureModel,
+    Mapping,
+    Platform,
+    ProblemInstance,
+    TypeAssignment,
+    critical_machines,
+    evaluate,
+    expected_products,
+    in_tree,
+    machine_periods,
+    period,
+    required_inputs,
+    throughput,
+)
+from repro.exceptions import InvalidMappingError
+
+
+class TestExpectedProducts:
+    def test_failure_free_chain_is_all_ones(self, failure_free_instance):
+        mapping = Mapping([0, 1, 0, 1], 3)
+        x = expected_products(failure_free_instance, mapping)
+        assert np.allclose(x, 1.0)
+
+    def test_chain_recursion_matches_hand_computation(self):
+        # Chain of 3 tasks, single machine, f = [0.5, 0.0, 0.2] on machine 0.
+        app = Application.chain(TypeAssignment([0, 1, 2]))
+        platform = Platform.homogeneous(3, 1, 100.0)
+        failures = FailureModel([[0.5], [0.0], [0.2]])
+        inst = ProblemInstance(app, platform, failures)
+        x = expected_products(inst, Mapping([0, 0, 0], 1))
+        # x3 = 1/(1-0.2) = 1.25; x2 = x3; x1 = x2 / 0.5 = 2.5
+        assert x[2] == pytest.approx(1.25)
+        assert x[1] == pytest.approx(1.25)
+        assert x[0] == pytest.approx(2.5)
+
+    def test_x_monotone_along_chain(self, small_instance):
+        # Along a chain x_i >= x_{i+1} because every F factor is >= 1.
+        mapping = Mapping([0, 1, 0, 2], 3)
+        x = expected_products(small_instance, mapping)
+        assert x[0] >= x[1] >= x[2] >= x[3] >= 1.0
+
+    def test_join_propagates_to_both_branches(self):
+        # Two single-task branches joining into a final task.
+        tree = in_tree([1, 1], num_types=1, shared_tail_length=1)
+        platform = Platform.homogeneous(3, 3, 100.0)
+        failures = FailureModel([[0.0, 0.0, 0.0], [0.5, 0.5, 0.5], [0.2, 0.2, 0.2]])
+        inst = ProblemInstance(tree, platform, failures)
+        x = expected_products(inst, Mapping([0, 1, 2], 3))
+        # Sink (task 2): x = 1.25; both branch tasks need 1.25 deliveries.
+        assert x[2] == pytest.approx(1.25)
+        assert x[0] == pytest.approx(1.25)  # failure-free branch
+        assert x[1] == pytest.approx(2.5)  # failing branch
+
+    def test_dimension_mismatch_raises(self, small_instance):
+        with pytest.raises(InvalidMappingError):
+            expected_products(small_instance, Mapping([0, 1], 3))
+
+
+class TestPeriodAndThroughput:
+    def test_failure_free_period_is_load(self, failure_free_instance):
+        mapping = Mapping([0, 1, 0, 1], 3)
+        periods = machine_periods(failure_free_instance, mapping)
+        # Machine 0 runs tasks 0 and 2 (100 each); machine 1 runs 1 and 3 (150 each).
+        assert periods[0] == pytest.approx(200.0)
+        assert periods[1] == pytest.approx(300.0)
+        assert periods[2] == 0.0
+        assert period(failure_free_instance, mapping) == pytest.approx(300.0)
+        assert throughput(failure_free_instance, mapping) == pytest.approx(1.0 / 300.0)
+
+    def test_period_equals_max_machine_period(self, small_instance):
+        mapping = Mapping([0, 1, 2, 1], 3)
+        periods = machine_periods(small_instance, mapping)
+        assert period(small_instance, mapping) == pytest.approx(periods.max())
+
+    def test_failures_increase_period(self, small_instance, failure_free_instance):
+        mapping = Mapping([0, 1, 0, 1], 3)
+        assert period(small_instance, mapping) > period(failure_free_instance, mapping)
+
+    def test_critical_machines(self, failure_free_instance):
+        mapping = Mapping([0, 1, 0, 1], 3)
+        assert critical_machines(failure_free_instance, mapping) == [1]
+
+    def test_critical_machines_ties(self):
+        app = Application.chain(TypeAssignment([0, 1]))
+        platform = Platform.homogeneous(2, 2, 100.0)
+        inst = ProblemInstance(app, platform, FailureModel.failure_free(2, 2))
+        assert critical_machines(inst, Mapping([0, 1], 2)) == [0, 1]
+
+    def test_single_machine_period_is_total_work(self):
+        app = Application.chain(TypeAssignment([0, 1, 2]))
+        platform = Platform([[100.0], [200.0], [300.0]])
+        inst = ProblemInstance(app, platform, FailureModel.failure_free(3, 1))
+        assert period(inst, Mapping([0, 0, 0], 1)) == pytest.approx(600.0)
+
+
+class TestRequiredInputs:
+    def test_failure_free_requires_exactly_target(self, failure_free_instance):
+        mapping = Mapping([0, 1, 0, 1], 3)
+        inputs = required_inputs(failure_free_instance, mapping, products_out=10)
+        assert inputs == {0: pytest.approx(10.0)}
+
+    def test_failures_inflate_inputs(self, small_instance):
+        mapping = Mapping([0, 1, 0, 1], 3)
+        inputs = required_inputs(small_instance, mapping, products_out=100)
+        assert inputs[0] > 100.0
+
+    def test_negative_target_rejected(self, small_instance):
+        with pytest.raises(InvalidMappingError):
+            required_inputs(small_instance, Mapping([0, 1, 0, 1], 3), products_out=-1)
+
+    def test_tree_has_one_entry_per_source(self):
+        tree = in_tree([1, 1], num_types=1)
+        platform = Platform.homogeneous(3, 3, 10.0)
+        inst = ProblemInstance(tree, platform, FailureModel.failure_free(3, 3))
+        inputs = required_inputs(inst, Mapping([0, 1, 2], 3), products_out=5)
+        assert set(inputs) == set(tree.sources())
+        assert all(v == pytest.approx(5.0) for v in inputs.values())
+
+
+class TestEvaluate:
+    def test_evaluation_consistency(self, small_instance):
+        mapping = Mapping([0, 1, 0, 1], 3)
+        result = evaluate(small_instance, mapping)
+        assert result.period == pytest.approx(period(small_instance, mapping))
+        assert result.throughput == pytest.approx(1.0 / result.period)
+        assert len(result.machine_periods) == 3
+        assert len(result.expected_products) == 4
+        assert result.mapping == mapping
+        assert max(result.machine_periods) == pytest.approx(result.period)
+        assert set(result.critical_machines) == set(
+            critical_machines(small_instance, mapping)
+        )
+
+    def test_as_dict_round_trips_values(self, small_instance):
+        result = evaluate(small_instance, Mapping([0, 1, 0, 1], 3))
+        data = result.as_dict()
+        assert data["period"] == pytest.approx(result.period)
+        assert data["assignment"] == [0, 1, 0, 1]
+        assert len(data["machine_periods"]) == 3

@@ -1,0 +1,74 @@
+"""Unit tests for the discrete-event calendar (repro.simulation.events)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import Event, EventKind, EventQueue
+
+
+class TestEventQueue:
+    def test_empty_queue_behaviour(self):
+        q = EventQueue()
+        assert len(q) == 0
+        assert not q
+        with pytest.raises(SimulationError):
+            q.pop()
+        with pytest.raises(SimulationError):
+            q.peek_time()
+
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.schedule(5.0, EventKind.MACHINE_COMPLETION, "late")
+        q.schedule(1.0, EventKind.MACHINE_COMPLETION, "early")
+        q.schedule(3.0, EventKind.MACHINE_COMPLETION, "middle")
+        assert [q.pop().payload for _ in range(3)] == ["early", "middle", "late"]
+
+    def test_ties_broken_by_kind_priority(self):
+        q = EventQueue()
+        q.schedule(2.0, EventKind.SOURCE_FEED, "feed")
+        q.schedule(2.0, EventKind.MACHINE_COMPLETION, "completion")
+        # Completions drain before arrivals/feeds at the same timestamp.
+        assert q.pop().payload == "completion"
+        assert q.pop().payload == "feed"
+
+    def test_ties_broken_by_insertion_order(self):
+        q = EventQueue()
+        q.schedule(1.0, EventKind.CONTROL, "first")
+        q.schedule(1.0, EventKind.CONTROL, "second")
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.schedule(4.0, EventKind.CONTROL)
+        assert q.peek_time() == 4.0
+        assert len(q) == 1
+
+    def test_negative_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.push(Event(time=-1.0, kind=EventKind.CONTROL))
+
+    def test_clear(self):
+        q = EventQueue()
+        q.schedule(1.0, EventKind.CONTROL)
+        q.schedule(2.0, EventKind.CONTROL)
+        q.clear()
+        assert len(q) == 0
+
+    def test_schedule_returns_event(self):
+        q = EventQueue()
+        event = q.schedule(7.0, EventKind.PRODUCT_ARRIVAL, payload=(1, 2))
+        assert event.time == 7.0
+        assert event.kind is EventKind.PRODUCT_ARRIVAL
+        assert event.payload == (1, 2)
+
+    def test_len_tracks_push_pop(self):
+        q = EventQueue()
+        for t in range(10):
+            q.schedule(float(t), EventKind.CONTROL)
+        assert len(q) == 10
+        q.pop()
+        assert len(q) == 9

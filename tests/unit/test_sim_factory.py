@@ -1,0 +1,156 @@
+"""Unit tests for the micro-factory simulator (repro.simulation.factory)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Application,
+    FailureModel,
+    Mapping,
+    Platform,
+    ProblemInstance,
+    TypeAssignment,
+    evaluate,
+    in_tree,
+)
+from repro.exceptions import SimulationError
+from repro.simulation import MicroFactorySimulation, SimulationTrace, TraceEventType, simulate_mapping
+
+
+def _two_task_instance(f0: float = 0.0, f1: float = 0.0) -> ProblemInstance:
+    app = Application.chain(TypeAssignment([0, 1]))
+    w = np.array([[100.0, 100.0], [200.0, 200.0]])
+    f = np.array([[f0, f0], [f1, f1]])
+    return ProblemInstance(app, Platform(w), FailureModel(f))
+
+
+class TestDeterministicRuns:
+    def test_failure_free_chain_counts(self):
+        inst = _two_task_instance()
+        metrics = simulate_mapping(inst, Mapping([0, 1], 2), 10, rng=np.random.default_rng(0))
+        assert metrics.finished_products == 10
+        # Without failures every execution succeeds: 10 outputs need exactly
+        # 10 executions of the sink task.
+        assert metrics.executions[1] == 10
+        assert metrics.losses.sum() == 0
+        assert metrics.empirical_failure_rates[1] == 0.0
+
+    def test_failure_free_period_matches_analytic(self):
+        inst = _two_task_instance()
+        mapping = Mapping([0, 1], 2)
+        metrics = simulate_mapping(inst, mapping, 50, rng=np.random.default_rng(0))
+        analytic = evaluate(inst, mapping).period
+        assert metrics.empirical_period == pytest.approx(analytic, rel=0.1)
+        assert metrics.steady_state_output_interval == pytest.approx(analytic, rel=0.1)
+
+    def test_single_machine_serialises_both_tasks(self):
+        inst = _two_task_instance()
+        mapping = Mapping([0, 0], 2)
+        metrics = simulate_mapping(inst, mapping, 20, rng=np.random.default_rng(0))
+        analytic = evaluate(inst, mapping).period  # 300 ms per product
+        assert metrics.empirical_period == pytest.approx(analytic, rel=0.15)
+
+    def test_output_times_increasing(self):
+        inst = _two_task_instance()
+        metrics = simulate_mapping(inst, Mapping([0, 1], 2), 25, rng=np.random.default_rng(1))
+        assert np.all(np.diff(metrics.output_times) >= -1e-9)
+
+    def test_makespan_positive_and_consistent(self):
+        inst = _two_task_instance()
+        metrics = simulate_mapping(inst, Mapping([0, 1], 2), 5, rng=np.random.default_rng(1))
+        assert metrics.makespan >= 5 * 200.0  # at least 5 sink executions
+        assert metrics.machine_busy_time[1] <= metrics.makespan
+
+
+class TestStochasticFailures:
+    def test_losses_recorded_with_high_failure(self):
+        inst = _two_task_instance(f0=0.4, f1=0.0)
+        metrics = simulate_mapping(inst, Mapping([0, 1], 2), 50, rng=np.random.default_rng(2))
+        assert metrics.losses[0] > 0
+        # Observed loss ratio should be near 40% with 50+ executions.
+        assert metrics.empirical_failure_rates[0] == pytest.approx(0.4, abs=0.15)
+
+    def test_batch_mode_estimates_expected_products(self):
+        inst = _two_task_instance(f0=0.2, f1=0.2)
+        mapping = Mapping([0, 1], 2)
+        sim = MicroFactorySimulation(inst, mapping, np.random.default_rng(3))
+        metrics = sim.run_batch(4000)
+        x = evaluate(inst, mapping).expected_products
+        ratio_sink = metrics.executions[1] / metrics.finished_products
+        assert ratio_sink == pytest.approx(x[1], rel=0.05)
+        # Raw products consumed per finished product approximates x_0.
+        ratio_source = metrics.raw_products_injected[0] / metrics.finished_products
+        assert ratio_source == pytest.approx(x[0], rel=0.05)
+
+    def test_batch_mode_conserves_products(self):
+        inst = _two_task_instance(f0=0.3, f1=0.1)
+        sim = MicroFactorySimulation(inst, Mapping([0, 1], 2), np.random.default_rng(4))
+        metrics = sim.run_batch(500)
+        # Every injected raw product is eventually either lost or output.
+        assert metrics.finished_products + metrics.losses.sum() == 500
+        # Successes of the source equal executions of the sink (chain flow).
+        assert metrics.successes[0] == metrics.executions[1]
+
+    def test_reproducible_with_seed(self):
+        inst = _two_task_instance(f0=0.2, f1=0.1)
+        m1 = simulate_mapping(inst, Mapping([0, 1], 2), 30, rng=np.random.default_rng(7))
+        m2 = simulate_mapping(inst, Mapping([0, 1], 2), 30, rng=np.random.default_rng(7))
+        assert m1.makespan == m2.makespan
+        assert np.array_equal(m1.executions, m2.executions)
+
+
+class TestJoins:
+    def test_join_requires_both_branches(self):
+        tree = in_tree([1, 1], num_types=1, shared_tail_length=1)
+        platform = Platform([[100.0] * 3, [500.0] * 3, [50.0] * 3])
+        inst = ProblemInstance(tree, platform, FailureModel.failure_free(3, 3))
+        metrics = simulate_mapping(inst, Mapping([0, 1, 2], 3), 10, rng=np.random.default_rng(0))
+        # The join (task 2) can only run as often as the slowest branch allows.
+        assert metrics.executions[2] == 10
+        assert metrics.finished_products == 10
+        # Slow branch (500 ms) is the bottleneck.
+        analytic = evaluate(inst, Mapping([0, 1, 2], 3)).period
+        assert metrics.empirical_period == pytest.approx(analytic, rel=0.15)
+
+
+class TestValidationAndTrace:
+    def test_invalid_target_rejected(self):
+        inst = _two_task_instance()
+        sim = MicroFactorySimulation(inst, Mapping([0, 1], 2))
+        with pytest.raises(SimulationError):
+            sim.run(0)
+        with pytest.raises(SimulationError):
+            sim.run_batch(0)
+
+    def test_max_events_guard(self):
+        inst = _two_task_instance()
+        sim = MicroFactorySimulation(inst, Mapping([0, 1], 2), np.random.default_rng(0))
+        with pytest.raises(SimulationError, match="safety cap"):
+            sim.run(10_000, max_events=50)
+
+    def test_max_time_stops_early(self):
+        inst = _two_task_instance()
+        sim = MicroFactorySimulation(inst, Mapping([0, 1], 2), np.random.default_rng(0))
+        metrics = sim.run(10_000, max_time=2_000.0)
+        assert metrics.finished_products < 10_000
+        assert metrics.makespan <= 2_300.0  # one event past the cap at most
+
+    def test_trace_records_lifecycle(self):
+        inst = _two_task_instance(f0=0.3)
+        trace = SimulationTrace()
+        simulate_mapping(
+            inst, Mapping([0, 1], 2), 10, rng=np.random.default_rng(5), trace=trace
+        )
+        assert trace.count(TraceEventType.PRODUCT_OUTPUT) == 10
+        assert trace.count(TraceEventType.EXECUTION_STARTED) > 10
+        assert trace.count(TraceEventType.RAW_INJECTED) > 0
+        started = trace.filter(TraceEventType.EXECUTION_STARTED)
+        assert all(r.machine >= 0 and r.task >= 0 for r in started)
+
+    def test_trace_max_records(self):
+        inst = _two_task_instance()
+        trace = SimulationTrace(max_records=5)
+        simulate_mapping(inst, Mapping([0, 1], 2), 10, rng=np.random.default_rng(5), trace=trace)
+        assert len(trace) == 5

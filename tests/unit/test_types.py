@@ -1,0 +1,137 @@
+"""Unit tests for repro.core.types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.types import (
+    TaskType,
+    TypeAssignment,
+    blocked_type_assignment,
+    cyclic_type_assignment,
+    random_type_assignment,
+)
+from repro.exceptions import InvalidApplicationError
+
+
+class TestTaskType:
+    def test_basic_attributes(self):
+        t = TaskType(2, "gripping")
+        assert t.index == 2
+        assert int(t) == 2
+        assert str(t) == "gripping"
+
+    def test_default_name(self):
+        assert str(TaskType(0)) == "type0"
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(InvalidApplicationError):
+            TaskType(-1)
+
+    def test_equality_with_int_and_tasktype(self):
+        assert TaskType(3) == 3
+        assert TaskType(3) == TaskType(3, "other-name")
+        assert TaskType(3) != TaskType(4)
+
+    def test_hashable_by_index(self):
+        assert {TaskType(1, "a"), TaskType(1, "b")} == {TaskType(1)}
+
+
+class TestTypeAssignment:
+    def test_length_and_indexing(self):
+        ta = TypeAssignment([0, 1, 1, 0])
+        assert len(ta) == 4
+        assert ta[1] == 1
+        assert list(ta) == [0, 1, 1, 0]
+
+    def test_num_types_inferred(self):
+        assert TypeAssignment([0, 2, 1]).num_types == 3
+
+    def test_num_types_explicit_larger(self):
+        assert TypeAssignment([0, 0], num_types=4).num_types == 4
+
+    def test_num_types_explicit_too_small_rejected(self):
+        with pytest.raises(InvalidApplicationError):
+            TypeAssignment([0, 3], num_types=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidApplicationError):
+            TypeAssignment([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidApplicationError):
+            TypeAssignment([0, -1])
+
+    def test_tasks_of_type(self):
+        ta = TypeAssignment([0, 1, 0, 2, 1])
+        assert ta.tasks_of_type(0).tolist() == [0, 2]
+        assert ta.tasks_of_type(1).tolist() == [1, 4]
+        assert ta.tasks_of_type(2).tolist() == [3]
+        assert ta.tasks_of_type(7).tolist() == []
+
+    def test_type_counts(self):
+        counts = TypeAssignment([0, 1, 0, 2, 1]).type_counts()
+        assert counts == {0: 2, 1: 2, 2: 1}
+
+    def test_used_types_skips_unused(self):
+        ta = TypeAssignment([0, 2], num_types=5)
+        assert ta.used_types() == [0, 2]
+
+    def test_equality(self):
+        assert TypeAssignment([0, 1]) == TypeAssignment([0, 1])
+        assert TypeAssignment([0, 1]) != TypeAssignment([1, 0])
+        assert TypeAssignment([0, 1]) != TypeAssignment([0, 1], num_types=3)
+
+    def test_validate_against(self):
+        ta = TypeAssignment([0, 1, 0])
+        ta.validate_against(3)
+        with pytest.raises(InvalidApplicationError):
+            ta.validate_against(4)
+
+    def test_array_is_read_only(self):
+        ta = TypeAssignment([0, 1])
+        with pytest.raises(ValueError):
+            ta.as_array[0] = 5
+
+
+class TestGenerativeAssignments:
+    def test_cyclic_covers_all_types(self):
+        ta = cyclic_type_assignment(10, 3)
+        assert ta.num_types == 3
+        assert ta.used_types() == [0, 1, 2]
+        assert list(ta)[:6] == [0, 1, 2, 0, 1, 2]
+
+    def test_cyclic_rejects_more_types_than_tasks(self):
+        with pytest.raises(InvalidApplicationError):
+            cyclic_type_assignment(2, 3)
+
+    def test_blocked_assignment_is_monotone(self):
+        ta = blocked_type_assignment(10, 3)
+        values = list(ta)
+        assert values == sorted(values)
+        assert ta.used_types() == [0, 1, 2]
+
+    def test_blocked_rejects_bad_dimensions(self):
+        with pytest.raises(InvalidApplicationError):
+            blocked_type_assignment(0, 1)
+        with pytest.raises(InvalidApplicationError):
+            blocked_type_assignment(3, 5)
+
+    def test_random_assignment_covers_all_types(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            ta = random_type_assignment(8, 5, rng, ensure_all_types=True)
+            assert ta.used_types() == [0, 1, 2, 3, 4]
+
+    def test_random_assignment_reproducible(self):
+        a = random_type_assignment(20, 4, np.random.default_rng(7))
+        b = random_type_assignment(20, 4, np.random.default_rng(7))
+        assert list(a) == list(b)
+
+    def test_random_assignment_rejects_bad_dimensions(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(InvalidApplicationError):
+            random_type_assignment(0, 1, rng)
+        with pytest.raises(InvalidApplicationError):
+            random_type_assignment(3, 4, rng)
