@@ -1,0 +1,7 @@
+"""Benchmark harness package.
+
+Making ``benchmarks`` a real package lets its modules use relative
+imports (``from .conftest import ...``) under pytest's rootdir
+collection, which otherwise fails with "attempted relative import with
+no known parent package".
+"""

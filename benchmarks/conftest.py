@@ -34,6 +34,23 @@ from repro.experiments.runner import ExperimentResult
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ as ``bench``.
+
+    The default addopts (``-m "not slow and not bench"``) then keep the
+    tier-1 run free of benchmark workloads; run them explicitly with
+    ``python -m pytest -m bench [--benchmark-only]``.
+    """
+    here = Path(__file__).parent
+    for item in items:
+        try:
+            in_benchmarks = Path(str(item.fspath)).is_relative_to(here)
+        except ValueError:  # pragma: no cover - non-path items
+            in_benchmarks = False
+        if in_benchmarks:
+            item.add_marker(pytest.mark.bench)
+
+
 def _scale() -> dict:
     if os.environ.get("REPRO_BENCH_FULL") == "1":
         return {"repetitions": None, "max_points": None}

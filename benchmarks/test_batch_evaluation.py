@@ -1,0 +1,113 @@
+"""Micro-benchmarks of the vectorized batch evaluation engine.
+
+The headline number: scoring an R=500 batch of mappings (one repetition
+sweep's worth of work) with :func:`repro.batch.evaluate_batch` versus
+500 scalar :func:`repro.core.evaluate` calls.  The batch path must be at
+least 10x faster — it is the foundation the experiment runner and the
+search heuristics build on.
+
+Run with ``python -m pytest -m bench benchmarks/test_batch_evaluation.py -s``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.batch import MappingEvaluator, evaluate_batch
+from repro.core import Mapping, evaluate
+from tests.helpers import make_random_instance
+
+R = 500
+
+
+@pytest.fixture(scope="module")
+def paper_scale_instance():
+    """n=100 tasks, p=5 types, m=50 machines — the Figure 5/7 regime."""
+    return make_random_instance(100, 5, 50, seed=11)
+
+
+@pytest.fixture(scope="module")
+def mapping_batch(paper_scale_instance):
+    rng = np.random.default_rng(42)
+    inst = paper_scale_instance
+    return rng.integers(0, inst.num_machines, size=(R, inst.num_tasks))
+
+
+def _time(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_batch_speedup_at_r500(paper_scale_instance, mapping_batch):
+    """The acceptance benchmark: >= 10x over the scalar loop at R=500."""
+    inst = paper_scale_instance
+
+    def scalar_loop():
+        return [
+            evaluate(inst, Mapping(row, inst.num_machines)) for row in mapping_batch
+        ]
+
+    def batch_call():
+        return evaluate_batch(inst, mapping_batch)
+
+    # Warm both paths, then validate they agree before timing.
+    scalar_results = scalar_loop()
+    batch_result = batch_call()
+    for r in (0, R // 2, R - 1):
+        assert batch_result.periods[r] == scalar_results[r].period
+
+    scalar_time = _time(scalar_loop, repeats=1)
+    batch_time = _time(batch_call)
+    speedup = scalar_time / batch_time
+    print(
+        f"\nscalar {R} evaluations: {scalar_time * 1e3:.1f} ms, "
+        f"batch: {batch_time * 1e3:.2f} ms, speedup: {speedup:.1f}x"
+    )
+    assert speedup >= 10.0
+
+
+def test_bench_evaluate_batch(benchmark, paper_scale_instance, mapping_batch):
+    result = benchmark(evaluate_batch, paper_scale_instance, mapping_batch)
+    assert result.periods.shape == (R,)
+
+
+def test_bench_scalar_evaluation_loop(benchmark, paper_scale_instance, mapping_batch):
+    inst = paper_scale_instance
+    small = mapping_batch[:50]
+
+    def loop():
+        return [evaluate(inst, Mapping(row, inst.num_machines)) for row in small]
+
+    assert len(benchmark(loop)) == 50
+
+
+def test_bench_incremental_moves(benchmark, paper_scale_instance, mapping_batch):
+    inst = paper_scale_instance
+    rng = np.random.default_rng(3)
+    moves = list(
+        zip(
+            rng.integers(0, inst.num_tasks, size=200),
+            rng.integers(0, inst.num_machines, size=200),
+        )
+    )
+
+    def replay():
+        ev = MappingEvaluator(inst, mapping_batch[0])
+        for task, machine in moves:
+            ev.move(int(task), int(machine))
+        return ev.period
+
+    incremental = benchmark(replay)
+    ev = MappingEvaluator(inst, mapping_batch[0])
+    for task, machine in moves:
+        ev.move(int(task), int(machine))
+    assert incremental == pytest.approx(
+        evaluate(inst, ev.mapping).period, rel=1e-9
+    )

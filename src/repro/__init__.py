@@ -10,6 +10,9 @@ The package is organised as follows:
   machine platforms, per-(task, machine) transient failure rates, the
   three mapping rules (one-to-one / specialized / general) and the
   period / throughput objective;
+* :mod:`repro.batch` — vectorized batch evaluation of many mappings at
+  once, instance stacks for scenario sweeps, and incremental
+  re-evaluation under single-task moves;
 * :mod:`repro.heuristics` — the paper's six polynomial heuristics
   (H1, H2, H3, H4, H4w, H4f) plus extra baselines;
 * :mod:`repro.exact` — exact solvers: the optimal one-to-one mapping

@@ -71,6 +71,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--milp-time-limit", type=float, default=30.0, help="per-instance MIP time limit (s)"
     )
     run_parser.add_argument("--csv", action="store_true", help="print CSV instead of a table")
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "run repetitions on a process pool of this size (heuristic/OtO "
+            "curves match the serial run exactly; MIP cells may time out "
+            "under CPU oversubscription)"
+        ),
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     solve_parser = subparsers.add_parser(
@@ -107,6 +117,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_points=args.max_points,
         include_milp=False if args.no_milp else None,
         milp_time_limit=args.milp_time_limit,
+        workers=args.workers,
     )
     if args.csv:
         print(result.to_csv(), end="")

@@ -6,11 +6,24 @@ one-to-one mapping) on the *same* instances, and collects the resulting
 periods into one :class:`~repro.analysis.Series` per curve.  The output
 :class:`ExperimentResult` renders the figure as a plain-text table or CSV
 and computes the aggregate normalisation factors reported in Section 7.
+
+Repetitions are independent, so the runner can fan them out over a
+process pool (``workers=N``).  Every (sweep point, repetition) cell
+re-derives its random streams from the root seed through
+:class:`~repro.simulation.rng.RandomStreamFactory` — whose label hashing
+is process-independent — and results are folded back in the serial
+iteration order, so a parallel run is bit-for-bit identical to the
+serial one for the same seed.  The one caveat is the MIP curve: the
+backend solves under a *wall-clock* time limit, so a cell that proves
+optimality in a lightly loaded serial run may time out (and report NaN)
+when ``workers`` oversubscribes the CPU.  Heuristic and one-to-one
+curves are pure functions of the seed and carry the full guarantee.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -96,6 +109,54 @@ class ExperimentResult:
         return NormalizationReport.from_series(self.series, reference)
 
 
+def _evaluate_cell(
+    scenario: ScenarioConfig,
+    sweep_value: int,
+    repetition: int,
+    entropy,
+    use_milp: bool,
+    use_oto: bool,
+    milp_time_limit: float,
+    memoize: bool,
+) -> tuple[dict[str, float], int]:
+    """Run every curve of one (sweep point, repetition) cell.
+
+    Returns ``({curve label: period}, milp_failures)``.  All randomness
+    is re-derived from ``entropy`` through the stream factory, so the
+    result is a pure function of its arguments — the property that makes
+    the process-pool path bit-for-bit identical to the serial one.  The
+    exception is the MIP curve, whose wall-clock ``milp_time_limit``
+    makes timeout-induced NaNs load-dependent.
+    """
+    streams = RandomStreamFactory(np.random.SeedSequence(entropy))
+    instance = sample_instance(
+        scenario, sweep_value, repetition, streams, memoize=memoize
+    )
+    periods: dict[str, float] = {}
+    for name in scenario.heuristics:
+        rng = streams.stream(f"heuristic/{name}/{sweep_value}", repetition)
+        periods[name] = get_heuristic(name).solve(instance, rng).period
+    if use_oto:
+        try:
+            periods[OTO_LABEL] = optimal_one_to_one(instance).period
+        except SolverError:
+            periods[OTO_LABEL] = float("nan")
+    milp_failures = 0
+    if use_milp:
+        milp = solve_specialized_milp(instance, time_limit=milp_time_limit)
+        if milp.is_optimal:
+            periods[MIP_LABEL] = milp.period
+        else:
+            milp_failures = 1
+            periods[MIP_LABEL] = float("nan")
+    return periods, milp_failures
+
+
+def _evaluate_cell_args(args) -> tuple[dict[str, float], int]:
+    """Tuple-unpacking adapter for ``ProcessPoolExecutor.map``."""
+    return _evaluate_cell(*args)
+
+
 def run_scenario(
     scenario: ScenarioConfig,
     *,
@@ -105,6 +166,8 @@ def run_scenario(
     milp_time_limit: float = 30.0,
     figure_id: str = "custom",
     normalize_to: str | None = None,
+    workers: int | None = None,
+    memoize_instances: bool = False,
 ) -> ExperimentResult:
     """Run one scenario and collect the per-curve period series.
 
@@ -121,9 +184,24 @@ def run_scenario(
         Per-instance time limit handed to the MIP backend.
     figure_id, normalize_to:
         Reporting metadata (filled automatically by :func:`run_figure`).
+    workers:
+        Fan the (sweep point, repetition) cells out over a process pool
+        of this size.  ``None`` or ``1`` runs serially in-process; any
+        value produces bit-for-bit the same heuristic/one-to-one series
+        as the serial run for the same seed (MIP cells can additionally
+        time out under CPU oversubscription — see the module docstring).
+    memoize_instances:
+        Cache sampled instances under their (scenario, cell, seed) key
+        (serial path only).  Worth turning on when several runs in one
+        process share a scenario and seed — e.g. repeated ``run_figure``
+        calls in a benchmark loop; each cell is drawn once per run, so
+        a single run gains nothing and the default keeps memory flat.
     """
     start = time.perf_counter()
     streams = RandomStreamFactory(seed)
+    # Resolve the effective entropy up front: with seed=None a random one
+    # is drawn here once, so serial and parallel cells share it.
+    entropy = streams.entropy
     use_milp = scenario.include_milp if include_milp is None else include_milp
     use_oto = scenario.include_one_to_one if include_one_to_one is None else include_one_to_one
 
@@ -133,29 +211,35 @@ def run_scenario(
     if use_oto:
         series[OTO_LABEL] = Series(label=OTO_LABEL)
 
-    heuristics = {name: get_heuristic(name) for name in scenario.heuristics}
-    milp_failures = 0
+    cells = [
+        (sweep_value, repetition)
+        for sweep_value in scenario.sweep_values
+        for repetition in range(scenario.repetitions)
+    ]
+    if workers is not None and workers > 1:
+        job_args = [
+            (scenario, sweep_value, repetition, entropy, use_milp, use_oto, milp_time_limit, False)
+            for sweep_value, repetition in cells
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            chunksize = max(1, len(job_args) // (workers * 4))
+            outcomes = list(pool.map(_evaluate_cell_args, job_args, chunksize=chunksize))
+    else:
+        outcomes = [
+            _evaluate_cell(
+                scenario, sweep_value, repetition, entropy, use_milp, use_oto,
+                milp_time_limit, memoize_instances,
+            )
+            for sweep_value, repetition in cells
+        ]
 
-    for sweep_value in scenario.sweep_values:
-        for repetition in range(scenario.repetitions):
-            instance = sample_instance(scenario, sweep_value, repetition, streams)
-            for name, heuristic in heuristics.items():
-                rng = streams.stream(f"heuristic/{name}/{sweep_value}", repetition)
-                result = heuristic.solve(instance, rng)
-                series[name].add(sweep_value, result.period)
-            if use_oto:
-                try:
-                    oto = optimal_one_to_one(instance)
-                    series[OTO_LABEL].add(sweep_value, oto.period)
-                except SolverError:
-                    series[OTO_LABEL].add(sweep_value, float("nan"))
-            if use_milp:
-                milp = solve_specialized_milp(instance, time_limit=milp_time_limit)
-                if milp.is_optimal:
-                    series[MIP_LABEL].add(sweep_value, milp.period)
-                else:
-                    milp_failures += 1
-                    series[MIP_LABEL].add(sweep_value, float("nan"))
+    # Fold the per-cell results back in the serial iteration order, so the
+    # series contents do not depend on worker scheduling.
+    milp_failures = 0
+    for (sweep_value, _repetition), (periods, cell_failures) in zip(cells, outcomes):
+        milp_failures += cell_failures
+        for label, value in periods.items():
+            series[label].add(sweep_value, value)
 
     normalized: dict[str, Series] | None = None
     if normalize_to is not None:
@@ -190,6 +274,7 @@ def run_figure(
     include_milp: bool | None = None,
     include_one_to_one: bool | None = None,
     milp_time_limit: float = 30.0,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Reproduce one figure of the paper.
 
@@ -201,6 +286,10 @@ def run_figure(
     repetitions, max_points:
         Optional scaling-down of the paper's full sweep (fewer repetitions
         per point / fewer sweep points), for quick runs and benchmarks.
+    workers:
+        Size of the repetition process pool; ``None``/``1`` runs serially
+        with identical results for the heuristic and one-to-one curves
+        (see :func:`run_scenario` for the MIP time-limit caveat).
     """
     try:
         spec: FigureSpec = FIGURES[figure_id]
@@ -217,4 +306,5 @@ def run_figure(
         milp_time_limit=milp_time_limit,
         figure_id=figure_id,
         normalize_to=spec.normalize_to,
+        workers=workers,
     )

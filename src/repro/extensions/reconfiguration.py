@@ -121,13 +121,23 @@ class ReconfigurationAwareHeuristic(Heuristic):
         if instance.num_machines < 1:
             raise InfeasibleProblemError("at least one machine is required")
 
+    def _switches_vector(self, num_types: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`ReconfigurationModel.switches` over machine counts."""
+        if self.model.policy == "cycle":
+            return np.where(num_types >= 2, num_types, 0)
+        return np.where(num_types >= 2, num_types - 1, 0)
+
     def solve_mapping(self, instance, rng=None):
         order = backward_task_order(instance)
         n, m = instance.num_tasks, instance.num_machines
         assignment = np.full(n, -1, dtype=np.int64)
         x = np.zeros(n)
         accumulated = np.zeros(m)
-        types_on_machine: list[set[int]] = [set() for _ in range(m)]
+        #: runs_type[u, j] — machine u already runs a task of type j
+        runs_type = np.zeros((m, instance.num_types), dtype=bool)
+        type_counts = np.zeros(m, dtype=np.int64)
+        w = instance.processing_times
+        f = instance.failure_rates
         app = instance.application
 
         for task in order:
@@ -135,24 +145,23 @@ class ReconfigurationAwareHeuristic(Heuristic):
             demand = 1.0 if succ is None else float(x[succ])
             task_type = instance.type_of(task)
 
-            def score(machine: int) -> tuple[float, int]:
-                x_task = demand / (1.0 - instance.f(task, machine))
-                work = x_task * instance.w(task, machine)
-                current_types = types_on_machine[machine]
-                before = self.model.switches(len(current_types))
-                after = self.model.switches(len(current_types | {task_type}))
-                penalty = self.model.setup_time * (after - before)
-                return (float(accumulated[machine] + work + penalty), machine)
-
-            best = min(range(m), key=score)
-            x_task = demand / (1.0 - instance.f(task, best))
-            x[task] = x_task
-            before = self.model.switches(len(types_on_machine[best]))
-            types_on_machine[best].add(task_type)
-            after = self.model.switches(len(types_on_machine[best]))
-            accumulated[best] += x_task * instance.w(task, best) + self.model.setup_time * (
-                after - before
+            # Score every machine at once: expected work plus the marginal
+            # reconfiguration penalty of adding this task's type.
+            x_candidates = demand / (1.0 - f[task, :])
+            work = x_candidates * w[task, :]
+            counts_after = type_counts + np.where(runs_type[:, task_type], 0, 1)
+            penalty = self.model.setup_time * (
+                self._switches_vector(counts_after) - self._switches_vector(type_counts)
             )
+            # np.argmin keeps the lowest machine index among ties, matching
+            # the old (score, machine) selection.
+            best = int(np.argmin(accumulated + work + penalty))
+
+            x[task] = x_candidates[best]
+            if not runs_type[best, task_type]:
+                runs_type[best, task_type] = True
+                type_counts[best] += 1
+            accumulated[best] += work[best] + penalty[best]
             assignment[task] = best
 
         return Mapping(assignment, m), 1, {"policy": self.model.policy}

@@ -122,6 +122,8 @@ class AssignmentState:
         "x",
         "_remaining_type_counts",
         "_free_machines",
+        "_machine_type_arr",
+        "_types_with_machine",
     )
 
     def __init__(self, instance: ProblemInstance, order: Sequence[int] | None = None):
@@ -134,6 +136,10 @@ class AssignmentState:
         self.assignment = np.full(n, -1, dtype=np.int64)
         #: machine index -> type it is dedicated to (absent = free machine)
         self.machine_type: dict[int, int] = {}
+        #: vectorized mirror of machine_type (-1 = free machine)
+        self._machine_type_arr = np.full(m, -1, dtype=np.int64)
+        #: types that own at least one dedicated machine
+        self._types_with_machine: set[int] = set()
         #: accumulated expected busy time per machine (x_j * w[j, u] summed)
         self.accumulated = np.zeros(m, dtype=np.float64)
         #: expected products per task; -1 until the task is assigned
@@ -201,6 +207,17 @@ class AssignmentState:
             + self.candidate_products(task, machine) * self.instance.w(task, machine)
         )
 
+    def candidate_products_vector(self, task: int) -> np.ndarray:
+        """``x_i`` the task would get on each machine, as an ``(m,)`` vector."""
+        demand = self.downstream_demand(task)
+        return demand / (1.0 - self.instance.failure_rates[task, :])
+
+    def candidate_exec_vector(self, task: int) -> np.ndarray:
+        """Vectorized :meth:`candidate_exec` over every machine at once."""
+        return self.accumulated + self.candidate_products_vector(
+            task
+        ) * self.instance.processing_times[task, :]
+
     # -- machine eligibility --------------------------------------------------------------
     def num_free_machines(self) -> int:
         """Machines not yet dedicated to any type."""
@@ -215,7 +232,7 @@ class AssignmentState:
         )
 
     def _has_machine_for(self, type_index: int) -> bool:
-        return any(t == type_index for t in self.machine_type.values())
+        return type_index in self._types_with_machine
 
     def machines_of_type(self, type_index: int) -> list[int]:
         """Machines already dedicated to ``type_index``."""
@@ -242,9 +259,29 @@ class AssignmentState:
         # types, so using a free machine for it always keeps the invariant.
         return self._free_machines - 1 >= pending - 1
 
+    def eligible_mask(self, task: int) -> np.ndarray:
+        """Boolean ``(m,)`` mask of machines that may receive ``task``.
+
+        Vectorized equivalent of calling :meth:`is_eligible` for every
+        machine: a machine qualifies when it is dedicated to the task's
+        type, or free and the ``nbFreeMachines / nbTypesToGo`` guard
+        allows dedicating it.
+        """
+        task_type = self.instance.type_of(task)
+        dedicated_ok = self._machine_type_arr == task_type
+        free = self._machine_type_arr == -1
+        pending = self.num_pending_types()
+        if self._has_machine_for(task_type):
+            free_ok = self._free_machines - 1 >= pending
+        else:
+            free_ok = self._free_machines - 1 >= pending - 1
+        if not free_ok:
+            return dedicated_ok
+        return dedicated_ok | free
+
     def eligible_machines(self, task: int) -> list[int]:
         """All machines that may receive ``task`` (ascending index)."""
-        return [u for u in range(self.instance.num_machines) if self.is_eligible(task, u)]
+        return [int(u) for u in np.flatnonzero(self.eligible_mask(task))]
 
     # -- mutation ---------------------------------------------------------------------
     def assign(self, task: int, machine: int) -> None:
@@ -270,6 +307,8 @@ class AssignmentState:
         task_type = self.instance.type_of(task)
         if machine not in self.machine_type:
             self.machine_type[machine] = task_type
+            self._machine_type_arr[machine] = task_type
+            self._types_with_machine.add(task_type)
             self._free_machines -= 1
         x_task = self.candidate_products(task, machine)
         self.x[task] = x_task

@@ -89,10 +89,26 @@ class BinarySearchHeuristic(Heuristic):
 
     # -- machine ranking (heuristic-specific) -----------------------------------------
     @abc.abstractmethod
+    def machine_order(
+        self, instance: ProblemInstance, state: AssignmentState, task: int
+    ) -> np.ndarray:
+        """Permutation of *all* machine indices, most preferred first.
+
+        The bisection driver intersects this order with the eligibility
+        and period-feasibility masks; returning a full permutation lets
+        the ranking itself be computed with vectorized NumPy sorts.
+        """
+
     def machine_priority(
         self, instance: ProblemInstance, state: AssignmentState, task: int, machines: list[int]
     ) -> list[int]:
-        """Order eligible machines from most to least preferred for ``task``."""
+        """Order the given eligible machines from most to least preferred.
+
+        Convenience wrapper restricting :meth:`machine_order` to a subset;
+        kept for introspection and tests.
+        """
+        keep = set(machines)
+        return [int(u) for u in self.machine_order(instance, state, task) if int(u) in keep]
 
     def prepare(self, instance: ProblemInstance) -> None:
         """Hook for per-instance precomputation (ranks, heterogeneity)."""
@@ -106,17 +122,17 @@ class BinarySearchHeuristic(Heuristic):
         while not state.is_complete():
             task = state.next_task()
             assert task is not None
-            eligible = state.eligible_machines(task)
-            if not eligible:
+            # One vectorized pass: eligibility, projected completion times
+            # and the preference order are all (m,) arrays; the chosen
+            # machine is the first of the order that satisfies both masks.
+            feasible = state.eligible_mask(task) & (
+                state.candidate_exec_vector(task) <= target_period
+            )
+            if not feasible.any():
                 return None
-            placed = False
-            for machine in self.machine_priority(instance, state, task, eligible):
-                if state.candidate_exec(task, machine) <= target_period:
-                    state.assign(task, machine)
-                    placed = True
-                    break
-            if not placed:
-                return None
+            order = self.machine_order(instance, state, task)
+            ranked = np.flatnonzero(feasible[order])
+            state.assign(task, int(order[ranked[0]]))
         return state.to_mapping()
 
     # -- Heuristic API ------------------------------------------------------------------
@@ -176,12 +192,15 @@ class RankBinarySearchHeuristic(BinarySearchHeuristic):
             ranks[order[:, u], u] = rows
         self._ranks = ranks
 
-    def machine_priority(
-        self, instance: ProblemInstance, state: AssignmentState, task: int, machines: list[int]
-    ) -> list[int]:
+    def machine_order(
+        self, instance: ProblemInstance, state: AssignmentState, task: int
+    ) -> np.ndarray:
         assert self._ranks is not None
         w = instance.processing_times
-        return sorted(machines, key=lambda u: (int(self._ranks[task, u]), float(w[task, u]), u))
+        # lexsort: last key is primary — rank, then w[task, u], then u.
+        return np.lexsort(
+            (np.arange(instance.num_machines), w[task, :], self._ranks[task, :])
+        )
 
 
 @register_heuristic
@@ -197,14 +216,16 @@ class HeterogeneityBinarySearchHeuristic(BinarySearchHeuristic):
     def prepare(self, instance: ProblemInstance) -> None:
         self._heterogeneity = instance.platform.machine_heterogeneity()
 
-    def machine_priority(
-        self, instance: ProblemInstance, state: AssignmentState, task: int, machines: list[int]
-    ) -> list[int]:
+    def machine_order(
+        self, instance: ProblemInstance, state: AssignmentState, task: int
+    ) -> np.ndarray:
         assert self._heterogeneity is not None
-        het = self._heterogeneity
         # Most heterogeneous first; break ties with the smaller projected
         # completion time, then the machine index for determinism.
-        return sorted(
-            machines,
-            key=lambda u: (-float(het[u]), state.candidate_exec(task, u), u),
+        return np.lexsort(
+            (
+                np.arange(instance.num_machines),
+                state.candidate_exec_vector(task),
+                -self._heterogeneity,
+            )
         )

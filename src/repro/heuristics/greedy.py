@@ -38,7 +38,13 @@ __all__ = [
 
 
 class GreedyCompletionHeuristic(Heuristic):
-    """Shared single-pass greedy driver for the H4 family."""
+    """Shared single-pass greedy driver for the H4 family.
+
+    The inner loop scores every machine at once: the per-(task, machine)
+    part of each criterion is a fixed matrix (``w * F``, ``w`` or ``F``)
+    scaled by the downstream demand, so one NumPy expression replaces the
+    per-machine Python comparison loop.
+    """
 
     @abc.abstractmethod
     def criterion(
@@ -46,25 +52,36 @@ class GreedyCompletionHeuristic(Heuristic):
     ) -> float:
         """The task-local cost added to ``accu_u`` when scoring ``machine``."""
 
+    def criterion_matrix(self, instance: ProblemInstance) -> np.ndarray:
+        """The ``(n, m)`` matrix ``C`` with ``criterion = demand * C[i, u]``.
+
+        Subclasses override this with a closed-form NumPy expression; the
+        fallback builds it from the scalar :meth:`criterion`.
+        """
+        n, m = instance.num_tasks, instance.num_machines
+        return np.array(
+            [[self.criterion(instance, i, u, 1.0) for u in range(m)] for i in range(n)]
+        )
+
     def solve_mapping(
         self, instance: ProblemInstance, rng: np.random.Generator | None = None
     ) -> tuple[Mapping, int, dict]:
         state = AssignmentState(instance, backward_task_order(instance))
+        criterion = self.criterion_matrix(instance)
         while not state.is_complete():
             task = state.next_task()
             assert task is not None
             demand = state.downstream_demand(task)
-            eligible = state.eligible_machines(task)
             # The AssignmentState feasibility guard guarantees eligibility
             # whenever m >= p, which check_feasible() has already verified.
-            best_machine = min(
-                eligible,
-                key=lambda u: (
-                    float(state.accumulated[u]) + self.criterion(instance, task, u, demand),
-                    u,
-                ),
+            scores = np.where(
+                state.eligible_mask(task),
+                state.accumulated + demand * criterion[task],
+                np.inf,
             )
-            state.assign(task, best_machine)
+            # np.argmin keeps the lowest machine index among exact ties,
+            # matching the old (score, machine) lexicographic selection.
+            state.assign(task, int(np.argmin(scores)))
         return state.to_mapping(), 1, {}
 
 
@@ -83,6 +100,9 @@ class BestPerformanceHeuristic(GreedyCompletionHeuristic):
             * instance.attempts_factor(task, machine)
         )
 
+    def criterion_matrix(self, instance: ProblemInstance) -> np.ndarray:
+        return instance.processing_times * instance.failures.attempts_factors
+
 
 @register_heuristic
 class FastestMachineHeuristic(GreedyCompletionHeuristic):
@@ -95,6 +115,9 @@ class FastestMachineHeuristic(GreedyCompletionHeuristic):
     ) -> float:
         return downstream_demand * instance.w(task, machine)
 
+    def criterion_matrix(self, instance: ProblemInstance) -> np.ndarray:
+        return instance.processing_times
+
 
 @register_heuristic
 class ReliableMachineHeuristic(GreedyCompletionHeuristic):
@@ -106,3 +129,6 @@ class ReliableMachineHeuristic(GreedyCompletionHeuristic):
         self, instance: ProblemInstance, task: int, machine: int, downstream_demand: float
     ) -> float:
         return downstream_demand * instance.attempts_factor(task, machine)
+
+    def criterion_matrix(self, instance: ProblemInstance) -> np.ndarray:
+        return instance.failures.attempts_factors

@@ -13,11 +13,23 @@ experiment seed so that:
 
 from __future__ import annotations
 
+import zlib
 from collections.abc import Iterator
 
 import numpy as np
 
 __all__ = ["RandomStreamFactory", "spawn_generators", "generator_from"]
+
+
+def _label_key(label: str) -> int:
+    """Stable 32-bit key for a stream label.
+
+    Deliberately *not* Python's ``hash()``: string hashing is salted per
+    process (PYTHONHASHSEED), which would silently break the "same seed,
+    same results" guarantee across interpreter restarts and in worker
+    processes of the parallel experiment runner.
+    """
+    return zlib.crc32(label.encode("utf-8")) & 0xFFFFFFFF
 
 
 def generator_from(seed: int | np.random.SeedSequence | np.random.Generator | None) -> np.random.Generator:
@@ -59,6 +71,17 @@ class RandomStreamFactory:
         )
 
     @property
+    def entropy(self):
+        """The full root entropy (int or tuple of ints).
+
+        Enough to reconstruct an identical factory in another process:
+        ``RandomStreamFactory(np.random.SeedSequence(entropy))`` produces
+        the same streams, because :meth:`stream` derives children from the
+        entropy alone.
+        """
+        return self._root.entropy
+
+    @property
     def root_entropy(self) -> int | None:
         """The root entropy (useful for logging the effective seed)."""
         entropy = self._root.entropy
@@ -67,13 +90,15 @@ class RandomStreamFactory:
         return int(entropy) if entropy is not None else None
 
     def stream(self, label: str, index: int = 0) -> np.random.Generator:
-        """Deterministic generator for the given ``(label, index)`` pair."""
-        # Hash the label into a stable integer key; SeedSequence accepts a
-        # spawn_key-like tuple through its `spawn_key` argument indirectly
-        # via constructing a child sequence with extra entropy words.
-        label_key = abs(hash(label)) % (2**32)
+        """Deterministic generator for the given ``(label, index)`` pair.
+
+        The label is digested with a process-independent CRC so that the
+        same ``(seed, label, index)`` triple yields the same stream in any
+        process — a requirement of the parallel experiment runner, whose
+        workers re-derive their streams independently.
+        """
         child = np.random.SeedSequence(
-            entropy=self._root.entropy, spawn_key=(label_key, int(index))
+            entropy=self._root.entropy, spawn_key=(_label_key(label), int(index))
         )
         return np.random.default_rng(child)
 

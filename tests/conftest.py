@@ -2,8 +2,18 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
+
+# Hypothesis tiers: the "default" profile keeps tier-1 property tests
+# quick; CI's non-blocking slow job (and local deep runs) select
+# HYPOTHESIS_PROFILE=thorough.  Per-test @settings override these.
+settings.register_profile("default", max_examples=25, deadline=None)
+settings.register_profile("thorough", max_examples=300, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 from repro.core import (
     Application,

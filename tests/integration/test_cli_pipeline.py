@@ -5,9 +5,36 @@ from __future__ import annotations
 import csv
 import io
 
+import pytest
+
 from repro.cli import main
 
 
+def test_cli_csv_output_without_milp_parses(capsys):
+    """Fast tier-1 variant: a scaled-down run with the MIP skipped."""
+    code = main(
+        [
+            "run",
+            "fig6",
+            "--repetitions",
+            "2",
+            "--max-points",
+            "2",
+            "--seed",
+            "5",
+            "--no-milp",
+            "--csv",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    rows = list(csv.DictReader(io.StringIO(output)))
+    assert len(rows) == 2
+    for row in rows:
+        assert float(row["H4w_mean"]) > 0
+
+
+@pytest.mark.slow
 def test_cli_csv_output_parses_and_has_consistent_columns(capsys):
     code = main(
         [
@@ -33,6 +60,7 @@ def test_cli_csv_output_parses_and_has_consistent_columns(capsys):
         assert mean > 0
 
 
+@pytest.mark.slow
 def test_cli_report_mentions_mip_factors(capsys):
     code = main(
         [

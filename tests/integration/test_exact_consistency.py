@@ -20,6 +20,9 @@ from repro.heuristics import PAPER_HEURISTICS, get_heuristic
 from tests.helpers import make_random_instance
 
 
+pytestmark = pytest.mark.slow
+
+
 @pytest.mark.parametrize("seed", range(6))
 def test_milp_branch_and_bound_bruteforce_agree(seed):
     inst = make_random_instance(6, 2, 3, seed=seed)

@@ -15,6 +15,9 @@ from repro.experiments import run_figure
 from repro.experiments.runner import MIP_LABEL, OTO_LABEL
 
 
+pytestmark = pytest.mark.slow
+
+
 @pytest.fixture(scope="module")
 def fig5_small():
     return run_figure("fig5", seed=1, repetitions=3, max_points=3)
@@ -106,11 +109,17 @@ class TestFigure10And11Shape:
 
 class TestFigure8HighFailures:
     def test_high_failure_periods_dominate_low_failure_periods(self):
-        high = run_figure("fig8", seed=3, repetitions=2, max_points=2)
-        low = run_figure("fig6", seed=3, repetitions=2, max_points=2)
-        # Same m=10 platform family; the high-failure setting has p=5 and
-        # failure rates up to 10%, so its periods are clearly larger at the
-        # common task count n=10.
-        high_h2 = high.series["H2"].point(10).mean
-        low_h2 = low.series["H2"].point(10).mean
-        assert high_h2 > low_h2
+        # Same scenario name and seed => identical applications and w
+        # matrices; only the failure range differs, and the failure draws
+        # scale the same underlying uniforms, so the high-failure rates
+        # dominate pointwise and the periods must be larger.
+        from dataclasses import replace
+
+        from repro.experiments.figures import FIGURES
+        from repro.experiments.runner import run_scenario
+
+        scenario = FIGURES["fig8"].scenario.scaled(repetitions=2, max_points=2)
+        high = run_scenario(scenario, seed=3)
+        low = run_scenario(replace(scenario, f_range=(0.0, 0.02)), seed=3)
+        for x in high.series["H2"].x_values:
+            assert high.series["H2"].point(x).mean > low.series["H2"].point(x).mean

@@ -22,6 +22,9 @@ from repro.core import (
     throughput,
 )
 
+pytestmark = pytest.mark.slow
+
+
 # ---------------------------------------------------------------------------
 # Strategies
 # ---------------------------------------------------------------------------

@@ -15,6 +15,9 @@ from repro.heuristics import PAPER_HEURISTICS, get_heuristic
 from repro.heuristics.binary_search import worst_case_period_bound
 
 
+pytestmark = pytest.mark.slow
+
+
 @st.composite
 def feasible_instances(draw, max_tasks: int = 7, max_machines: int = 5):
     """Chain instances guaranteed to admit a specialized mapping (m >= p)."""
