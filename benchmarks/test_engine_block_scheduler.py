@@ -1,0 +1,119 @@
+"""Benchmarks of the block-scheduled experiment engine.
+
+The acceptance number for the engine refactor: scoring a heuristic
+curve's ``R`` mappings through the block path — one vectorized
+:class:`~repro.batch.InstanceStack` pass — must be at least **3x faster**
+than the per-cell path's ``R`` scalar :func:`repro.core.evaluate` calls
+at ``R >= 50`` repetitions.  A second (informational) timing compares
+the end-to-end engines, where the per-instance heuristic solves are
+shared work and bound the overall ratio.
+
+Run with ``python -m pytest -m bench benchmarks/test_engine_block_scheduler.py -s``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Mapping, evaluate
+from repro.experiments import CellBlock, HeuristicProvider, run_scenario
+from repro.generators import ScenarioConfig
+from repro.simulation.rng import RandomStreamFactory
+
+#: The acceptance repetition count ("repetitions >= 50").
+R = 50
+
+
+@pytest.fixture(scope="module")
+def scenario() -> ScenarioConfig:
+    """A Figure 5-shaped sweep point at R=50 repetitions."""
+    return ScenarioConfig(
+        name="bench-engine",
+        num_machines=50,
+        num_types=5,
+        sweep="tasks",
+        sweep_values=(100,),
+        repetitions=R,
+        heuristics=("H4w",),
+    )
+
+
+@pytest.fixture(scope="module")
+def block(scenario) -> CellBlock:
+    return CellBlock.sample(scenario, 100, RandomStreamFactory(17))
+
+
+def _time(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_block_scoring_speedup_at_r50(scenario, block):
+    """Acceptance: the stack scoring pass >= 3x over R scalar evaluations."""
+    provider = HeuristicProvider("H4w")
+    assignments = provider.solve_block(block)
+
+    def scalar_scoring():
+        return [
+            evaluate(instance, Mapping(assignments[i], instance.num_machines)).period
+            for i, instance in enumerate(block.instances)
+        ]
+
+    def block_scoring():
+        return block.stack.periods(assignments)
+
+    scalar_periods = scalar_scoring()
+    block_periods = block_scoring()
+    for i in (0, R // 2, R - 1):
+        assert block_periods[i] == scalar_periods[i]  # bit-for-bit
+
+    scalar_time = _time(scalar_scoring)
+    block_time = _time(block_scoring)
+    speedup = scalar_time / block_time
+    print(
+        f"\nscoring {R} mappings: scalar {scalar_time * 1e3:.1f} ms, "
+        f"stack pass {block_time * 1e3:.2f} ms, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0
+
+
+def test_end_to_end_engines_report(scenario):
+    """Informational: whole-run block vs cells timing (solves are shared)."""
+    cells_time = _time(
+        lambda: run_scenario(scenario, seed=17, engine="cells"), repeats=1
+    )
+    block_time = _time(
+        lambda: run_scenario(scenario, seed=17, engine="block"), repeats=1
+    )
+    print(
+        f"\nend-to-end R={R} sweep point: cells {cells_time * 1e3:.0f} ms, "
+        f"block {block_time * 1e3:.0f} ms ({cells_time / block_time:.2f}x)"
+    )
+    # The block engine must never be slower than the per-cell path by more
+    # than measurement noise.
+    assert block_time <= cells_time * 1.10
+
+
+def test_bench_block_scoring(benchmark, block):
+    provider = HeuristicProvider("H4w")
+    assignments = provider.solve_block(block)
+    periods = benchmark(block.stack.periods, assignments)
+    assert periods.shape == (R,)
+
+
+def test_bench_block_pipeline(benchmark, scenario):
+    """Sampling + solving + scoring one whole block."""
+
+    def pipeline():
+        fresh = CellBlock.sample(scenario, 100, RandomStreamFactory(17))
+        return HeuristicProvider("H4w").evaluate_block(fresh)
+
+    result = benchmark(pipeline)
+    assert result.periods.shape == (R,)

@@ -14,7 +14,7 @@ from collections.abc import Mapping, Sequence
 
 from .stats import Series
 
-__all__ = ["series_table", "series_to_csv", "format_table"]
+__all__ = ["series_table", "series_to_csv", "format_table", "catalog_table"]
 
 
 def format_table(
@@ -42,6 +42,19 @@ def format_table(
     output = [line(list(headers)), separator]
     output.extend(line(row) for row in text_rows)
     return "\n".join(output)
+
+
+def catalog_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Aligned table of uniform dict rows (e.g. a result-store catalogue).
+
+    Column order follows the first row's key order; missing keys render
+    empty.  Used by ``microrepro export`` to list the runs a store holds.
+    """
+    if not rows:
+        return "(empty)"
+    headers = list(rows[0])
+    body = [[row.get(header, "") for header in headers] for row in rows]
+    return format_table(headers, body)
 
 
 def _collect_x_values(series_by_label: Mapping[str, Series]) -> list[int]:

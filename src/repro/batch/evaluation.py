@@ -316,23 +316,45 @@ class InstanceStack:
         self._f = f
 
     @classmethod
-    def from_instances(cls, instances: Sequence[ProblemInstance]) -> "InstanceStack":
-        """Stack existing instances, validating shared structure."""
+    def from_instances(
+        cls,
+        instances: Sequence[ProblemInstance],
+        *,
+        require_uniform_types: bool = True,
+    ) -> "InstanceStack":
+        """Stack existing instances, validating shared structure.
+
+        Parameters
+        ----------
+        require_uniform_types:
+            By default every instance must share the full application
+            (types *and* edges).  Period evaluation only depends on the
+            precedence graph and the per-instance ``w``/``f`` matrices —
+            not on task types — so passing ``False`` relaxes the check to
+            edges and platform size only.  This is what lets the
+            experiment engine stack the repetitions of a sweep point,
+            whose random chains share the graph but draw fresh type
+            vectors.  In that mode :meth:`instance` reports the *first*
+            instance's types and must not be relied on for type-aware
+            work (mapping-rule validation, heuristics).
+        """
         if not instances:
             raise InvalidInstanceError("cannot stack zero instances")
         first = instances[0]
-        signature = (
-            tuple(first.application.types),
-            tuple(sorted(first.application.graph.edges)),
-            first.num_machines,
-        )
-        for inst in instances[1:]:
-            other = (
-                tuple(inst.application.types),
+
+        def signature(inst: ProblemInstance) -> tuple:
+            structural = (
                 tuple(sorted(inst.application.graph.edges)),
+                inst.num_tasks,
                 inst.num_machines,
             )
-            if other != signature:
+            if require_uniform_types:
+                return (tuple(inst.application.types),) + structural
+            return structural
+
+        reference = signature(first)
+        for inst in instances[1:]:
+            if signature(inst) != reference:
                 raise InvalidInstanceError(
                     "instances in a stack must share application structure "
                     "and platform size"

@@ -216,6 +216,52 @@ class MappingEvaluator:
         candidates[diag, diag] += self._x[task] * ratios * self._w[task, :]
         return candidates.max(axis=1)
 
+    def best_move(
+        self,
+        *,
+        allowed: np.ndarray | None = None,
+        rel_tol: float = 1e-12,
+    ) -> tuple[int, int, float] | None:
+        """The single-task move that lowers the period the most, if any.
+
+        Scans every (task, destination) pair through
+        :meth:`candidate_periods` and returns ``(task, machine,
+        new_period)`` for the best strictly improving move, or ``None``
+        when the mapping is a local optimum of the single-move
+        neighbourhood.  Ties are broken by lowest task index, then lowest
+        machine index, so the result is deterministic.
+
+        Parameters
+        ----------
+        allowed:
+            Optional boolean ``(n, m)`` mask restricting the destinations
+            considered for each task (e.g. to the moves that keep a
+            mapping specialized).  ``None`` allows every destination.
+        rel_tol:
+            A move must beat the current period by this relative margin to
+            count as improving — the guard that keeps local-search loops
+            from cycling on floating-point noise.
+        """
+        n, m = self.instance.num_tasks, self.instance.num_machines
+        if allowed is not None:
+            allowed = np.asarray(allowed, dtype=bool)
+            if allowed.shape != (n, m):
+                raise InvalidMappingError(
+                    f"allowed mask must have shape ({n}, {m}), got {allowed.shape}"
+                )
+        current = self.period
+        threshold = current * (1.0 - rel_tol)
+        best: tuple[int, int, float] | None = None
+        for task in range(n):
+            candidates = self.candidate_periods(task)
+            if allowed is not None:
+                candidates = np.where(allowed[task], candidates, np.inf)
+            machine = int(np.argmin(candidates))
+            value = float(candidates[machine])
+            if value < threshold and (best is None or value < best[2]):
+                best = (task, machine, value)
+        return best
+
     # -- mutation ---------------------------------------------------------------
     def move(self, task: int, machine: int) -> float:
         """Reassign ``task`` to ``machine`` and return the new period.

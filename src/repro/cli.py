@@ -10,34 +10,63 @@ Reproduce Figure 10 with a reduced sweep (3 repetitions per point)::
 
     microrepro run fig10 --repetitions 3 --seed 42
 
+Run a persistent, resumable campaign over several figures::
+
+    microrepro campaign fig5 fig6 --store results/ --repetitions 10
+    microrepro resume --store results/          # picks up where it stopped
+    microrepro export --store results/          # list what the store holds
+    microrepro export --store results/ fig5 --csv
+
 Solve one random instance with every heuristic and the exact MIP::
 
     microrepro solve --tasks 10 --types 3 --machines 5 --seed 7 --milp
 
-The same entry point is available as ``python -m repro``.
+The same entry point is available as ``python -m repro``.  When
+``--store`` is omitted the ``REPRO_STORE`` environment variable supplies
+the store directory.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from collections.abc import Sequence
 
 import numpy as np
 
 from ._version import __version__
+from .analysis.tables import catalog_table
 from .core.failure import FailureModel
 from .core.instance import ProblemInstance
 from .core.platform import Platform
 from .exact.milp import solve_specialized_milp
+from .exceptions import ExperimentError, ReproError
 from .experiments.figures import FIGURES, figure_ids
-from .experiments.reporting import figure_report
+from .experiments.reporting import campaign_report, figure_report, summary_line
 from .experiments.runner import run_figure
+from .experiments.store import ResultStore
 from .generators.applications import random_chain_application
 from .generators.platforms import random_failure_rates, random_processing_times
 from .heuristics import PAPER_HEURISTICS, get_heuristic
 
 __all__ = ["main", "build_parser"]
+
+#: Environment variable consulted when ``--store`` is not given.
+STORE_ENV_VAR = "REPRO_STORE"
+#: Name of the campaign manifest file inside a store directory.
+CAMPAIGN_MANIFEST = "campaign.json"
+
+
+def _add_store_argument(parser: argparse.ArgumentParser, *, required_hint: bool) -> None:
+    suffix = "" if not required_hint else " (required unless $REPRO_STORE is set)"
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=f"result-store directory; defaults to ${STORE_ENV_VAR}{suffix}",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,12 +105,100 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help=(
-            "run repetitions on a process pool of this size (heuristic/OtO "
+            "run repetition blocks on a process pool of this size (heuristic/OtO "
             "curves match the serial run exactly; MIP cells may time out "
             "under CPU oversubscription)"
         ),
     )
+    run_parser.add_argument(
+        "--engine",
+        choices=("block", "cells"),
+        default="block",
+        help="block-scheduled engine (default) or the per-cell reference path",
+    )
+    run_parser.add_argument(
+        "--memoize-instances",
+        action="store_true",
+        help=(
+            "cache sampled instances per process (pays off with --workers, "
+            "where curve jobs share each sweep point's instances)"
+        ),
+    )
+    run_parser.add_argument(
+        "--optional-curves",
+        action="store_true",
+        help="also run the figure's optional curves (e.g. H4ls on fig6)",
+    )
+    _add_store_argument(run_parser, required_hint=False)
+    run_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --store: skip blocks whose results are already stored",
+    )
     run_parser.set_defaults(func=_cmd_run)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="run several figures into a persistent result store (resumable)",
+    )
+    campaign_parser.add_argument(
+        "figures", nargs="+", choices=figure_ids(), help="figures to run, in order"
+    )
+    _add_store_argument(campaign_parser, required_hint=True)
+    campaign_parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    campaign_parser.add_argument(
+        "--repetitions", type=int, default=None, help="repetitions per sweep point"
+    )
+    campaign_parser.add_argument(
+        "--max-points", type=int, default=None, help="maximum number of sweep points"
+    )
+    campaign_parser.add_argument(
+        "--no-milp", action="store_true", help="skip the exact MIP everywhere"
+    )
+    campaign_parser.add_argument(
+        "--milp-time-limit", type=float, default=30.0, help="per-instance MIP time limit (s)"
+    )
+    campaign_parser.add_argument(
+        "--workers", type=int, default=None, help="block process-pool size"
+    )
+    campaign_parser.add_argument(
+        "--optional-curves",
+        action="store_true",
+        help="also run each figure's optional curves",
+    )
+    campaign_parser.add_argument(
+        "--memoize-instances",
+        action="store_true",
+        help="cache sampled instances per process (pays off with --workers)",
+    )
+    campaign_parser.set_defaults(func=_cmd_campaign)
+
+    resume_parser = subparsers.add_parser(
+        "resume",
+        help="finish an interrupted campaign without recomputing stored blocks",
+    )
+    _add_store_argument(resume_parser, required_hint=True)
+    resume_parser.add_argument(
+        "--workers", type=int, default=None, help="override the manifest's worker count"
+    )
+    resume_parser.set_defaults(func=_cmd_resume)
+
+    export_parser = subparsers.add_parser(
+        "export", help="list a result store or print its stored figures"
+    )
+    export_parser.add_argument(
+        "figures",
+        nargs="*",
+        help="figures to print (default: list the store's catalogue)",
+    )
+    _add_store_argument(export_parser, required_hint=True)
+    export_parser.add_argument(
+        "--seed", type=int, default=None, help="disambiguate runs by seed"
+    )
+    export_parser.add_argument(
+        "--csv", action="store_true", help="print CSV instead of tables"
+    )
+    export_parser.set_defaults(func=_cmd_export)
 
     solve_parser = subparsers.add_parser(
         "solve", help="solve one random instance with every heuristic"
@@ -101,28 +218,135 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _store_path(args: argparse.Namespace, *, required: bool) -> str | None:
+    path = args.store or os.environ.get(STORE_ENV_VAR)
+    if path is None and required:
+        raise ExperimentError(
+            f"this command needs a store: pass --store DIR or set ${STORE_ENV_VAR}"
+        )
+    return path
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     for figure_id in figure_ids():
         spec = FIGURES[figure_id]
         suffix = " (normalised by the MIP)" if spec.normalize_to else ""
+        if spec.optional_curves:
+            suffix += f" [optional: {', '.join(spec.optional_curves)}]"
         print(f"{figure_id:7s} {spec.scenario.description}{suffix}")
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_figure(
-        args.figure,
-        seed=args.seed,
-        repetitions=args.repetitions,
-        max_points=args.max_points,
-        include_milp=False if args.no_milp else None,
-        milp_time_limit=args.milp_time_limit,
-        workers=args.workers,
-    )
+    store_path = _store_path(args, required=args.resume)
+    if args.engine == "cells" and args.store is None:
+        # The per-cell reference engine has no store support; only an
+        # explicit --store should surface that as an error, not the
+        # $REPRO_STORE convenience fallback.
+        store_path = None
+    store = ResultStore(store_path) if store_path is not None else None
+    try:
+        result = run_figure(
+            args.figure,
+            seed=args.seed,
+            repetitions=args.repetitions,
+            max_points=args.max_points,
+            include_milp=False if args.no_milp else None,
+            milp_time_limit=args.milp_time_limit,
+            workers=args.workers,
+            memoize_instances=args.memoize_instances,
+            engine=args.engine,
+            include_optional=args.optional_curves,
+            store=store,
+            resume=args.resume,
+        )
+    finally:
+        if store is not None:
+            store.close()
     if args.csv:
         print(result.to_csv(), end="")
     else:
         print(figure_report(result))
+    return 0
+
+
+def _run_campaign(manifest: dict, store: ResultStore) -> list:
+    """Run (or finish) every figure of a campaign manifest against a store."""
+    results = []
+    for figure_id in manifest["figures"]:
+        result = run_figure(
+            figure_id,
+            seed=manifest["seed"],
+            repetitions=manifest["repetitions"],
+            max_points=manifest["max_points"],
+            include_milp=False if manifest["no_milp"] else None,
+            milp_time_limit=manifest["milp_time_limit"],
+            workers=manifest["workers"],
+            memoize_instances=manifest.get("memoize_instances", False),
+            include_optional=manifest["optional_curves"],
+            store=store,
+            resume=True,
+        )
+        print(summary_line(result), flush=True)
+        results.append(result)
+    return results
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    store = ResultStore(_store_path(args, required=True))
+    manifest = {
+        "figures": list(args.figures),
+        "seed": args.seed,
+        "repetitions": args.repetitions,
+        "max_points": args.max_points,
+        "no_milp": bool(args.no_milp),
+        "milp_time_limit": args.milp_time_limit,
+        "workers": args.workers,
+        "optional_curves": bool(args.optional_curves),
+        "memoize_instances": bool(args.memoize_instances),
+    }
+    manifest_path = store.path / CAMPAIGN_MANIFEST
+    manifest_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+    try:
+        results = _run_campaign(manifest, store)
+    finally:
+        store.close()
+    print(campaign_report(results).splitlines()[-1])
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    store = ResultStore(_store_path(args, required=True))
+    manifest_path = store.path / CAMPAIGN_MANIFEST
+    if not manifest_path.exists():
+        raise ExperimentError(
+            f"no {CAMPAIGN_MANIFEST} in {store.path}; start with 'microrepro campaign'"
+        )
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if args.workers is not None:
+        manifest["workers"] = args.workers
+    try:
+        results = _run_campaign(manifest, store)
+    finally:
+        store.close()
+    print(campaign_report(results).splitlines()[-1])
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    store = ResultStore(_store_path(args, required=True))
+    try:
+        if not args.figures:
+            print(catalog_table(store.catalog()))
+            return 0
+        for figure_id in args.figures:
+            result = store.load_result(figure_id, seed=args.seed)
+            if args.csv:
+                print(result.to_csv(), end="")
+            else:
+                print(figure_report(result))
+    finally:
+        store.close()
     return 0
 
 
@@ -164,10 +388,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library errors (bad store paths, missing manifests, unknown curves,
+    ...) surface as a one-line message and exit code 2, not a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return int(args.func(args))
+    try:
+        return int(args.func(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,8 +1,36 @@
-"""Reproduction of the paper's evaluation section (Figures 5-12)."""
+"""Reproduction of the paper's evaluation section (Figures 5-12).
+
+The experiment layer is built around three pieces:
+
+* :mod:`~repro.experiments.providers` — pluggable *curve providers*
+  (heuristics, exact baselines, local-search refinements) that score
+  whole repetition blocks through the vectorized
+  :class:`~repro.batch.InstanceStack` pass;
+* :mod:`~repro.experiments.runner` — the block-scheduled engine
+  (:func:`run_figure` / :func:`run_scenario`, serial or process-parallel,
+  bit-for-bit reproducible from the seed);
+* :mod:`~repro.experiments.store` — the append-only
+  :class:`~repro.experiments.store.ResultStore` that makes long
+  campaigns persistent, interruptible and resumable.
+"""
 
 from .figures import FIGURES, FigureSpec, figure_ids
-from .reporting import figure_report, summary_line
+from .providers import (
+    BlockResult,
+    CellBlock,
+    CurveProvider,
+    HeuristicProvider,
+    LocalSearchProvider,
+    MilpProvider,
+    OneToOneProvider,
+    available_providers,
+    register_provider,
+    resolve_curves,
+    resolve_provider,
+)
+from .reporting import campaign_report, figure_report, summary_line
 from .runner import ExperimentResult, run_figure, run_scenario
+from .store import CellRecord, ResultStore, RunMeta
 
 __all__ = [
     "FIGURES",
@@ -10,7 +38,22 @@ __all__ = [
     "figure_ids",
     "figure_report",
     "summary_line",
+    "campaign_report",
     "ExperimentResult",
     "run_figure",
     "run_scenario",
+    "BlockResult",
+    "CellBlock",
+    "CurveProvider",
+    "HeuristicProvider",
+    "LocalSearchProvider",
+    "MilpProvider",
+    "OneToOneProvider",
+    "available_providers",
+    "register_provider",
+    "resolve_curves",
+    "resolve_provider",
+    "CellRecord",
+    "ResultStore",
+    "RunMeta",
 ]

@@ -47,12 +47,19 @@ class FigureSpec:
         Free-text reminder of the qualitative result the paper reports,
         recorded in EXPERIMENTS.md and checked (loosely) by the benchmark
         assertions.
+    optional_curves:
+        Extra curve labels (resolved through
+        :func:`repro.experiments.providers.resolve_provider`) that are
+        *not* part of the paper's figure but are worth comparing against
+        it — run with ``run_figure(..., include_optional=True)`` or
+        ``microrepro run --optional-curves``.
     """
 
     figure_id: str
     scenario: ScenarioConfig
     normalize_to: str | None = None
     expected_shape: str = ""
+    optional_curves: tuple[str, ...] = ()
 
 
 def _fig5() -> FigureSpec:
@@ -86,6 +93,7 @@ def _fig6() -> FigureSpec:
             description="Specialized mappings, m=10, p=2, n=10..100.",
         ),
         expected_shape="H4 slightly below (better than) the others on the small platform.",
+        optional_curves=("H4ls",),
     )
 
 

@@ -1,0 +1,391 @@
+"""Pluggable curve providers for the block-scheduled experiment engine.
+
+PR 1's runner hardcoded the curve set of every figure: ``_evaluate_cell``
+knew about heuristics, the exact MIP and the optimal one-to-one mapping,
+and re-entered Python once per (sweep point, repetition) cell.  This
+module splits that into *curve providers* discovered through a registry
+mirroring :mod:`repro.heuristics.base`: a figure (or a CLI flag) names
+its curves, the engine resolves each name to a provider, and each
+provider scores one whole **block** — the ``R`` structurally identical
+repetitions of one sweep point, stacked into a
+:class:`~repro.batch.InstanceStack` — at a time.
+
+Built-in providers
+------------------
+* :class:`HeuristicProvider` — any registered heuristic; solves the
+  ``R`` mappings per-instance and scores them in a single vectorized
+  stack pass (bit-for-bit identical to ``R`` scalar evaluations);
+* :class:`LocalSearchProvider` — best-single-move refinement of any base
+  heuristic's mapping (curve label ``"<base>+ls"``);
+* :class:`MilpProvider` — the exact specialized MIP (label ``"MIP"``);
+* :class:`OneToOneProvider` — the optimal one-to-one mapping (``"OtO"``).
+
+Randomness contract: every provider derives its per-repetition streams
+from the block's :class:`~repro.simulation.rng.RandomStreamFactory` with
+the same labels the per-cell runner used, so the block engine reproduces
+the per-cell series bit for bit and stays process-independent.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..batch import InstanceStack
+from ..core.instance import ProblemInstance
+from ..exact.milp import solve_specialized_milp
+from ..exact.one_to_one import optimal_one_to_one
+from ..exceptions import ExperimentError, ReproError, SolverError
+from ..generators.scenarios import ScenarioConfig, sample_instance
+from ..heuristics import get_heuristic
+from ..heuristics.local_search import refine_specialized
+from ..simulation.rng import RandomStreamFactory
+
+__all__ = [
+    "MIP_LABEL",
+    "OTO_LABEL",
+    "LOCAL_SEARCH_SUFFIX",
+    "CellBlock",
+    "BlockResult",
+    "CurveProvider",
+    "HeuristicProvider",
+    "LocalSearchProvider",
+    "MilpProvider",
+    "OneToOneProvider",
+    "register_provider",
+    "available_providers",
+    "resolve_provider",
+    "resolve_curves",
+]
+
+#: Label used for the exact MIP curve.
+MIP_LABEL = "MIP"
+#: Label used for the optimal one-to-one curve.
+OTO_LABEL = "OtO"
+#: Curve-label suffix resolved to a :class:`LocalSearchProvider`.
+LOCAL_SEARCH_SUFFIX = "+ls"
+
+
+@dataclass(frozen=True, slots=True)
+class CellBlock:
+    """The ``R`` repetitions of one sweep point, sampled and stacked.
+
+    Attributes
+    ----------
+    scenario:
+        The scenario being run.
+    sweep_value:
+        The sweep point (``n`` or ``p``).
+    instances:
+        The ``R`` sampled instances, in repetition order.  Providers that
+        need type information (heuristics, exact solvers) work on these.
+    stack:
+        The same instances as an :class:`~repro.batch.InstanceStack`
+        (types relaxed — repetitions share the chain graph, not the type
+        vectors), used to score ``R`` mappings in one vectorized pass.
+    streams:
+        The experiment's stream factory; providers derive their
+        per-repetition RNGs from it.
+    """
+
+    scenario: ScenarioConfig
+    sweep_value: int
+    instances: tuple[ProblemInstance, ...]
+    stack: InstanceStack
+    streams: RandomStreamFactory
+
+    @classmethod
+    def sample(
+        cls,
+        scenario: ScenarioConfig,
+        sweep_value: int,
+        streams: RandomStreamFactory,
+        *,
+        memoize: bool = False,
+    ) -> "CellBlock":
+        """Draw the block's instances (identical to the per-cell runner's)."""
+        instances = tuple(
+            sample_instance(scenario, sweep_value, repetition, streams, memoize=memoize)
+            for repetition in range(scenario.repetitions)
+        )
+        stack = InstanceStack.from_instances(instances, require_uniform_types=False)
+        return cls(
+            scenario=scenario,
+            sweep_value=sweep_value,
+            instances=instances,
+            stack=stack,
+            streams=streams,
+        )
+
+    @property
+    def repetitions(self) -> int:
+        """Block depth ``R``."""
+        return len(self.instances)
+
+
+@dataclass(frozen=True, slots=True)
+class BlockResult:
+    """One curve's scores over a block.
+
+    Attributes
+    ----------
+    label:
+        Curve label (series key).
+    periods:
+        ``(R,)`` array of periods, NaN where the backend produced none.
+    failures:
+        Number of repetitions where an exact backend failed to prove
+        optimality (feeds ``ExperimentResult.milp_failures``).
+    """
+
+    label: str
+    periods: np.ndarray
+    failures: int = 0
+
+    def values(self) -> list[float]:
+        """The periods as plain floats (JSON-ready, repetition order)."""
+        return [float(v) for v in self.periods]
+
+
+class CurveProvider(abc.ABC):
+    """One curve of a figure: scores whole repetition blocks.
+
+    Subclasses set :attr:`label` (the series key) and implement
+    :meth:`evaluate_block`.  Providers must be resolvable by label in a
+    fresh process (see :func:`resolve_provider`) so the engine can fan
+    blocks out over a process pool.
+    """
+
+    #: Curve label; unique within one experiment run.
+    label: str = ""
+
+    @abc.abstractmethod
+    def evaluate_block(self, block: CellBlock) -> BlockResult:
+        """Score every repetition of ``block`` for this curve."""
+
+    def configure(self, *, milp_time_limit: float | None = None) -> "CurveProvider":
+        """Apply engine-level options; the default ignores them all."""
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(label={self.label!r})"
+
+
+class HeuristicProvider(CurveProvider):
+    """Curve provider wrapping one registered heuristic.
+
+    Mappings are produced per instance (heuristics need each repetition's
+    true types for the specialized rule), then scored against the block's
+    stack in one vectorized pass — the pass that replaces ``R`` scalar
+    :func:`repro.core.period.evaluate` calls, bit for bit.
+    """
+
+    def __init__(self, name: str):
+        self._heuristic = get_heuristic(name)
+        # Keep the *requested* spelling: it is both the series key and the
+        # RNG stream label, which the per-cell runner derived from the
+        # scenario's declared name.
+        self.label = name
+
+    def solve_block(self, block: CellBlock) -> np.ndarray:
+        """The ``(R, n)`` assignment array of the heuristic over the block."""
+        heuristic = self._heuristic
+        assignments = np.empty(
+            (block.repetitions, block.stack.num_tasks), dtype=np.int64
+        )
+        for repetition, instance in enumerate(block.instances):
+            rng = block.streams.stream(
+                f"heuristic/{self.label}/{block.sweep_value}", repetition
+            )
+            heuristic.check_feasible(instance)
+            mapping, _, _ = heuristic.solve_mapping(instance, rng)
+            mapping.validate(instance, heuristic.rule)
+            assignments[repetition] = mapping.as_array
+        return assignments
+
+    def evaluate_block(self, block: CellBlock) -> BlockResult:
+        periods = block.stack.periods(self.solve_block(block))
+        return BlockResult(label=self.label, periods=periods)
+
+
+class LocalSearchProvider(CurveProvider):
+    """Best-single-move refinement of a base heuristic's mapping.
+
+    The curve labelled ``"<base>+ls"`` runs the base heuristic per
+    repetition, descends with
+    :func:`repro.heuristics.local_search.refine_specialized`, and keeps
+    the better of seed and refined mapping per instance (so the curve is
+    never above the base's).
+    """
+
+    def __init__(self, base: str = "H4w", label: str | None = None):
+        self._base = HeuristicProvider(base)
+        self.label = label if label is not None else f"{base}{LOCAL_SEARCH_SUFFIX}"
+
+    @property
+    def base_label(self) -> str:
+        """Label of the refined base heuristic."""
+        return self._base.label
+
+    def evaluate_block(self, block: CellBlock) -> BlockResult:
+        seeds = self._base.solve_block(block)
+        refined = np.empty_like(seeds)
+        for repetition, instance in enumerate(block.instances):
+            mapping, _ = refine_specialized(instance, seeds[repetition])
+            refined[repetition] = mapping.as_array
+        periods = np.minimum(
+            block.stack.periods(refined), block.stack.periods(seeds)
+        )
+        return BlockResult(label=self.label, periods=periods)
+
+
+class MilpProvider(CurveProvider):
+    """Exact specialized MIP baseline (label ``"MIP"``).
+
+    The backend solves under a wall-clock time limit, so this provider
+    stays per-instance; a repetition that does not prove optimality
+    contributes NaN and counts as a failure.
+    """
+
+    label = MIP_LABEL
+
+    def __init__(self, time_limit: float = 30.0):
+        self.time_limit = time_limit
+
+    def configure(self, *, milp_time_limit: float | None = None) -> "MilpProvider":
+        if milp_time_limit is not None:
+            self.time_limit = milp_time_limit
+        return self
+
+    def evaluate_block(self, block: CellBlock) -> BlockResult:
+        periods = np.full(block.repetitions, np.nan, dtype=np.float64)
+        failures = 0
+        for repetition, instance in enumerate(block.instances):
+            result = solve_specialized_milp(instance, time_limit=self.time_limit)
+            if result.is_optimal:
+                periods[repetition] = result.period
+            else:
+                failures += 1
+        return BlockResult(label=self.label, periods=periods, failures=failures)
+
+
+class OneToOneProvider(CurveProvider):
+    """Optimal one-to-one mapping baseline (label ``"OtO"``)."""
+
+    label = OTO_LABEL
+
+    def evaluate_block(self, block: CellBlock) -> BlockResult:
+        periods = np.full(block.repetitions, np.nan, dtype=np.float64)
+        for repetition, instance in enumerate(block.instances):
+            try:
+                periods[repetition] = optimal_one_to_one(instance).period
+            except SolverError:
+                pass
+        return BlockResult(label=self.label, periods=periods)
+
+
+# -- registry -----------------------------------------------------------------------
+
+_REGISTRY: dict[str, Callable[[], CurveProvider]] = {}
+
+
+def register_provider(factory: Callable[[], CurveProvider]) -> Callable[[], CurveProvider]:
+    """Register a no-argument provider factory under its instance label.
+
+    Usable as a class decorator on :class:`CurveProvider` subclasses with
+    a fixed label, mirroring
+    :func:`repro.heuristics.base.register_heuristic`.
+    """
+    instance = factory()
+    key = instance.label.lower()
+    if not key:
+        raise ReproError("curve provider must define a non-empty label")
+    if key in _REGISTRY:
+        raise ReproError(f"curve provider {instance.label!r} is already registered")
+    _REGISTRY[key] = factory
+    return factory
+
+
+register_provider(MilpProvider)
+register_provider(OneToOneProvider)
+
+
+def available_providers() -> list[str]:
+    """Labels of the explicitly registered providers, in registration order."""
+    return [factory().label for factory in _REGISTRY.values()]
+
+
+def resolve_provider(
+    label: str, *, milp_time_limit: float | None = None
+) -> CurveProvider:
+    """Resolve a curve label to a configured provider.
+
+    Resolution order: explicitly registered providers (``"MIP"``,
+    ``"OtO"``, user registrations), then registered heuristics, then the
+    ``"<base>+ls"`` local-search convention.
+    """
+    key = label.lower()
+    if key in _REGISTRY:
+        return _REGISTRY[key]().configure(milp_time_limit=milp_time_limit)
+    try:
+        get_heuristic(label)
+    except ReproError:
+        pass
+    else:
+        return HeuristicProvider(label)
+    if key.endswith(LOCAL_SEARCH_SUFFIX):
+        base = label[: -len(LOCAL_SEARCH_SUFFIX)]
+        try:
+            return LocalSearchProvider(base, label=label)
+        except ReproError as exc:
+            raise ExperimentError(
+                f"cannot resolve curve {label!r}: unknown base heuristic {base!r}"
+            ) from exc
+    from ..heuristics import available_heuristics
+
+    raise ExperimentError(
+        f"unknown curve {label!r}; known providers: {available_providers()}, "
+        f"heuristics: {available_heuristics()}, plus '<heuristic>{LOCAL_SEARCH_SUFFIX}'"
+    )
+
+
+def resolve_curves(
+    scenario: ScenarioConfig,
+    *,
+    use_milp: bool,
+    use_oto: bool,
+    milp_time_limit: float = 30.0,
+    extra_curves: Sequence[str] = (),
+) -> list[CurveProvider]:
+    """The ordered provider list of one experiment run.
+
+    Order matches the per-cell runner's series layout: the scenario's
+    heuristics, any extra curves, then MIP and OtO when enabled.
+    Duplicate labels are an error — every series key must be unique, and
+    labels are compared case-insensitively because provider resolution
+    is (``"h4w"`` and ``"H4w"`` would be the same curve under different
+    RNG stream labels).
+    """
+    declared = {name.lower() for name in scenario.heuristics}
+    labels = list(scenario.heuristics) + [
+        label for label in extra_curves if label.lower() not in declared
+    ]
+    providers = [
+        resolve_provider(label, milp_time_limit=milp_time_limit) for label in labels
+    ]
+    if use_milp:
+        providers.append(MilpProvider(time_limit=milp_time_limit))
+    if use_oto:
+        providers.append(OneToOneProvider())
+    seen: set[str] = set()
+    for provider in providers:
+        key = provider.label.lower()
+        if key in seen:
+            raise ExperimentError(
+                f"duplicate curve label {provider.label!r} in this experiment"
+            )
+        seen.add(key)
+    return providers

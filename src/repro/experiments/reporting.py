@@ -14,7 +14,7 @@ from ..analysis.tables import format_table
 from .figures import FIGURES
 from .runner import MIP_LABEL, OTO_LABEL, ExperimentResult
 
-__all__ = ["figure_report", "summary_line"]
+__all__ = ["figure_report", "summary_line", "campaign_report"]
 
 
 def summary_line(result: ExperimentResult) -> str:
@@ -25,6 +25,14 @@ def summary_line(result: ExperimentResult) -> str:
         f"[{scenario.repetitions} reps x {len(scenario.sweep_values)} points, "
         f"seed={result.seed}, {result.elapsed_seconds:.1f}s]"
     )
+
+
+def campaign_report(results: list[ExperimentResult]) -> str:
+    """One line per completed figure of a campaign run."""
+    lines = [summary_line(result) for result in results]
+    total = sum(result.elapsed_seconds for result in results)
+    lines.append(f"campaign: {len(results)} figure(s), {total:.1f}s total")
+    return "\n".join(lines)
 
 
 def figure_report(result: ExperimentResult, *, float_format: str = "{:.1f}") -> str:

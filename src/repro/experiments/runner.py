@@ -1,15 +1,26 @@
-"""Experiment runner: regenerate any figure of the paper's evaluation.
+"""Experiment engine: regenerate any figure of the paper's evaluation.
 
-The runner draws the random instances of a scenario, runs every heuristic
-(and, where the figure calls for them, the exact MIP and the optimal
-one-to-one mapping) on the *same* instances, and collects the resulting
-periods into one :class:`~repro.analysis.Series` per curve.  The output
-:class:`ExperimentResult` renders the figure as a plain-text table or CSV
-and computes the aggregate normalisation factors reported in Section 7.
+The engine draws the random instances of a scenario, resolves the
+figure's curves to :mod:`~repro.experiments.providers` (heuristics, the
+exact MIP, the optimal one-to-one mapping, local-search refinements),
+and collects the resulting periods into one
+:class:`~repro.analysis.Series` per curve.  The output
+:class:`ExperimentResult` renders the figure as a plain-text table or
+CSV and computes the aggregate normalisation factors of Section 7.
 
-Repetitions are independent, so the runner can fan them out over a
-process pool (``workers=N``).  Every (sweep point, repetition) cell
-re-derives its random streams from the root seed through
+Block scheduling
+----------------
+The default engine (``engine="block"``) groups the ``R`` structurally
+identical repetitions of each sweep point into one
+:class:`~repro.batch.InstanceStack` and hands whole blocks to the curve
+providers, which score each curve's ``R`` mappings in a single
+vectorized pass instead of re-entering the scalar evaluator per cell.
+The original per-cell path of PR 1 is kept as ``engine="cells"`` — the
+bit-for-bit reference the equivalence tests compare against.
+
+Repetition blocks are independent, so the engine can fan the (sweep
+point, curve) blocks out over a process pool (``workers=N``).  Every
+block re-derives its random streams from the root seed through
 :class:`~repro.simulation.rng.RandomStreamFactory` — whose label hashing
 is process-independent — and results are folded back in the serial
 iteration order, so a parallel run is bit-for-bit identical to the
@@ -18,13 +29,22 @@ backend solves under a *wall-clock* time limit, so a cell that proves
 optimality in a lightly loaded serial run may time out (and report NaN)
 when ``workers`` oversubscribes the CPU.  Heuristic and one-to-one
 curves are pure functions of the seed and carry the full guarantee.
+
+Persistence
+-----------
+Pass ``store=ResultStore(path)`` to append every completed block to an
+on-disk store the moment it finishes, and ``resume=True`` to skip the
+blocks already stored under the same (figure, scenario hash, seed,
+curve, sweep value) key — the engine then only computes the remainder,
+which is what makes long campaigns interruptible (see ``microrepro
+campaign`` / ``resume``).
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -38,13 +58,22 @@ from ..generators.scenarios import ScenarioConfig, sample_instance
 from ..heuristics import get_heuristic
 from ..simulation.rng import RandomStreamFactory
 from .figures import FIGURES, FigureSpec
+from .providers import (
+    MIP_LABEL,
+    OTO_LABEL,
+    CellBlock,
+    resolve_curves,
+    resolve_provider,
+)
+from .store import CellRecord, ResultStore, RunMeta
 
-__all__ = ["ExperimentResult", "run_figure", "run_scenario"]
-
-#: Label used for the exact MIP curve.
-MIP_LABEL = "MIP"
-#: Label used for the optimal one-to-one curve.
-OTO_LABEL = "OtO"
+__all__ = [
+    "ExperimentResult",
+    "run_figure",
+    "run_scenario",
+    "MIP_LABEL",
+    "OTO_LABEL",
+]
 
 
 @dataclass(slots=True)
@@ -121,12 +150,14 @@ def _evaluate_cell(
 ) -> tuple[dict[str, float], int]:
     """Run every curve of one (sweep point, repetition) cell.
 
-    Returns ``({curve label: period}, milp_failures)``.  All randomness
-    is re-derived from ``entropy`` through the stream factory, so the
-    result is a pure function of its arguments — the property that makes
-    the process-pool path bit-for-bit identical to the serial one.  The
-    exception is the MIP curve, whose wall-clock ``milp_time_limit``
-    makes timeout-induced NaNs load-dependent.
+    The per-cell reference path (PR 1's scalar engine, reachable through
+    ``run_scenario(engine="cells")``).  Returns ``({curve label: period},
+    milp_failures)``.  All randomness is re-derived from ``entropy``
+    through the stream factory, so the result is a pure function of its
+    arguments — the property that makes the process-pool path bit-for-bit
+    identical to the serial one.  The exception is the MIP curve, whose
+    wall-clock ``milp_time_limit`` makes timeout-induced NaNs
+    load-dependent.
     """
     streams = RandomStreamFactory(np.random.SeedSequence(entropy))
     instance = sample_instance(
@@ -157,6 +188,46 @@ def _evaluate_cell_args(args) -> tuple[dict[str, float], int]:
     return _evaluate_cell(*args)
 
 
+def _evaluate_block_job(args) -> tuple[list[float], int]:
+    """Worker entry point: sample one block and score one curve on it.
+
+    Providers are re-resolved by label in the worker so jobs stay
+    picklable; instance sampling honours ``memoize`` through the
+    worker-local cache, so several curve jobs at the same sweep point
+    re-draw each instance at most once per worker process.
+    """
+    scenario, sweep_value, label, entropy, milp_time_limit, memoize = args
+    streams = RandomStreamFactory(np.random.SeedSequence(entropy))
+    block = CellBlock.sample(scenario, sweep_value, streams, memoize=memoize)
+    provider = resolve_provider(label, milp_time_limit=milp_time_limit)
+    result = provider.evaluate_block(block)
+    return result.values(), result.failures
+
+
+def _stored_block(
+    store: ResultStore | None,
+    resume: bool,
+    figure_id: str,
+    scenario_hash: str,
+    seed: int | None,
+    label: str,
+    sweep_value: int,
+    repetitions: int,
+) -> tuple[list[float], int] | None:
+    """Reusable stored values for one block, or ``None`` if it must run.
+
+    A record with at least as many repetitions serves a smaller run by
+    slicing (repetition streams are independent of ``R``, see
+    :meth:`CellRecord.sliced`).
+    """
+    if store is None or not resume or seed is None:
+        return None
+    record = store.get_cell(figure_id, scenario_hash, seed, label, sweep_value)
+    if record is None or record.repetitions < repetitions:
+        return None
+    return record.sliced(repetitions)
+
+
 def run_scenario(
     scenario: ScenarioConfig,
     *,
@@ -168,6 +239,10 @@ def run_scenario(
     normalize_to: str | None = None,
     workers: int | None = None,
     memoize_instances: bool = False,
+    engine: str = "block",
+    extra_curves: tuple[str, ...] = (),
+    store: ResultStore | None = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Run one scenario and collect the per-curve period series.
 
@@ -185,61 +260,67 @@ def run_scenario(
     figure_id, normalize_to:
         Reporting metadata (filled automatically by :func:`run_figure`).
     workers:
-        Fan the (sweep point, repetition) cells out over a process pool
-        of this size.  ``None`` or ``1`` runs serially in-process; any
-        value produces bit-for-bit the same heuristic/one-to-one series
-        as the serial run for the same seed (MIP cells can additionally
-        time out under CPU oversubscription — see the module docstring).
+        Fan the (sweep point, curve) blocks out over a process pool of
+        this size.  ``None`` or ``1`` runs serially in-process; any value
+        produces bit-for-bit the same heuristic/one-to-one series as the
+        serial run for the same seed (MIP cells can additionally time out
+        under CPU oversubscription — see the module docstring).
     memoize_instances:
-        Cache sampled instances under their (scenario, cell, seed) key
-        (serial path only).  Worth turning on when several runs in one
-        process share a scenario and seed — e.g. repeated ``run_figure``
-        calls in a benchmark loop; each cell is drawn once per run, so
-        a single run gains nothing and the default keeps memory flat.
+        Cache sampled instances under their (scenario, cell, seed) key.
+        Honoured on the serial path *and*, per worker process, on the
+        parallel path — each worker keeps its own cache, so curve jobs
+        that share a sweep point re-draw each instance at most once per
+        worker.  (PR 1's parallel path silently dropped the flag; both
+        engines now honour it, with identical results either way since
+        memoized instances are bit-identical.)
+    engine:
+        ``"block"`` (default) schedules whole repetition blocks through
+        the curve providers and the vectorized
+        :class:`~repro.batch.InstanceStack` pass; ``"cells"`` is the
+        per-cell reference path, kept for equivalence testing.
+    extra_curves:
+        Additional curve labels resolved through
+        :func:`~repro.experiments.providers.resolve_provider` (e.g.
+        ``"H4ls"`` or ``"H2+ls"``).  Requires the block engine.
+    store:
+        A :class:`~repro.experiments.store.ResultStore`: every completed
+        block is appended to it immediately, and the run header is saved
+        on completion.  Requires the block engine and an explicit seed.
+    resume:
+        With ``store``, skip blocks whose results are already stored
+        (same figure, scenario hash, seed, curve and sweep value) instead
+        of recomputing them.
     """
+    if engine not in ("block", "cells"):
+        raise ExperimentError(f"unknown engine {engine!r}; use 'block' or 'cells'")
+    if engine == "cells" and (store is not None or resume or extra_curves):
+        raise ExperimentError(
+            "the per-cell reference engine supports neither result stores nor "
+            "extra curves; use engine='block'"
+        )
+    if store is not None and seed is None:
+        raise ExperimentError("a result store requires an explicit seed (got None)")
+
     start = time.perf_counter()
     streams = RandomStreamFactory(seed)
     # Resolve the effective entropy up front: with seed=None a random one
     # is drawn here once, so serial and parallel cells share it.
     entropy = streams.entropy
     use_milp = scenario.include_milp if include_milp is None else include_milp
-    use_oto = scenario.include_one_to_one if include_one_to_one is None else include_one_to_one
+    use_oto = (
+        scenario.include_one_to_one if include_one_to_one is None else include_one_to_one
+    )
 
-    series: dict[str, Series] = {name: Series(label=name) for name in scenario.heuristics}
-    if use_milp:
-        series[MIP_LABEL] = Series(label=MIP_LABEL)
-    if use_oto:
-        series[OTO_LABEL] = Series(label=OTO_LABEL)
-
-    cells = [
-        (sweep_value, repetition)
-        for sweep_value in scenario.sweep_values
-        for repetition in range(scenario.repetitions)
-    ]
-    if workers is not None and workers > 1:
-        job_args = [
-            (scenario, sweep_value, repetition, entropy, use_milp, use_oto, milp_time_limit, False)
-            for sweep_value, repetition in cells
-        ]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            chunksize = max(1, len(job_args) // (workers * 4))
-            outcomes = list(pool.map(_evaluate_cell_args, job_args, chunksize=chunksize))
+    if engine == "cells":
+        series, milp_failures = _run_cells(
+            scenario, entropy, use_milp, use_oto, milp_time_limit, workers,
+            memoize_instances,
+        )
     else:
-        outcomes = [
-            _evaluate_cell(
-                scenario, sweep_value, repetition, entropy, use_milp, use_oto,
-                milp_time_limit, memoize_instances,
-            )
-            for sweep_value, repetition in cells
-        ]
-
-    # Fold the per-cell results back in the serial iteration order, so the
-    # series contents do not depend on worker scheduling.
-    milp_failures = 0
-    for (sweep_value, _repetition), (periods, cell_failures) in zip(cells, outcomes):
-        milp_failures += cell_failures
-        for label, value in periods.items():
-            series[label].add(sweep_value, value)
+        series, milp_failures = _run_blocks(
+            scenario, entropy, use_milp, use_oto, milp_time_limit, workers,
+            memoize_instances, extra_curves, figure_id, seed, store, resume,
+        )
 
     normalized: dict[str, Series] | None = None
     if normalize_to is not None:
@@ -254,7 +335,7 @@ def run_scenario(
             if label != normalize_to
         }
 
-    return ExperimentResult(
+    result = ExperimentResult(
         figure_id=figure_id,
         scenario=scenario,
         series=series,
@@ -263,6 +344,176 @@ def run_scenario(
         elapsed_seconds=time.perf_counter() - start,
         milp_failures=milp_failures,
     )
+    if store is not None:
+        store.put_meta(
+            RunMeta(
+                figure_id=figure_id,
+                scenario_hash=scenario.stable_hash(),
+                seed=seed,
+                scenario=scenario.to_dict(),
+                curves=list(series),
+                normalize_to=normalize_to,
+                elapsed_seconds=result.elapsed_seconds,
+            )
+        )
+        store.flush()
+    return result
+
+
+def _run_blocks(
+    scenario: ScenarioConfig,
+    entropy,
+    use_milp: bool,
+    use_oto: bool,
+    milp_time_limit: float,
+    workers: int | None,
+    memoize: bool,
+    extra_curves: tuple[str, ...],
+    figure_id: str,
+    seed: int | None,
+    store: ResultStore | None,
+    resume: bool,
+) -> tuple[dict[str, Series], int]:
+    """The block-scheduled engine: one (sweep point, curve) unit at a time."""
+    providers = resolve_curves(
+        scenario,
+        use_milp=use_milp,
+        use_oto=use_oto,
+        milp_time_limit=milp_time_limit,
+        extra_curves=extra_curves,
+    )
+    labels = [provider.label for provider in providers]
+    scenario_hash = scenario.stable_hash()
+    repetitions = scenario.repetitions
+
+    # Partition the (sweep point, curve) grid into already-stored blocks
+    # and blocks that still need computing.
+    outcomes: dict[tuple[int, str], tuple[list[float], int]] = {}
+    pending: list[tuple[int, str]] = []
+    for sweep_value in scenario.sweep_values:
+        for label in labels:
+            stored = _stored_block(
+                store, resume, figure_id, scenario_hash, seed, label,
+                sweep_value, repetitions,
+            )
+            if stored is not None:
+                outcomes[(sweep_value, label)] = stored
+            else:
+                pending.append((sweep_value, label))
+
+    def record(sweep_value: int, label: str, values: list[float], failures: int) -> None:
+        outcomes[(sweep_value, label)] = (values, failures)
+        if store is not None:
+            store.put_cell(
+                CellRecord(
+                    figure_id=figure_id,
+                    scenario_hash=scenario_hash,
+                    seed=seed,
+                    curve=label,
+                    sweep_value=int(sweep_value),
+                    repetitions=repetitions,
+                    values=values,
+                    failures=failures,
+                )
+            )
+
+    if workers is not None and workers > 1 and pending:
+        job_args = [
+            (scenario, sweep_value, label, entropy, milp_time_limit, memoize)
+            for sweep_value, label in pending
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_evaluate_block_job, args): key
+                for key, args in zip(pending, job_args)
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                # Store blocks as they complete so an interrupt loses at
+                # most the blocks in flight; folding order is fixed below.
+                for future in done:
+                    sweep_value, label = futures[future]
+                    values, failures = future.result()
+                    record(sweep_value, label, values, failures)
+    else:
+        by_point: dict[int, list[str]] = {}
+        for sweep_value, label in pending:
+            by_point.setdefault(sweep_value, []).append(label)
+        provider_by_label = dict(zip(labels, providers))
+        streams = RandomStreamFactory(np.random.SeedSequence(entropy))
+        for sweep_value, point_labels in by_point.items():
+            # One sampling pass serves every curve of the point.
+            block = CellBlock.sample(scenario, sweep_value, streams, memoize=memoize)
+            for label in point_labels:
+                result = provider_by_label[label].evaluate_block(block)
+                record(sweep_value, label, result.values(), result.failures)
+
+    # Fold in the fixed (sweep value, curve) order so series contents do
+    # not depend on worker scheduling or resume state.
+    series: dict[str, Series] = {label: Series(label=label) for label in labels}
+    milp_failures = 0
+    for sweep_value in scenario.sweep_values:
+        for label in labels:
+            values, failures = outcomes[(sweep_value, label)]
+            series[label].extend(sweep_value, values)
+            milp_failures += failures
+    return series, milp_failures
+
+
+def _run_cells(
+    scenario: ScenarioConfig,
+    entropy,
+    use_milp: bool,
+    use_oto: bool,
+    milp_time_limit: float,
+    workers: int | None,
+    memoize: bool,
+) -> tuple[dict[str, Series], int]:
+    """PR 1's per-cell reference engine (kept for equivalence testing)."""
+    series: dict[str, Series] = {
+        name: Series(label=name) for name in scenario.heuristics
+    }
+    if use_milp:
+        series[MIP_LABEL] = Series(label=MIP_LABEL)
+    if use_oto:
+        series[OTO_LABEL] = Series(label=OTO_LABEL)
+
+    cells = [
+        (sweep_value, repetition)
+        for sweep_value in scenario.sweep_values
+        for repetition in range(scenario.repetitions)
+    ]
+    if workers is not None and workers > 1:
+        # PR 1 hardcoded memoize=False here, silently dropping
+        # run_scenario(workers=N, memoize_instances=True); the flag is now
+        # honoured through each worker's process-local instance cache
+        # (results are unaffected — memoized instances are identical).
+        job_args = [
+            (scenario, sweep_value, repetition, entropy, use_milp, use_oto,
+             milp_time_limit, memoize)
+            for sweep_value, repetition in cells
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            chunksize = max(1, len(job_args) // (workers * 4))
+            outcomes = list(pool.map(_evaluate_cell_args, job_args, chunksize=chunksize))
+    else:
+        outcomes = [
+            _evaluate_cell(
+                scenario, sweep_value, repetition, entropy, use_milp, use_oto,
+                milp_time_limit, memoize,
+            )
+            for sweep_value, repetition in cells
+        ]
+
+    # Fold the per-cell results back in the serial iteration order, so the
+    # series contents do not depend on worker scheduling.
+    milp_failures = 0
+    for (sweep_value, _repetition), (periods, cell_failures) in zip(cells, outcomes):
+        milp_failures += cell_failures
+        for label, value in periods.items():
+            series[label].add(sweep_value, value)
+    return series, milp_failures
 
 
 def run_figure(
@@ -275,6 +526,11 @@ def run_figure(
     include_one_to_one: bool | None = None,
     milp_time_limit: float = 30.0,
     workers: int | None = None,
+    memoize_instances: bool = False,
+    engine: str = "block",
+    include_optional: bool = False,
+    store: ResultStore | None = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Reproduce one figure of the paper.
 
@@ -287,9 +543,22 @@ def run_figure(
         Optional scaling-down of the paper's full sweep (fewer repetitions
         per point / fewer sweep points), for quick runs and benchmarks.
     workers:
-        Size of the repetition process pool; ``None``/``1`` runs serially
+        Size of the block process pool; ``None``/``1`` runs serially
         with identical results for the heuristic and one-to-one curves
         (see :func:`run_scenario` for the MIP time-limit caveat).
+    memoize_instances:
+        Cache sampled instances per process (worth enabling on parallel
+        block runs, where several curve jobs share each sweep point's
+        instances — see :func:`run_scenario`).
+    engine:
+        ``"block"`` (default) or the per-cell reference path ``"cells"``.
+    include_optional:
+        Also run the figure's optional curves (e.g. the H4ls refinement
+        on Figure 6); block engine only.
+    store, resume:
+        Persist completed blocks to a
+        :class:`~repro.experiments.store.ResultStore` / skip the blocks
+        it already holds (see :func:`run_scenario`).
     """
     try:
         spec: FigureSpec = FIGURES[figure_id]
@@ -307,4 +576,9 @@ def run_figure(
         figure_id=figure_id,
         normalize_to=spec.normalize_to,
         workers=workers,
+        memoize_instances=memoize_instances,
+        engine=engine,
+        extra_curves=spec.optional_curves if include_optional else (),
+        store=store,
+        resume=resume,
     )

@@ -1,0 +1,501 @@
+"""Persistent, resumable store for experiment results.
+
+A :class:`ResultStore` is a directory holding an **append-only**
+JSON-lines file (``results.jsonl``) plus a byte-offset index
+(``index.json``).  Every completed ``(figure, scenario hash, seed,
+curve, sweep value)`` block lands as one line the moment it finishes, so
+an interrupted campaign loses at most the block in flight;
+``run_figure(..., store=..., resume=True)`` then skips every stored
+block and only computes the remainder.
+
+Record kinds
+------------
+``cell``
+    One curve's periods over the repetitions of one sweep point
+    (:class:`CellRecord`).  The primary unit of resumption.
+``meta``
+    One experiment run's header (:class:`RunMeta`): the full scenario
+    config, seed, curve order and reporting options — everything needed
+    to rebuild an :class:`~repro.experiments.runner.ExperimentResult`
+    from its cells (:meth:`ResultStore.load_result`).
+
+The index maps record keys to byte offsets and remembers the prefix
+length it covers; on open, any lines appended after the last index write
+(e.g. by a run that was killed) are recovered by scanning the tail, and
+a torn final line is ignored.  Records are append-only: re-putting a key
+appends a new line and the index points at the newest one.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..analysis.stats import Series
+from ..exceptions import ExperimentError
+from ..generators.scenarios import ScenarioConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .runner import ExperimentResult
+
+__all__ = ["CellRecord", "RunMeta", "ResultStore"]
+
+#: How many appended records may accumulate before the index is rewritten.
+_INDEX_EVERY = 64
+
+
+@dataclass(frozen=True, slots=True)
+class CellRecord:
+    """One stored (figure, scenario, seed, curve, sweep point) block.
+
+    ``values`` holds the per-repetition periods in repetition order —
+    the order the engine and the per-cell runner both produce — so a
+    stored block with ``repetitions >= R`` can serve a run that needs
+    only its first ``R`` repetitions.
+    """
+
+    figure_id: str
+    scenario_hash: str
+    seed: int
+    curve: str
+    sweep_value: int
+    repetitions: int
+    values: list[float]
+    failures: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.values) != self.repetitions:
+            raise ExperimentError(
+                f"cell record carries {len(self.values)} values for "
+                f"{self.repetitions} repetitions"
+            )
+
+    @property
+    def key(self) -> tuple[str, str, int, str, int]:
+        """The record's identity within a store."""
+        return (
+            self.figure_id,
+            self.scenario_hash,
+            self.seed,
+            self.curve,
+            self.sweep_value,
+        )
+
+    def sliced(self, repetitions: int) -> tuple[list[float], int]:
+        """``(values, failures)`` restricted to the first ``repetitions``.
+
+        A record serving a run with fewer repetitions recounts its
+        failures from the slice's NaNs — exact for the MIP curve, whose
+        NaNs are precisely its unproven repetitions (the only curve that
+        reports failures).  Requires ``repetitions <= self.repetitions``.
+        """
+        if repetitions > self.repetitions:
+            raise ExperimentError(
+                f"cell record holds {self.repetitions} repetitions, "
+                f"{repetitions} requested"
+            )
+        values = self.values[:repetitions]
+        if repetitions == self.repetitions:
+            return values, self.failures
+        failures = (
+            sum(1 for v in values if math.isnan(v)) if self.failures else 0
+        )
+        return values, failures
+
+
+@dataclass(frozen=True, slots=True)
+class RunMeta:
+    """Header of one experiment run (everything but the cell data)."""
+
+    figure_id: str
+    scenario_hash: str
+    seed: int
+    scenario: dict
+    curves: list[str]
+    normalize_to: str | None = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        """The run's identity within a store."""
+        return (self.figure_id, self.scenario_hash, self.seed)
+
+
+def _key_str(parts: tuple) -> str:
+    return "|".join(str(part) for part in parts)
+
+
+class ResultStore:
+    """Append-only on-disk store of experiment cells and run headers.
+
+    Parameters
+    ----------
+    path:
+        Directory of the store (created if missing).
+
+    Notes
+    -----
+    The store keeps only byte offsets in memory; record payloads are read
+    back on demand.  Writes are flushed per record, so concurrent readers
+    and an interrupted writer always see a consistent prefix.  One store
+    must not be written by several processes at once (the experiment
+    engine funnels all writes through the coordinating process).
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        if not self.path.exists():  # tolerate read-only existing stores
+            self.path.mkdir(parents=True, exist_ok=True)
+        self._records_path = self.path / "results.jsonl"
+        self._index_path = self.path / "index.json"
+        self._cells: dict[str, int] = {}
+        self._meta: dict[str, int] = {}
+        self._indexed_end = 0
+        self._unindexed = 0
+        #: The records file ends in a torn (newline-less) line from an
+        #: interrupted write; the next append must start on a fresh line.
+        self._tail_torn = False
+        #: The on-disk index lags the in-memory one (new appends, or a
+        #: tail scan found records the stored index misses).
+        self._index_dirty = False
+        self._load()
+
+    # -- loading ----------------------------------------------------------------
+    def _load(self) -> None:
+        self._cells.clear()
+        self._meta.clear()
+        self._indexed_end = 0
+        self._tail_torn = False
+        self._index_dirty = False
+        if self._index_path.exists():
+            try:
+                raw = json.loads(self._index_path.read_text(encoding="utf-8"))
+                end = int(raw["end"])
+                size = (
+                    self._records_path.stat().st_size
+                    if self._records_path.exists()
+                    else 0
+                )
+                if 0 <= end <= size:
+                    self._cells.update({k: int(v) for k, v in raw["cells"].items()})
+                    self._meta.update({k: int(v) for k, v in raw["meta"].items()})
+                    self._indexed_end = end
+            except (KeyError, TypeError, ValueError, json.JSONDecodeError):
+                # Corrupt index: fall back to a full scan.
+                self._cells.clear()
+                self._meta.clear()
+                self._indexed_end = 0
+        self._scan_tail()
+
+    def _scan_tail(self) -> None:
+        """Index every complete record appended after the stored index."""
+        if not self._records_path.exists():
+            return
+        with open(self._records_path, "rb") as handle:
+            handle.seek(self._indexed_end)
+            offset = self._indexed_end
+            for line in handle:
+                if not line.endswith(b"\n"):
+                    # Torn final write of an interrupted run: remember it
+                    # so the next append starts on a fresh line instead of
+                    # merging into (and losing) both records on a rescan.
+                    self._tail_torn = True
+                    break
+                try:
+                    record = json.loads(line)
+                    kind = record["kind"]
+                    if kind == "cell":
+                        self._cells[_key_str(CellRecord(**record["data"]).key)] = offset
+                    elif kind == "meta":
+                        self._meta[_key_str(RunMeta(**record["data"]).key)] = offset
+                except (KeyError, TypeError, ValueError, json.JSONDecodeError):
+                    pass  # skip foreign/corrupt lines, keep scanning
+                offset += len(line)
+                self._index_dirty = True
+            self._indexed_end = offset
+
+    # -- writing ----------------------------------------------------------------
+    def _append(self, kind: str, data: dict) -> int:
+        # A torn final line (interrupted writer) must be closed first, or
+        # this record would merge into it and be dropped by any future
+        # recovery scan.
+        prefix = b"\n" if self._tail_torn else b""
+        line = (
+            json.dumps({"kind": kind, "data": data}, allow_nan=True) + "\n"
+        ).encode("utf-8")
+        with open(self._records_path, "ab") as handle:
+            start = handle.tell()
+            handle.write(prefix + line)
+        self._tail_torn = False
+        offset = start + len(prefix)  # where the record's JSON begins
+        self._indexed_end = offset + len(line)
+        self._unindexed += 1
+        self._index_dirty = True
+        return offset
+
+    def _maybe_flush(self) -> None:
+        """Periodic index rewrite — call only *after* the new record's key
+        is registered, or a crash right after the flush would persist an
+        ``end`` past a record the index does not know about."""
+        if self._unindexed >= _INDEX_EVERY:
+            self.flush()
+
+    def flush(self) -> None:
+        """Persist the in-memory index next to the records file.
+
+        A no-op when the on-disk index is already current, so read-only
+        usage (``microrepro export`` on a shipped store) never writes.
+        """
+        if not self._index_dirty:
+            self._unindexed = 0
+            return
+        payload = {
+            "end": self._indexed_end,
+            "cells": self._cells,
+            "meta": self._meta,
+        }
+        tmp = self._index_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        tmp.replace(self._index_path)
+        self._unindexed = 0
+        self._index_dirty = False
+
+    def close(self) -> None:
+        """Flush the index (the records file is already on disk)."""
+        self.flush()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- cells ------------------------------------------------------------------
+    def put_cell(self, record: CellRecord) -> None:
+        """Append one completed block (last write wins on re-put)."""
+        offset = self._append("cell", asdict(record))
+        self._cells[_key_str(record.key)] = offset
+        self._maybe_flush()
+
+    def get_cell(
+        self,
+        figure_id: str,
+        scenario_hash: str,
+        seed: int,
+        curve: str,
+        sweep_value: int,
+    ) -> CellRecord | None:
+        """The stored block for a key, or ``None``."""
+        offset = self._cells.get(
+            _key_str((figure_id, scenario_hash, seed, curve, sweep_value))
+        )
+        if offset is None:
+            return None
+        return CellRecord(**self._read(offset)["data"])
+
+    def has_cell(
+        self,
+        figure_id: str,
+        scenario_hash: str,
+        seed: int,
+        curve: str,
+        sweep_value: int,
+    ) -> bool:
+        """True when a block is stored under the key."""
+        return (
+            _key_str((figure_id, scenario_hash, seed, curve, sweep_value))
+            in self._cells
+        )
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def _read(self, offset: int) -> dict:
+        with open(self._records_path, "rb") as handle:
+            handle.seek(offset)
+            return json.loads(handle.readline())
+
+    # -- run headers -------------------------------------------------------------
+    def put_meta(self, meta: RunMeta) -> None:
+        """Append one run header (last write wins on re-put)."""
+        offset = self._append("meta", asdict(meta))
+        self._meta[_key_str(meta.key)] = offset
+        self._maybe_flush()
+
+    def get_meta(
+        self, figure_id: str, scenario_hash: str, seed: int
+    ) -> RunMeta | None:
+        """The stored run header for a key, or ``None``."""
+        offset = self._meta.get(_key_str((figure_id, scenario_hash, seed)))
+        if offset is None:
+            return None
+        return RunMeta(**self._read(offset)["data"])
+
+    def runs(self) -> list[RunMeta]:
+        """Every stored run header, in key order."""
+        return [
+            RunMeta(**self._read(offset)["data"])
+            for _, offset in sorted(self._meta.items())
+        ]
+
+    # -- ExperimentResult round-trip ----------------------------------------------
+    def save_result(self, result: "ExperimentResult") -> None:
+        """Store a completed run: its header plus one cell per curve/point.
+
+        Per-cell MIP failures are recovered from the NaN count of the MIP
+        curve (the runner sets NaN exactly on unproven repetitions).
+        """
+        if result.seed is None:
+            raise ExperimentError(
+                "storing an experiment requires an explicit seed (got None)"
+            )
+        scenario = result.scenario
+        scenario_hash = scenario.stable_hash()
+        from .providers import MIP_LABEL
+
+        for curve, series in result.series.items():
+            for sweep_value in series.x_values:
+                values = [float(v) for v in series.samples[sweep_value]]
+                failures = (
+                    sum(1 for v in values if math.isnan(v))
+                    if curve == MIP_LABEL
+                    else 0
+                )
+                self.put_cell(
+                    CellRecord(
+                        figure_id=result.figure_id,
+                        scenario_hash=scenario_hash,
+                        seed=result.seed,
+                        curve=curve,
+                        sweep_value=int(sweep_value),
+                        repetitions=len(values),
+                        values=values,
+                        failures=failures,
+                    )
+                )
+        self.put_meta(
+            RunMeta(
+                figure_id=result.figure_id,
+                scenario_hash=scenario_hash,
+                seed=result.seed,
+                scenario=scenario.to_dict(),
+                curves=list(result.series),
+                normalize_to=(
+                    None
+                    if result.normalized is None
+                    else next(
+                        (
+                            label
+                            for label in result.series
+                            if label not in result.normalized
+                        ),
+                        None,
+                    )
+                ),
+                elapsed_seconds=result.elapsed_seconds,
+            )
+        )
+        self.flush()
+
+    def load_result(
+        self,
+        figure_id: str,
+        *,
+        scenario_hash: str | None = None,
+        seed: int | None = None,
+    ) -> "ExperimentResult":
+        """Rebuild an :class:`ExperimentResult` from stored records.
+
+        ``scenario_hash`` / ``seed`` narrow the lookup when several runs
+        of the same figure share the store; with one match they can be
+        omitted.
+        """
+        from ..analysis.normalize import normalize_series
+        from .runner import ExperimentResult
+
+        matches = [
+            meta
+            for meta in self.runs()
+            if meta.figure_id == figure_id
+            and (scenario_hash is None or meta.scenario_hash == scenario_hash)
+            and (seed is None or meta.seed == seed)
+        ]
+        if not matches:
+            raise ExperimentError(
+                f"no stored run of {figure_id!r}"
+                + (f" with seed {seed}" if seed is not None else "")
+                + f" in {self.path}"
+            )
+        if len(matches) > 1:
+            raise ExperimentError(
+                f"{len(matches)} stored runs match {figure_id!r}; disambiguate "
+                "with scenario_hash= and/or seed="
+            )
+        meta = matches[0]
+        scenario = ScenarioConfig.from_dict(meta.scenario)
+        series: dict[str, Series] = {}
+        milp_failures = 0
+        for curve in meta.curves:
+            curve_series = Series(label=curve)
+            for sweep_value in scenario.sweep_values:
+                record = self.get_cell(
+                    meta.figure_id, meta.scenario_hash, meta.seed, curve, sweep_value
+                )
+                if record is None:
+                    raise ExperimentError(
+                        f"store is missing cell ({curve!r}, {sweep_value}) of "
+                        f"{figure_id!r}; was the run interrupted? resume it first"
+                    )
+                values, failures = record.sliced(scenario.repetitions)
+                curve_series.extend(sweep_value, values)
+                milp_failures += failures
+            series[curve] = curve_series
+        normalized = None
+        if meta.normalize_to is not None:
+            reference = series[meta.normalize_to]
+            normalized = {
+                label: normalize_series(curve_series, reference)
+                for label, curve_series in series.items()
+                if label != meta.normalize_to
+            }
+        return ExperimentResult(
+            figure_id=meta.figure_id,
+            scenario=scenario,
+            series=series,
+            normalized=normalized,
+            seed=meta.seed,
+            elapsed_seconds=meta.elapsed_seconds,
+            milp_failures=milp_failures,
+        )
+
+    # -- catalogue ----------------------------------------------------------------
+    def catalog(self) -> list[dict]:
+        """One summary row per stored run (for ``microrepro export``)."""
+        rows = []
+        for meta in self.runs():
+            scenario = ScenarioConfig.from_dict(meta.scenario)
+            expected = len(meta.curves) * len(scenario.sweep_values)
+            stored = sum(
+                1
+                for curve in meta.curves
+                for sweep_value in scenario.sweep_values
+                if self.has_cell(
+                    meta.figure_id, meta.scenario_hash, meta.seed, curve, sweep_value
+                )
+            )
+            rows.append(
+                {
+                    "figure": meta.figure_id,
+                    "scenario_hash": meta.scenario_hash,
+                    "seed": meta.seed,
+                    "curves": len(meta.curves),
+                    "points": len(scenario.sweep_values),
+                    "cells": f"{stored}/{expected}",
+                    "complete": stored == expected,
+                }
+            )
+        return rows

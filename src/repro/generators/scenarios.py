@@ -10,7 +10,9 @@ a scenario point, reproducibly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
 
 import numpy as np
 
@@ -112,6 +114,60 @@ class ScenarioConfig:
             repetitions=repetitions if repetitions is not None else self.repetitions,
             sweep_values=values,
         )
+
+    # -- serialisation ----------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready plain-dict representation (tuples become lists)."""
+        data = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            data[spec.name] = list(value) if isinstance(value, tuple) else value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ExperimentError(
+                f"unknown scenario fields {sorted(unknown)}; expected {sorted(known)}"
+            )
+        kwargs = dict(data)
+        for name in ("sweep_values", "heuristics", "w_range", "f_range"):
+            if name in kwargs and kwargs[name] is not None:
+                kwargs[name] = tuple(kwargs[name])
+        return cls(**kwargs)
+
+    #: Fields that determine the random instance drawn for a (sweep value,
+    #: repetition) cell.  ``sweep_values``, ``repetitions``, ``heuristics``
+    #: and the baseline flags deliberately stay out: cells are keyed per
+    #: sweep value and curve, and records carry their repetition count, so
+    #: a scaled-down rerun shares the store entries of the full sweep.
+    _HASH_FIELDS = (
+        "name",
+        "num_machines",
+        "num_types",
+        "sweep",
+        "num_tasks",
+        "w_range",
+        "f_range",
+        "task_dependent_failures",
+    )
+
+    def stable_hash(self) -> str:
+        """Short content hash of the scenario's instance-generating fields.
+
+        Stable across processes and interpreter restarts (canonical JSON
+        + SHA-256, no salted hashing).  Two configs share a hash iff they
+        draw identical random instances for every ``(sweep value,
+        repetition)`` cell under the same seed — the property the result
+        store needs to reuse completed cells across scaled runs.
+        """
+        data = self.to_dict()
+        payload = {name: data[name] for name in self._HASH_FIELDS}
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
 
 
 #: Memoization of sampled instances, keyed by (config, sweep point,

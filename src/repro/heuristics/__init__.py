@@ -14,7 +14,10 @@ Name      Strategy
 ``H4f``   greedy most reliable machine ``F`` only (Alg. 6)
 ========  ===============================================================
 
-Extra baselines (``RandomUniform``, ``RoundRobin``, ``H4-forward``) are
+Beyond the paper's six, ``H4ls`` refines H4w's mapping with a
+best-single-task-move local search over the incremental evaluator
+(:mod:`repro.heuristics.local_search`) — never worse than H4w.  Extra
+baselines (``RandomUniform``, ``RoundRobin``, ``H4-forward``) are
 provided for sanity checks and ablation studies.
 
 Use :func:`get_heuristic` to obtain an instance by name, or instantiate the
@@ -48,6 +51,11 @@ from .greedy import (
     ReliableMachineHeuristic,
 )
 from .h1_random import RandomHeuristic
+from .local_search import (
+    LocalSearchHeuristic,
+    refine_specialized,
+    specialized_move_mask,
+)
 
 #: The six heuristics evaluated in the paper, in presentation order.
 PAPER_HEURISTICS = ("H1", "H2", "H3", "H4", "H4w", "H4f")
@@ -72,5 +80,8 @@ __all__ = [
     "GreedyCompletionHeuristic",
     "ReliableMachineHeuristic",
     "RandomHeuristic",
+    "LocalSearchHeuristic",
+    "refine_specialized",
+    "specialized_move_mask",
     "PAPER_HEURISTICS",
 ]

@@ -124,6 +124,7 @@ class AssignmentState:
         "_free_machines",
         "_machine_type_arr",
         "_types_with_machine",
+        "_pending_types",
     )
 
     def __init__(self, instance: ProblemInstance, order: Sequence[int] | None = None):
@@ -150,6 +151,13 @@ class AssignmentState:
             t = types[task]
             self._remaining_type_counts[t] = self._remaining_type_counts.get(t, 0) + 1
         self._free_machines = m
+        # Types with unassigned tasks and no dedicated machine.  No machine
+        # is dedicated yet, so initially every type present is pending; the
+        # count is maintained incrementally by :meth:`assign` (a type leaves
+        # the pending set exactly when it gains its first machine, because a
+        # type's task count only ever drops through an assignment that also
+        # guarantees it a machine).
+        self._pending_types = len(self._remaining_type_counts)
 
     # -- traversal ------------------------------------------------------------------
     @property
@@ -224,12 +232,12 @@ class AssignmentState:
         return self._free_machines
 
     def num_pending_types(self) -> int:
-        """Types that still have unassigned tasks and no dedicated machine."""
-        return sum(
-            1
-            for t, count in self._remaining_type_counts.items()
-            if count > 0 and not self._has_machine_for(t)
-        )
+        """Types that still have unassigned tasks and no dedicated machine.
+
+        Maintained incrementally by :meth:`assign` (O(1)) instead of
+        rescanning the per-type counts on every eligibility check.
+        """
+        return self._pending_types
 
     def _has_machine_for(self, type_index: int) -> bool:
         return type_index in self._types_with_machine
@@ -308,6 +316,9 @@ class AssignmentState:
         if machine not in self.machine_type:
             self.machine_type[machine] = task_type
             self._machine_type_arr[machine] = task_type
+            if task_type not in self._types_with_machine:
+                # The type gains its first machine: it stops being pending.
+                self._pending_types -= 1
             self._types_with_machine.add(task_type)
             self._free_machines -= 1
         x_task = self.candidate_products(task, machine)

@@ -1,0 +1,259 @@
+"""Block-scheduled engine vs the PR 1 per-cell reference path.
+
+The contract under test: for the same seed, ``run_scenario`` /
+``run_figure`` produce bit-for-bit identical series whether whole
+repetition blocks are scheduled through the curve providers and the
+vectorized :class:`~repro.batch.InstanceStack` pass (``engine="block"``,
+the default) or every (sweep point, repetition) cell is scored through
+the scalar path (``engine="cells"``, PR 1's engine kept as reference) —
+serially or on a process pool.  A second battery checks that a result
+store makes runs resumable without recomputing stored blocks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import ResultStore, run_figure, run_scenario
+from repro.experiments import providers as providers_module
+from repro.generators import ScenarioConfig
+
+
+def _series_payload(result):
+    return {
+        label: (series.x_values, series.samples)
+        for label, series in result.series.items()
+    }
+
+
+def _assert_identical(a, b):
+    """Bit-for-bit series equality, treating NaN cells (MIP timeouts /
+    OtO infeasibility) as equal when they coincide."""
+    pa, pb = _series_payload(a), _series_payload(b)
+    assert pa.keys() == pb.keys()
+    for label in pa:
+        xa, sa = pa[label]
+        xb, sb = pb[label]
+        assert xa == xb, label
+        for x in xa:
+            va, vb = sa[x], sb[x]
+            assert len(va) == len(vb), (label, x)
+            for left, right in zip(va, vb):
+                if math.isnan(left) and math.isnan(right):
+                    continue
+                assert left == right, (label, x)
+
+
+def _small_scenario(**overrides) -> ScenarioConfig:
+    defaults = dict(
+        name="engine-test",
+        num_machines=5,
+        num_types=2,
+        sweep="tasks",
+        sweep_values=(6, 9),
+        repetitions=4,
+        heuristics=("H1", "H2", "H4w"),
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestBlockVsCells:
+    def test_custom_scenario_identical(self):
+        scenario = _small_scenario()
+        _assert_identical(
+            run_scenario(scenario, seed=11, engine="cells"),
+            run_scenario(scenario, seed=11, engine="block"),
+        )
+
+    def test_custom_scenario_with_exact_baselines(self):
+        scenario = _small_scenario(
+            num_machines=8,
+            sweep_values=(4,),
+            repetitions=2,
+            heuristics=("H2", "H4w"),
+            task_dependent_failures=True,
+        )
+        cells = run_scenario(
+            scenario, seed=3, engine="cells", include_milp=True, include_one_to_one=True
+        )
+        block = run_scenario(
+            scenario, seed=3, engine="block", include_milp=True, include_one_to_one=True
+        )
+        _assert_identical(cells, block)
+        assert cells.milp_failures == block.milp_failures
+
+    def test_fig9_reduced_identical(self):
+        _assert_identical(
+            run_figure("fig9", seed=5, repetitions=2, max_points=2, engine="cells"),
+            run_figure("fig9", seed=5, repetitions=2, max_points=2, engine="block"),
+        )
+
+    def test_fig10_reduced_identical(self):
+        # MILP-free in tier 1 (the n=16 solves take ~10s each); the slow
+        # suite covers the full curve set below, and
+        # test_custom_scenario_with_exact_baselines keeps a cheap
+        # MILP-inclusive equivalence check in tier 1.
+        _assert_identical(
+            run_figure(
+                "fig10", seed=1, repetitions=2, max_points=2, engine="cells",
+                include_milp=False,
+            ),
+            run_figure(
+                "fig10", seed=1, repetitions=2, max_points=2, engine="block",
+                include_milp=False,
+            ),
+        )
+
+    @pytest.mark.slow
+    def test_fig10_reduced_identical_including_milp(self):
+        _assert_identical(
+            run_figure(
+                "fig10", seed=1, repetitions=2, max_points=2, engine="cells"
+            ),
+            run_figure(
+                "fig10", seed=1, repetitions=2, max_points=2, engine="block"
+            ),
+        )
+
+    @pytest.mark.slow
+    def test_fig5_reduced_identical(self):
+        _assert_identical(
+            run_figure("fig5", seed=7, repetitions=2, max_points=2, engine="cells"),
+            run_figure("fig5", seed=7, repetitions=2, max_points=2, engine="block"),
+        )
+
+    def test_parallel_block_matches_serial_block(self):
+        scenario = _small_scenario()
+        _assert_identical(
+            run_scenario(scenario, seed=11, engine="block"),
+            run_scenario(scenario, seed=11, engine="block", workers=2),
+        )
+
+    def test_parallel_block_matches_parallel_cells(self):
+        scenario = _small_scenario(repetitions=3)
+        _assert_identical(
+            run_scenario(scenario, seed=23, engine="cells", workers=2),
+            run_scenario(scenario, seed=23, engine="block", workers=2),
+        )
+
+    def test_memoized_block_run_is_identical(self):
+        scenario = _small_scenario(repetitions=2)
+        _assert_identical(
+            run_scenario(scenario, seed=9, engine="block"),
+            run_scenario(scenario, seed=9, engine="block", memoize_instances=True),
+        )
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_scenario(_small_scenario(), engine="warp")
+
+    def test_cells_engine_rejects_block_only_features(self, tmp_path):
+        scenario = _small_scenario()
+        with pytest.raises(ExperimentError):
+            run_scenario(scenario, engine="cells", extra_curves=("H4ls",))
+        with pytest.raises(ExperimentError):
+            run_scenario(
+                scenario, engine="cells", store=ResultStore(tmp_path / "s")
+            )
+
+
+class TestOptionalCurves:
+    def test_fig6_optional_h4ls_never_above_h4w(self):
+        result = run_figure(
+            "fig6", seed=0, repetitions=2, max_points=2, include_optional=True
+        )
+        assert "H4ls" in result.series
+        for x in result.series["H4ls"].x_values:
+            for refined, seeded in zip(
+                result.series["H4ls"].samples[x], result.series["H4w"].samples[x]
+            ):
+                assert refined <= seeded
+
+    def test_optional_curves_do_not_perturb_paper_curves(self):
+        plain = run_figure("fig6", seed=0, repetitions=1, max_points=2)
+        extended = run_figure(
+            "fig6", seed=0, repetitions=1, max_points=2, include_optional=True
+        )
+        for label in plain.series:
+            assert (
+                plain.series[label].samples == extended.series[label].samples
+            )
+
+
+class TestStoreResume:
+    def test_resume_skips_stored_blocks(self, tmp_path, monkeypatch):
+        scenario = _small_scenario(repetitions=2)
+        with ResultStore(tmp_path / "s") as store:
+            first = run_scenario(scenario, seed=4, figure_id="figE", store=store)
+
+        sampled = []
+        original = providers_module.CellBlock.sample.__func__
+
+        def counting(cls, *args, **kwargs):
+            sampled.append(args[1])
+            return original(cls, *args, **kwargs)
+
+        monkeypatch.setattr(
+            providers_module.CellBlock, "sample", classmethod(counting)
+        )
+        with ResultStore(tmp_path / "s") as store:
+            second = run_scenario(
+                scenario, seed=4, figure_id="figE", store=store, resume=True
+            )
+        assert sampled == []  # nothing recomputed
+        _assert_identical(first, second)
+
+    def test_resume_only_computes_missing_blocks(self, tmp_path):
+        scenario = _small_scenario(repetitions=2)
+        full = run_scenario(scenario, seed=4, figure_id="figE")
+        with ResultStore(tmp_path / "s") as store:
+            run_scenario(scenario, seed=4, figure_id="figE", store=store)
+            # Drop one stored block from the index: only that block reruns.
+            key = next(k for k in store._cells if "|H2|9" in k)
+            del store._cells[key]
+            resumed = run_scenario(
+                scenario, seed=4, figure_id="figE", store=store, resume=True
+            )
+        _assert_identical(full, resumed)
+
+    def test_resume_with_different_seed_recomputes(self, tmp_path):
+        scenario = _small_scenario(repetitions=2, heuristics=("H4w",))
+        with ResultStore(tmp_path / "s") as store:
+            run_scenario(scenario, seed=4, figure_id="figE", store=store)
+            other = run_scenario(
+                scenario, seed=5, figure_id="figE", store=store, resume=True
+            )
+        fresh = run_scenario(scenario, seed=5, figure_id="figE")
+        _assert_identical(other, fresh)
+
+    def test_stored_blocks_serve_smaller_repetition_counts(self, tmp_path):
+        big = _small_scenario(repetitions=4, heuristics=("H4w",))
+        small = _small_scenario(repetitions=2, heuristics=("H4w",))
+        with ResultStore(tmp_path / "s") as store:
+            run_scenario(big, seed=4, figure_id="figE", store=store)
+            resumed = run_scenario(
+                small, seed=4, figure_id="figE", store=store, resume=True
+            )
+        fresh = run_scenario(small, seed=4, figure_id="figE")
+        _assert_identical(resumed, fresh)
+
+    def test_parallel_run_with_store_matches_serial(self, tmp_path):
+        scenario = _small_scenario(repetitions=3)
+        with ResultStore(tmp_path / "s") as store:
+            parallel = run_scenario(
+                scenario, seed=13, figure_id="figP", store=store, workers=2
+            )
+        serial = run_scenario(scenario, seed=13, figure_id="figP")
+        _assert_identical(parallel, serial)
+        with ResultStore(tmp_path / "s") as store:
+            assert store.load_result("figP").seed == 13
+
+    def test_store_requires_seed(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            run_scenario(
+                _small_scenario(), seed=None, store=ResultStore(tmp_path / "s")
+            )

@@ -88,6 +88,14 @@ class TestHeuristicProperties:
             second = get_heuristic(name).solve(instance)
             assert list(first.mapping) == list(second.mapping)
 
+    @given(feasible_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_h4ls_is_never_worse_than_h4w(self, instance):
+        h4w = get_heuristic("H4w").solve(instance)
+        h4ls = get_heuristic("H4ls").solve(instance)
+        assert h4ls.period <= h4w.period
+        h4ls.mapping.validate(instance, "specialized")
+
 
 @st.composite
 def cost_matrices(draw, max_rows: int = 6, max_cols: int = 7):

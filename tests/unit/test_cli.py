@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import CAMPAIGN_MANIFEST, STORE_ENV_VAR, build_parser, main
+from repro.experiments import ResultStore
 
 
 class TestParser:
@@ -114,3 +117,94 @@ class TestRunCommand:
         output = capsys.readouterr().out
         assert output.startswith("n,")
         assert "H2_mean" in output
+
+    def test_run_with_optional_curves(self, capsys):
+        code = main(
+            [
+                "run", "fig6", "--repetitions", "1", "--max-points", "2",
+                "--seed", "0", "--no-milp", "--optional-curves",
+            ]
+        )
+        assert code == 0
+        assert "H4ls" in capsys.readouterr().out
+
+    def test_run_cells_engine(self, capsys):
+        code = main(
+            [
+                "run", "fig6", "--repetitions", "1", "--max-points", "2",
+                "--seed", "0", "--no-milp", "--engine", "cells",
+            ]
+        )
+        assert code == 0
+        assert "== fig6 ==" in capsys.readouterr().out
+
+    def test_run_resume_requires_store(self, monkeypatch, capsys):
+        monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+        assert main(["run", "fig6", "--repetitions", "1", "--resume"]) == 2
+        assert "needs a store" in capsys.readouterr().err
+
+
+def _campaign_args(store) -> list[str]:
+    return [
+        "campaign", "fig6", "fig10", "--store", str(store),
+        "--repetitions", "1", "--max-points", "2", "--no-milp", "--seed", "0",
+    ]
+
+
+class TestCampaignCommands:
+    def test_campaign_runs_figures_into_store(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        assert main(_campaign_args(store_dir)) == 0
+        output = capsys.readouterr().out
+        assert "fig6" in output and "fig10" in output
+        assert "campaign: 2 figure(s)" in output
+        assert (store_dir / CAMPAIGN_MANIFEST).exists()
+        store = ResultStore(store_dir)
+        assert store.load_result("fig6").figure_id == "fig6"
+        assert store.load_result("fig10").figure_id == "fig10"
+
+    def test_resume_completes_without_recomputation(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        main(_campaign_args(store_dir))
+        capsys.readouterr()
+        assert main(["resume", "--store", str(store_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "campaign: 2 figure(s)" in output
+
+    def test_resume_without_manifest_rejected(self, tmp_path, capsys):
+        store_dir = tmp_path / "empty-store"
+        store_dir.mkdir()
+        assert main(["resume", "--store", str(store_dir)]) == 2
+        assert "campaign" in capsys.readouterr().err
+
+    def test_export_catalog_and_figures(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        main(_campaign_args(store_dir))
+        capsys.readouterr()
+        assert main(["export", "--store", str(store_dir)]) == 0
+        catalog = capsys.readouterr().out
+        assert "fig6" in catalog and "fig10" in catalog and "True" in catalog
+        assert main(["export", "--store", str(store_dir), "fig6", "--csv"]) == 0
+        assert capsys.readouterr().out.startswith("n,")
+
+    def test_store_env_var_fallback(self, tmp_path, capsys, monkeypatch):
+        store_dir = tmp_path / "env-store"
+        monkeypatch.setenv(STORE_ENV_VAR, str(store_dir))
+        assert (
+            main(
+                [
+                    "campaign", "fig6", "--repetitions", "1", "--max-points", "2",
+                    "--no-milp", "--seed", "0",
+                ]
+            )
+            == 0
+        )
+        assert (store_dir / CAMPAIGN_MANIFEST).exists()
+
+    def test_campaign_manifest_records_settings(self, tmp_path):
+        store_dir = tmp_path / "store"
+        main(_campaign_args(store_dir))
+        manifest = json.loads((store_dir / CAMPAIGN_MANIFEST).read_text())
+        assert manifest["figures"] == ["fig6", "fig10"]
+        assert manifest["repetitions"] == 1
+        assert manifest["no_milp"] is True

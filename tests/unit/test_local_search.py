@@ -1,0 +1,135 @@
+"""Unit tests for H4ls and the specialized local-search machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch import MappingEvaluator
+from repro.core import Mapping, MappingRule, evaluate
+from repro.heuristics import available_heuristics, get_heuristic
+from repro.heuristics.local_search import refine_specialized, specialized_move_mask
+from tests.helpers import make_random_instance
+
+
+class TestSpecializedMoveMask:
+    def test_mask_allows_only_type_compatible_destinations(self, small_instance):
+        # chain4: types [0, 1, 0, 1]; machines 0/1 host type 0, machine 2
+        # hosts type 1.
+        assignment = np.array([0, 2, 1, 2])
+        mask = specialized_move_mask(small_instance, assignment)
+        # Tasks of type 0 may go to machines 0 and 1 (dedicated to type 0)
+        # but not to machine 2 (hosts type 1).
+        assert mask[0].tolist() == [True, True, False]
+        assert mask[2].tolist() == [True, True, False]
+        # Tasks of type 1 may only go to machine 2.
+        assert mask[1].tolist() == [False, False, True]
+        assert mask[3].tolist() == [False, False, True]
+
+    def test_empty_machines_accept_every_type(self, small_instance):
+        assignment = np.array([0, 0, 0, 0])  # machines 1 and 2 empty
+        mask = specialized_move_mask(small_instance, assignment)
+        assert mask[:, 1].all() and mask[:, 2].all()
+
+    def test_every_allowed_move_keeps_the_mapping_specialized(self):
+        instance = make_random_instance(8, 3, 5, seed=3)
+        mapping = get_heuristic("H4w").solve(instance).mapping
+        assignment = mapping.as_array
+        mask = specialized_move_mask(instance, assignment)
+        for task in range(instance.num_tasks):
+            for machine in range(instance.num_machines):
+                if not mask[task, machine]:
+                    continue
+                moved = assignment.copy()
+                moved[task] = machine
+                Mapping(moved, instance.num_machines).validate(
+                    instance, MappingRule.SPECIALIZED
+                )
+
+
+class TestRefineSpecialized:
+    def test_refinement_never_increases_period(self):
+        for seed in range(10):
+            instance = make_random_instance(10, 3, 6, seed=seed)
+            seed_mapping = get_heuristic("H4w").solve(instance).mapping
+            refined, moves = refine_specialized(instance, seed_mapping)
+            assert evaluate(instance, refined).period <= evaluate(
+                instance, seed_mapping
+            ).period
+            assert moves >= 0
+
+    def test_refined_mapping_is_a_local_optimum(self):
+        instance = make_random_instance(9, 2, 5, seed=4)
+        seed_mapping = get_heuristic("H4w").solve(instance).mapping
+        refined, _ = refine_specialized(instance, seed_mapping)
+        evaluator = MappingEvaluator(instance, refined)
+        mask = specialized_move_mask(instance, refined.as_array)
+        assert evaluator.best_move(allowed=mask) is None
+
+    def test_max_moves_caps_the_descent(self):
+        instance = make_random_instance(12, 2, 6, seed=8)
+        # An intentionally bad (but specialized) seed: everything on the
+        # machines H4f would pick — plenty of improving moves available.
+        bad = get_heuristic("H4f").solve(instance).mapping
+        _, unlimited = refine_specialized(instance, bad)
+        if unlimited == 0:
+            pytest.skip("seed mapping already locally optimal")
+        _, capped = refine_specialized(instance, bad, max_moves=1)
+        assert capped == 1
+
+
+class TestBestMove:
+    def test_best_move_matches_exhaustive_probe(self):
+        instance = make_random_instance(7, 2, 4, seed=5)
+        evaluator = MappingEvaluator(
+            instance, get_heuristic("RoundRobin").solve(instance).mapping
+        )
+        move = evaluator.best_move()
+        probes = {
+            (task, machine): evaluator.candidate_period(task, machine)
+            for task in range(instance.num_tasks)
+            for machine in range(instance.num_machines)
+        }
+        best_value = min(probes.values())
+        if best_value < evaluator.period * (1.0 - 1e-12):
+            assert move is not None
+            task, machine, value = move
+            assert value == pytest.approx(best_value, rel=1e-12)
+        else:
+            assert move is None
+
+    def test_allowed_mask_shape_checked(self, small_instance):
+        evaluator = MappingEvaluator(small_instance, np.array([0, 2, 1, 2]))
+        with pytest.raises(Exception):
+            evaluator.best_move(allowed=np.ones((2, 2), dtype=bool))
+
+
+class TestH4ls:
+    def test_registered(self):
+        assert "H4ls" in available_heuristics()
+
+    def test_never_worse_than_h4w(self):
+        for seed in range(15):
+            instance = make_random_instance(10, 3, 6, seed=seed)
+            h4w = get_heuristic("H4w").solve(instance)
+            h4ls = get_heuristic("H4ls").solve(instance)
+            assert h4ls.period <= h4w.period
+            h4ls.mapping.validate(instance, MappingRule.SPECIALIZED)
+
+    def test_strictly_improves_somewhere(self):
+        improved = 0
+        for seed in range(15):
+            instance = make_random_instance(10, 3, 6, seed=seed)
+            if (
+                get_heuristic("H4ls").solve(instance).period
+                < get_heuristic("H4w").solve(instance).period
+            ):
+                improved += 1
+        assert improved > 0
+
+    def test_metadata_reports_base_and_moves(self):
+        instance = make_random_instance(10, 3, 6, seed=0)
+        result = get_heuristic("H4ls").solve(instance)
+        assert result.metadata["base"] == "H4w"
+        assert result.metadata["moves"] >= 0
+        assert result.period <= result.metadata["seed_period"]

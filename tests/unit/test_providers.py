@@ -1,0 +1,191 @@
+"""Unit tests for the curve-provider registry and block evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError, ReproError
+from repro.experiments.providers import (
+    MIP_LABEL,
+    OTO_LABEL,
+    BlockResult,
+    CellBlock,
+    CurveProvider,
+    HeuristicProvider,
+    LocalSearchProvider,
+    MilpProvider,
+    OneToOneProvider,
+    available_providers,
+    register_provider,
+    resolve_curves,
+    resolve_provider,
+)
+from repro.generators import ScenarioConfig
+from repro.heuristics import get_heuristic
+from repro.simulation.rng import RandomStreamFactory
+
+
+def _scenario(**overrides) -> ScenarioConfig:
+    defaults = dict(
+        name="prov-test",
+        num_machines=5,
+        num_types=2,
+        sweep="tasks",
+        sweep_values=(6,),
+        repetitions=3,
+        heuristics=("H2", "H4w"),
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+def _block(scenario=None, sweep_value=6, seed=7) -> CellBlock:
+    scenario = scenario or _scenario()
+    return CellBlock.sample(scenario, sweep_value, RandomStreamFactory(seed))
+
+
+class TestCellBlock:
+    def test_sample_stacks_all_repetitions(self):
+        block = _block()
+        assert block.repetitions == 3
+        assert len(block.instances) == 3
+        assert block.stack.num_instances == 3
+        assert block.stack.num_tasks == 6
+        assert block.stack.num_machines == 5
+
+    def test_sampled_instances_match_the_per_cell_draw(self):
+        from repro.generators.scenarios import sample_instance
+
+        scenario = _scenario()
+        block = _block(scenario)
+        for repetition, instance in enumerate(block.instances):
+            reference = sample_instance(
+                scenario, 6, repetition, RandomStreamFactory(7)
+            )
+            assert (instance.processing_times == reference.processing_times).all()
+            assert (instance.failure_rates == reference.failure_rates).all()
+
+
+class TestHeuristicProvider:
+    def test_block_periods_match_scalar_solve(self):
+        scenario = _scenario()
+        block = _block(scenario)
+        provider = HeuristicProvider("H4w")
+        result = provider.evaluate_block(block)
+        streams = RandomStreamFactory(7)
+        for repetition, instance in enumerate(block.instances):
+            rng = streams.stream("heuristic/H4w/6", repetition)
+            expected = get_heuristic("H4w").solve(instance, rng).period
+            assert result.periods[repetition] == expected  # bit-for-bit
+
+    def test_randomized_heuristic_uses_the_runner_streams(self):
+        block = _block(_scenario(heuristics=("H1",)))
+        a = HeuristicProvider("H1").evaluate_block(block)
+        b = HeuristicProvider("H1").evaluate_block(block)
+        assert (a.periods == b.periods).all()
+
+    def test_label_keeps_requested_spelling(self):
+        assert HeuristicProvider("h4w").label == "h4w"
+
+
+class TestLocalSearchProvider:
+    def test_never_above_base(self):
+        block = _block(_scenario(repetitions=5))
+        base = HeuristicProvider("H4w").evaluate_block(block)
+        refined = LocalSearchProvider("H4w").evaluate_block(block)
+        assert refined.label == "H4w+ls"
+        assert (refined.periods <= base.periods).all()
+
+    def test_matches_h4ls_heuristic_curve(self):
+        block = _block(_scenario(repetitions=4))
+        via_provider = LocalSearchProvider("H4w").evaluate_block(block)
+        via_heuristic = HeuristicProvider("H4ls").evaluate_block(block)
+        np.testing.assert_allclose(
+            via_provider.periods, via_heuristic.periods, rtol=1e-9
+        )
+
+
+class TestExactProviders:
+    def test_milp_is_a_lower_bound(self):
+        block = _block(_scenario(repetitions=2, sweep_values=(4,)), sweep_value=4)
+        milp = MilpProvider(time_limit=20.0).evaluate_block(block)
+        heur = HeuristicProvider("H4w").evaluate_block(block)
+        assert milp.label == MIP_LABEL
+        assert milp.failures == 0
+        assert (milp.periods <= heur.periods + 1e-6).all()
+
+    def test_one_to_one_runs_on_task_dependent_failures(self):
+        scenario = _scenario(
+            num_machines=8,
+            repetitions=2,
+            sweep_values=(4,),
+            task_dependent_failures=True,
+        )
+        block = _block(scenario, sweep_value=4)
+        result = OneToOneProvider().evaluate_block(block)
+        assert result.label == OTO_LABEL
+        assert np.isfinite(result.periods).all()
+
+    def test_milp_configure_sets_time_limit(self):
+        provider = MilpProvider().configure(milp_time_limit=5.0)
+        assert provider.time_limit == 5.0
+
+
+class TestRegistryAndResolution:
+    def test_builtin_providers_registered(self):
+        assert MIP_LABEL in available_providers()
+        assert OTO_LABEL in available_providers()
+
+    def test_resolution_order(self):
+        assert isinstance(resolve_provider("MIP"), MilpProvider)
+        assert isinstance(resolve_provider("OtO"), OneToOneProvider)
+        assert isinstance(resolve_provider("H4w"), HeuristicProvider)
+        assert isinstance(resolve_provider("H2+ls"), LocalSearchProvider)
+
+    def test_unknown_curve_rejected(self):
+        with pytest.raises(ExperimentError):
+            resolve_provider("nope")
+        with pytest.raises(ExperimentError):
+            resolve_provider("nope+ls")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ReproError):
+            register_provider(MilpProvider)
+
+    def test_resolve_curves_order_and_duplicates(self):
+        scenario = _scenario()
+        providers = resolve_curves(
+            scenario, use_milp=True, use_oto=True, extra_curves=("H4ls",)
+        )
+        assert [p.label for p in providers] == ["H2", "H4w", "H4ls", MIP_LABEL, OTO_LABEL]
+        # A curve listed both in the scenario and as an extra is
+        # deduplicated — case-insensitively, like provider resolution.
+        providers = resolve_curves(
+            scenario, use_milp=False, use_oto=False, extra_curves=("H4w",)
+        )
+        assert [p.label for p in providers] == ["H2", "H4w"]
+        providers = resolve_curves(
+            scenario, use_milp=False, use_oto=False, extra_curves=("h4w",)
+        )
+        assert [p.label for p in providers] == ["H2", "H4w"]
+
+    def test_custom_provider_registration(self):
+        class ConstantProvider(CurveProvider):
+            label = "const-test"
+
+            def evaluate_block(self, block):
+                return BlockResult(
+                    label=self.label,
+                    periods=np.ones(block.repetitions, dtype=np.float64),
+                )
+
+        register_provider(ConstantProvider)
+        try:
+            provider = resolve_provider("const-test")
+            result = provider.evaluate_block(_block())
+            assert (result.periods == 1.0).all()
+        finally:
+            from repro.experiments import providers as module
+
+            module._REGISTRY.pop("const-test")

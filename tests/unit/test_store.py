@@ -1,0 +1,265 @@
+"""Unit tests for the persistent result store (JSON-lines + index)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import run_scenario
+from repro.experiments.store import CellRecord, ResultStore, RunMeta
+from repro.generators import ScenarioConfig
+
+
+def _record(**overrides) -> CellRecord:
+    defaults = dict(
+        figure_id="figX",
+        scenario_hash="abc123",
+        seed=0,
+        curve="H4w",
+        sweep_value=10,
+        repetitions=3,
+        values=[1.0, 2.0, 3.0],
+        failures=0,
+    )
+    defaults.update(overrides)
+    return CellRecord(**defaults)
+
+
+def _scenario(**overrides) -> ScenarioConfig:
+    defaults = dict(
+        name="store-test",
+        num_machines=4,
+        num_types=2,
+        sweep="tasks",
+        sweep_values=(4, 6),
+        repetitions=2,
+        heuristics=("H2", "H4w"),
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestCellRecord:
+    def test_key(self):
+        assert _record().key == ("figX", "abc123", 0, "H4w", 10)
+
+    def test_value_count_must_match_repetitions(self):
+        with pytest.raises(ExperimentError):
+            _record(values=[1.0])
+
+
+class TestStoreBasics:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        record = _record()
+        store.put_cell(record)
+        assert store.get_cell("figX", "abc123", 0, "H4w", 10) == record
+        assert store.has_cell("figX", "abc123", 0, "H4w", 10)
+        assert not store.has_cell("figX", "abc123", 0, "H4w", 11)
+        assert len(store) == 1
+
+    def test_last_write_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put_cell(_record())
+        store.put_cell(_record(values=[9.0, 9.0, 9.0]))
+        assert store.get_cell("figX", "abc123", 0, "H4w", 10).values == [9.0, 9.0, 9.0]
+        assert len(store) == 1
+
+    def test_persists_across_reopen(self, tmp_path):
+        with ResultStore(tmp_path / "s") as store:
+            store.put_cell(_record())
+        reopened = ResultStore(tmp_path / "s")
+        assert reopened.get_cell("figX", "abc123", 0, "H4w", 10) == _record()
+
+    def test_nan_values_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put_cell(_record(curve="MIP", values=[1.0, float("nan"), 3.0], failures=1))
+        back = store.get_cell("figX", "abc123", 0, "MIP", 10)
+        assert math.isnan(back.values[1])
+        assert back.failures == 1
+
+    def test_meta_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        meta = RunMeta(
+            figure_id="figX",
+            scenario_hash="abc123",
+            seed=0,
+            scenario=_scenario().to_dict(),
+            curves=["H2", "H4w"],
+            normalize_to=None,
+            elapsed_seconds=1.5,
+        )
+        store.put_meta(meta)
+        assert store.get_meta("figX", "abc123", 0) == meta
+        assert store.runs() == [meta]
+
+
+class TestStoreRecovery:
+    def test_index_rebuilt_from_scan_when_missing(self, tmp_path):
+        with ResultStore(tmp_path / "s") as store:
+            store.put_cell(_record())
+            store.put_cell(_record(sweep_value=20, values=[4.0, 5.0, 6.0]))
+        (tmp_path / "s" / "index.json").unlink()
+        reopened = ResultStore(tmp_path / "s")
+        assert len(reopened) == 2
+        assert reopened.get_cell("figX", "abc123", 0, "H4w", 20).values == [4.0, 5.0, 6.0]
+
+    def test_corrupt_index_falls_back_to_scan(self, tmp_path):
+        with ResultStore(tmp_path / "s") as store:
+            store.put_cell(_record())
+        (tmp_path / "s" / "index.json").write_text("{not json", encoding="utf-8")
+        reopened = ResultStore(tmp_path / "s")
+        assert len(reopened) == 1
+
+    def test_unindexed_tail_is_recovered(self, tmp_path):
+        # Simulate a run killed after appending but before reindexing: the
+        # index covers a prefix, extra lines follow.
+        with ResultStore(tmp_path / "s") as store:
+            store.put_cell(_record())
+        extra = _record(sweep_value=20, values=[7.0, 8.0, 9.0])
+        line = json.dumps(
+            {
+                "kind": "cell",
+                "data": {
+                    "figure_id": extra.figure_id,
+                    "scenario_hash": extra.scenario_hash,
+                    "seed": extra.seed,
+                    "curve": extra.curve,
+                    "sweep_value": extra.sweep_value,
+                    "repetitions": extra.repetitions,
+                    "values": extra.values,
+                    "failures": extra.failures,
+                },
+            }
+        )
+        with open(tmp_path / "s" / "results.jsonl", "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        reopened = ResultStore(tmp_path / "s")
+        assert reopened.get_cell("figX", "abc123", 0, "H4w", 20) == extra
+
+    def test_auto_flush_boundary_record_survives_a_crash(self, tmp_path):
+        # The periodic index rewrite fires while putting the N-th record;
+        # the index it persists must already know that record's key, or a
+        # crash right after the rewrite makes the record invisible (the
+        # reopen scan starts past it).  Simulate the crash by never
+        # calling flush()/close() after the puts.
+        from repro.experiments.store import _INDEX_EVERY
+
+        store = ResultStore(tmp_path / "s")
+        for sweep_value in range(_INDEX_EVERY):
+            store.put_cell(_record(sweep_value=sweep_value))
+        reopened = ResultStore(tmp_path / "s")
+        assert len(reopened) == _INDEX_EVERY
+        assert reopened.get_cell(
+            "figX", "abc123", 0, "H4w", _INDEX_EVERY - 1
+        ) == _record(sweep_value=_INDEX_EVERY - 1)
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        with ResultStore(tmp_path / "s") as store:
+            store.put_cell(_record())
+        (tmp_path / "s" / "index.json").unlink()
+        with open(tmp_path / "s" / "results.jsonl", "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "cell", "data": {"figure_id": "figX"')  # no newline
+        reopened = ResultStore(tmp_path / "s")
+        assert len(reopened) == 1
+
+    def test_append_after_torn_line_does_not_merge(self, tmp_path):
+        # A record appended after a torn line must start on a fresh line,
+        # or a later full scan would drop both as one corrupt line.
+        with ResultStore(tmp_path / "s") as store:
+            store.put_cell(_record())
+        with open(tmp_path / "s" / "results.jsonl", "a", encoding="utf-8") as handle:
+            handle.write('{"torn": ')  # interrupted writer, no newline
+        store = ResultStore(tmp_path / "s")
+        store.put_cell(_record(sweep_value=20, values=[4.0, 5.0, 6.0]))
+        assert store.get_cell("figX", "abc123", 0, "H4w", 20).values == [4.0, 5.0, 6.0]
+        # The appended record survives a from-scratch scan too.
+        store.close()
+        (tmp_path / "s" / "index.json").unlink()
+        rescanned = ResultStore(tmp_path / "s")
+        assert len(rescanned) == 2
+        assert rescanned.get_cell("figX", "abc123", 0, "H4w", 20) is not None
+
+    def test_read_only_store_can_be_opened_and_closed(self, tmp_path):
+        import os
+
+        with ResultStore(tmp_path / "s") as store:
+            store.put_cell(_record())
+        os.chmod(tmp_path / "s", 0o555)
+        try:
+            with ResultStore(tmp_path / "s") as readonly:  # close() must not write
+                assert readonly.get_cell("figX", "abc123", 0, "H4w", 10) == _record()
+        finally:
+            os.chmod(tmp_path / "s", 0o755)
+
+
+class TestExperimentResultRoundTrip:
+    def test_save_and_load_result(self, tmp_path):
+        result = run_scenario(_scenario(), seed=5, figure_id="figX")
+        store = ResultStore(tmp_path / "s")
+        store.save_result(result)
+        loaded = store.load_result("figX")
+        assert loaded.figure_id == result.figure_id
+        assert loaded.scenario == result.scenario
+        assert loaded.seed == result.seed
+        assert loaded.milp_failures == result.milp_failures
+        assert {l: s.samples for l, s in loaded.series.items()} == {
+            l: s.samples for l, s in result.series.items()
+        }
+        assert loaded.normalized is None
+
+    def test_round_trip_preserves_normalisation(self, tmp_path):
+        result = run_scenario(
+            _scenario(sweep_values=(4,)),
+            seed=2,
+            figure_id="figN",
+            include_milp=True,
+            normalize_to="MIP",
+        )
+        store = ResultStore(tmp_path / "s")
+        store.save_result(result)
+        loaded = store.load_result("figN")
+        assert set(loaded.normalized) == set(result.normalized)
+        for label in result.normalized:
+            assert loaded.normalized[label].samples == result.normalized[label].samples
+
+    def test_load_requires_complete_run(self, tmp_path):
+        result = run_scenario(_scenario(), seed=5, figure_id="figX")
+        store = ResultStore(tmp_path / "s")
+        store.save_result(result)
+        # Wipe the cell index entry for one block: loading must complain.
+        key = next(k for k in store._cells if "|H4w|6" in k)
+        del store._cells[key]
+        with pytest.raises(ExperimentError):
+            store.load_result("figX")
+
+    def test_load_unknown_figure_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        with pytest.raises(ExperimentError):
+            store.load_result("fig404")
+
+    def test_ambiguous_load_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        for seed in (1, 2):
+            store.save_result(run_scenario(_scenario(), seed=seed, figure_id="figX"))
+        with pytest.raises(ExperimentError):
+            store.load_result("figX")
+        assert store.load_result("figX", seed=2).seed == 2
+
+    def test_save_requires_seed(self, tmp_path):
+        result = run_scenario(_scenario(), seed=None, figure_id="figX")
+        store = ResultStore(tmp_path / "s")
+        with pytest.raises(ExperimentError):
+            store.save_result(result)
+
+    def test_catalog(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.save_result(run_scenario(_scenario(), seed=5, figure_id="figX"))
+        rows = store.catalog()
+        assert len(rows) == 1
+        assert rows[0]["figure"] == "figX"
+        assert rows[0]["complete"] is True
+        assert rows[0]["cells"] == "4/4"
