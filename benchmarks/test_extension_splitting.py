@@ -10,7 +10,6 @@ bound.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.exact import solve_specialized_branch_and_bound
 from repro.extensions import split_specialized_mapping, splitting_lower_bound

@@ -7,8 +7,6 @@ and all heuristics converge towards the optimum as p approaches m.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.experiments.runner import OTO_LABEL
 
 from .conftest import run_figure_benchmark

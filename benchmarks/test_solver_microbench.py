@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import Mapping, evaluate
+from repro.core import evaluate
 from repro.exact.hungarian import min_cost_assignment
 from repro.exact.milp import solve_specialized_milp
 from repro.heuristics import get_heuristic

@@ -10,10 +10,10 @@ ratios from raw experiment records.
 from __future__ import annotations
 
 import math
-from collections.abc import Iterable, Mapping, Sequence
+from collections.abc import Mapping
 from dataclasses import dataclass
 
-from .stats import PointSummary, Series, paired_ratio, summarize
+from .stats import PointSummary, Series, paired_ratio
 
 __all__ = ["normalize_series", "overall_factor", "NormalizationReport"]
 

@@ -28,7 +28,7 @@ from .evaluation import (
     batch_throughputs,
     evaluate_batch,
 )
-from .incremental import MappingEvaluator
+from .incremental import MappingEvaluator, StackMappingEvaluator
 
 __all__ = [
     "BatchEvaluation",
@@ -40,4 +40,5 @@ __all__ = [
     "batch_throughputs",
     "evaluate_batch",
     "MappingEvaluator",
+    "StackMappingEvaluator",
 ]

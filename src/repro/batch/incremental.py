@@ -21,15 +21,16 @@ machine for task ``i`` given everything else?", answered in one call by
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 
 import numpy as np
 
-from ..core.instance import ProblemInstance
+from ..core.instance import ProblemInstance, shared_successor_table
 from ..core.mapping import Mapping
 from ..core.period import MappingEvaluation
 from ..exceptions import InvalidMappingError
 
-__all__ = ["MappingEvaluator"]
+__all__ = ["MappingEvaluator", "StackMappingEvaluator"]
 
 
 def _upstream_sets(instance: ProblemInstance) -> list[np.ndarray]:
@@ -282,3 +283,210 @@ class MappingEvaluator:
         self._contrib[ups] = self._x[ups] * self._w[ups, self._assignment[ups]]
         np.add.at(self._periods, self._assignment[ups], self._contrib[ups])
         return self.period
+
+
+class StackMappingEvaluator:
+    """``R`` independent :class:`MappingEvaluator` states advanced lock-step.
+
+    One evaluator per repetition of an instance stack, sharing the
+    precedence graph (and therefore the upstream sets) but each with its
+    own ``w``/``f`` matrices and mapping.  The batched probe
+    :meth:`candidate_periods` answers "best destination for task ``i``"
+    for *every* row in one vectorized pass — the building block that lets
+    local-search refinement run across a whole repetition block without
+    re-entering Python per repetition.
+
+    Row ``r``'s arithmetic (including the ``np.add.at`` scatter order)
+    mirrors a scalar :class:`MappingEvaluator` on instance ``r``
+    operation for operation, so probes and moves are bit-for-bit
+    identical to ``R`` sequential evaluators.
+    """
+
+    __slots__ = (
+        "instances",
+        "_assignment",
+        "_x",
+        "_contrib",
+        "_periods",
+        "_upstream",
+        "_f",
+        "_w",
+        "_rows",
+    )
+
+    def __init__(
+        self,
+        instances: Sequence[ProblemInstance],
+        mappings: np.ndarray,
+    ):
+        if not instances:
+            raise InvalidMappingError("cannot evaluate an empty instance stack")
+        first = instances[0]
+        n, m = first.num_tasks, first.num_machines
+        shared_successor_table(instances)
+        arr = np.asarray(mappings, dtype=np.int64).copy()
+        if arr.shape != (len(instances), n):
+            raise InvalidMappingError(
+                f"mappings must have shape ({len(instances)}, {n}), got {arr.shape}"
+            )
+        if arr.size and (arr.min() < 0 or arr.max() >= m):
+            raise InvalidMappingError(
+                f"mappings use machine indices outside 0..{m - 1}"
+            )
+        self.instances = tuple(instances)
+        self._assignment = arr
+        self._w = np.stack([inst.processing_times for inst in instances])
+        self._f = np.stack([inst.failure_rates for inst in instances])
+        self._upstream = _upstream_sets(first)
+        self._rows = np.arange(len(instances))
+        self.refresh()
+
+    # -- state ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Stack depth ``R``."""
+        return int(self._assignment.shape[0])
+
+    @property
+    def num_machines(self) -> int:
+        """Platform size ``m``."""
+        return int(self._w.shape[2])
+
+    @property
+    def assignment(self) -> np.ndarray:
+        """Copy of the current ``(R, n)`` allocation array."""
+        return self._assignment.copy()
+
+    @property
+    def periods(self) -> np.ndarray:
+        """Current per-row application periods (``(R,)``)."""
+        return self._periods.max(axis=1)
+
+    @property
+    def machine_periods(self) -> np.ndarray:
+        """Copy of the current ``(R, m)`` machine-period matrix."""
+        return self._periods.copy()
+
+    def refresh(self) -> None:
+        """Recompute every row's ``x``, contributions and periods."""
+        app = self.instances[0].application
+        R, n = self._assignment.shape
+        tasks = np.arange(n)
+        f_used = self._f[self._rows[:, np.newaxis], tasks[np.newaxis, :], self._assignment]
+        x = np.ones((R, n), dtype=np.float64)
+        for task in app.reverse_topological_order():
+            succ = app.successor(task)
+            if succ is None:
+                x[:, task] = 1.0 / (1.0 - f_used[:, task])
+            else:
+                x[:, task] = x[:, succ] / (1.0 - f_used[:, task])
+        self._x = x
+        w_used = self._w[self._rows[:, np.newaxis], tasks[np.newaxis, :], self._assignment]
+        self._contrib = x * w_used
+        periods = np.zeros((R, self.num_machines), dtype=np.float64)
+        np.add.at(periods, (self._rows[:, np.newaxis], self._assignment), self._contrib)
+        self._periods = periods
+
+    # -- batched delta queries -----------------------------------------------------
+    def candidate_periods(self, task: int) -> np.ndarray:
+        """Rowwise :meth:`MappingEvaluator.candidate_periods` (``(R, m)``).
+
+        Entry ``[r, u]`` is row ``r``'s period with ``task`` moved to
+        machine ``u``; entry ``[r, a_r(task)]`` is row ``r``'s current
+        period.  One vectorized pass over all rows and destinations.
+        """
+        if not 0 <= task < self._assignment.shape[1]:
+            raise InvalidMappingError(f"unknown task index {task}")
+        m = self.num_machines
+        rows2d = self._rows[:, np.newaxis]
+        old_machine = self._assignment[:, task]
+        ups = self._upstream[task]
+        old_c = self._contrib[:, ups]
+        removed = np.zeros((self.num_rows, m), dtype=np.float64)
+        np.add.at(removed, (rows2d, self._assignment[:, ups]), old_c)
+        base = self._periods - removed
+        # Unscaled re-add pattern for the unmoved upstream tasks.
+        rest = np.zeros((self.num_rows, m), dtype=np.float64)
+        np.add.at(rest, (rows2d, self._assignment[:, ups[1:]]), old_c[:, 1:])
+        ratios = (1.0 - self._f[self._rows, task, old_machine])[:, np.newaxis] / (
+            1.0 - self._f[:, task, :]
+        )
+        candidates = (
+            base[:, np.newaxis, :] + rest[:, np.newaxis, :] * ratios[:, :, np.newaxis]
+        )
+        diag = np.arange(m)
+        candidates[:, diag, diag] += (
+            self._x[:, task][:, np.newaxis] * ratios * self._w[:, task, :]
+        )
+        return candidates.max(axis=2)
+
+    def best_moves(
+        self,
+        *,
+        allowed: np.ndarray | None = None,
+        rel_tol: float = 1e-12,
+        active: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Rowwise :meth:`MappingEvaluator.best_move` in one batched scan.
+
+        Returns ``(tasks, machines, has_move)``: row ``r``'s best strictly
+        improving single-task move is ``tasks[r] -> machines[r]`` when
+        ``has_move[r]``, with the same lowest-task / lowest-machine tie
+        breaking as the scalar scan.  ``allowed`` optionally masks
+        destinations per row (``(R, n, m)`` boolean); ``active`` restricts
+        the probe work to a subset of rows (others report no move).
+        """
+        R, n = self._assignment.shape
+        if allowed is not None:
+            allowed = np.asarray(allowed, dtype=bool)
+            if allowed.shape != (R, n, self.num_machines):
+                raise InvalidMappingError(
+                    f"allowed mask must have shape ({R}, {n}, {self.num_machines}), "
+                    f"got {allowed.shape}"
+                )
+        best_value = np.full(R, np.inf)
+        best_task = np.zeros(R, dtype=np.int64)
+        best_machine = np.zeros(R, dtype=np.int64)
+        threshold = self.periods * (1.0 - rel_tol)
+        for task in range(n):
+            candidates = self.candidate_periods(task)
+            if allowed is not None:
+                candidates = np.where(allowed[:, task, :], candidates, np.inf)
+            machine = np.argmin(candidates, axis=1)
+            value = candidates[self._rows, machine]
+            # Strict improvement over the running best keeps the scalar
+            # scan's first-task tie break.
+            better = value < best_value
+            if active is not None:
+                better &= active
+            best_value[better] = value[better]
+            best_task[better] = task
+            best_machine[better] = machine[better]
+        has_move = best_value < threshold
+        if active is not None:
+            has_move &= active
+        return best_task, best_machine, has_move
+
+    # -- mutation ---------------------------------------------------------------
+    def move(self, row: int, task: int, machine: int) -> None:
+        """Reassign ``task`` to ``machine`` in one row (scalar delta update).
+
+        Rowwise moves differ in their upstream sets, so applying them is
+        per-row work — the cost that matters, the candidate scan, is the
+        batched :meth:`best_moves`.
+        """
+        old_machine = int(self._assignment[row, task])
+        if machine == old_machine:
+            return
+        ups = self._upstream[task]
+        ratio = (1.0 - self._f[row, task, old_machine]) / (
+            1.0 - self._f[row, task, machine]
+        )
+        old_c = self._contrib[row, ups]
+        np.add.at(self._periods[row], self._assignment[row, ups], -old_c)
+        self._x[row, ups] *= ratio
+        self._assignment[row, task] = machine
+        self._contrib[row, ups] = self._x[row, ups] * self._w[
+            row, ups, self._assignment[row, ups]
+        ]
+        np.add.at(self._periods[row], self._assignment[row, ups], self._contrib[row, ups])

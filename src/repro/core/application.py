@@ -21,10 +21,9 @@ convention it uses — the code is consistently zero-based).
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
-import numpy as np
 
 from ..exceptions import InvalidApplicationError
 from .types import TypeAssignment, cyclic_type_assignment

@@ -16,7 +16,6 @@ successful product.
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
-from fractions import Fraction
 
 import numpy as np
 

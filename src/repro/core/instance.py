@@ -8,7 +8,7 @@ instances.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -17,7 +17,42 @@ from .application import Application
 from .failure import FailureModel
 from .platform import Platform
 
-__all__ = ["ProblemInstance"]
+__all__ = ["ProblemInstance", "shared_successor_table"]
+
+
+def shared_successor_table(
+    instances: Sequence["ProblemInstance"],
+) -> tuple[int | None, ...]:
+    """The successor table all ``instances`` share, validating they do.
+
+    The successor table fully determines an in-tree's edge set, so
+    comparing it is an exact shared-precedence-graph check without the
+    graph-copying ``Application.graph`` property.  The batch layers
+    (lock-step solvers, stacked evaluators) call this to guarantee one
+    traversal order fits every repetition.
+
+    Raises
+    ------
+    InvalidInstanceError
+        If any instance differs in task count, machine count or edges.
+    """
+    first = instances[0]
+    n, m = first.num_tasks, first.num_machines
+    successors = tuple(first.application.successor(task) for task in range(n))
+    for inst in instances[1:]:
+        if (
+            inst.num_tasks != n
+            or inst.num_machines != m
+            or (
+                inst.application is not first.application
+                and tuple(inst.application.successor(task) for task in range(n))
+                != successors
+            )
+        ):
+            raise InvalidInstanceError(
+                "instances must share the precedence graph and platform size"
+            )
+    return successors
 
 
 class ProblemInstance:

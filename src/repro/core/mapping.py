@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from collections import defaultdict
-from collections.abc import Iterable, Mapping as MappingABC, Sequence
+from collections.abc import Mapping as MappingABC, Sequence
 
 import numpy as np
 

@@ -22,13 +22,11 @@ system and guarantee the output for the desired number of products").
 from __future__ import annotations
 
 import math
-from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..exceptions import InvalidMappingError
-from .application import Application
 from .instance import ProblemInstance
 from .mapping import Mapping
 

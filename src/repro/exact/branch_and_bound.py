@@ -34,7 +34,7 @@ import numpy as np
 from ..core.instance import ProblemInstance
 from ..core.mapping import Mapping, MappingRule
 from ..core.period import MappingEvaluation, evaluate
-from ..exceptions import InfeasibleProblemError, SolverError
+from ..exceptions import InfeasibleProblemError
 from ..heuristics.base import backward_task_order
 from ..heuristics.greedy import BestPerformanceHeuristic, FastestMachineHeuristic
 

@@ -22,9 +22,9 @@ the experiment runner (``normalize_to="MIP"``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from ..generators.platforms import HIGH_FAILURE_F_RANGE, PAPER_F_RANGE
+from ..generators.platforms import HIGH_FAILURE_F_RANGE
 from ..generators.scenarios import ScenarioConfig
 
 __all__ = ["FigureSpec", "FIGURES", "figure_ids"]

@@ -13,8 +13,11 @@ repetitions of one sweep point, stacked into a
 Built-in providers
 ------------------
 * :class:`HeuristicProvider` — any registered heuristic; solves the
-  ``R`` mappings per-instance and scores them in a single vectorized
-  stack pass (bit-for-bit identical to ``R`` scalar evaluations);
+  ``R`` mappings in one lock-step ``solve_batch`` call when the
+  heuristic implements :class:`~repro.heuristics.BatchHeuristic`
+  (falling back to the per-instance loop otherwise) and scores them in
+  a single vectorized stack pass (bit-for-bit identical to ``R``
+  sequential solve + scalar evaluation calls);
 * :class:`LocalSearchProvider` — best-single-move refinement of any base
   heuristic's mapping (curve label ``"<base>+ls"``);
 * :class:`MilpProvider` — the exact specialized MIP (label ``"MIP"``);
@@ -36,12 +39,13 @@ import numpy as np
 
 from ..batch import InstanceStack
 from ..core.instance import ProblemInstance
+from ..core.mapping import Mapping, MappingRule
 from ..exact.milp import solve_specialized_milp
 from ..exact.one_to_one import optimal_one_to_one
-from ..exceptions import ExperimentError, ReproError, SolverError
+from ..exceptions import ExperimentError, MappingRuleViolation, ReproError, SolverError
 from ..generators.scenarios import ScenarioConfig, sample_instance
-from ..heuristics import get_heuristic
-from ..heuristics.local_search import refine_specialized
+from ..heuristics import get_heuristic, supports_batch
+from ..heuristics.local_search import refine_specialized, refine_specialized_batch
 from ..simulation.rng import RandomStreamFactory
 
 __all__ = [
@@ -67,6 +71,10 @@ MIP_LABEL = "MIP"
 OTO_LABEL = "OtO"
 #: Curve-label suffix resolved to a :class:`LocalSearchProvider`.
 LOCAL_SEARCH_SUFFIX = "+ls"
+#: Smallest block depth at which the lock-step batch solvers beat the
+#: per-instance loop (measured crossover ~R=6; both paths are bit-for-bit
+#: identical, so this is purely a scheduling choice).
+BATCH_SOLVE_MIN_REPETITIONS = 8
 
 
 @dataclass(frozen=True, slots=True)
@@ -174,25 +182,83 @@ class CurveProvider(abc.ABC):
         return f"{type(self).__name__}(label={self.label!r})"
 
 
+def _validate_block_rule(
+    instances: Sequence[ProblemInstance],
+    assignments: np.ndarray,
+    rule: MappingRule,
+) -> None:
+    """Batched counterpart of ``Mapping.validate`` over a whole block.
+
+    The specialized rule — every batchable heuristic's rule — is checked
+    in one vectorized counts pass; any other rule falls back to the
+    per-instance validation.
+    """
+    if rule is not MappingRule.SPECIALIZED:
+        for repetition, instance in enumerate(instances):
+            Mapping(assignments[repetition], instance.num_machines).validate(
+                instance, rule
+            )
+        return
+    R = len(instances)
+    n, m = instances[0].num_tasks, instances[0].num_machines
+    types = np.stack([inst.application.types.as_array for inst in instances])
+    counts = np.zeros((R, m, int(types.max()) + 1), dtype=np.int64)
+    np.add.at(counts, (np.arange(R)[:, np.newaxis], assignments, types), 1)
+    distinct = (counts > 0).sum(axis=2)
+    if (distinct > 1).any():
+        row = int(np.argmax((distinct > 1).any(axis=1)))
+        raise MappingRuleViolation(
+            f"batch solve of repetition {row} assigns tasks of two different "
+            "types to the same machine"
+        )
+
+
 class HeuristicProvider(CurveProvider):
     """Curve provider wrapping one registered heuristic.
 
-    Mappings are produced per instance (heuristics need each repetition's
-    true types for the specialized rule), then scored against the block's
-    stack in one vectorized pass — the pass that replaces ``R`` scalar
-    :func:`repro.core.period.evaluate` calls, bit for bit.
+    When the heuristic implements the
+    :class:`~repro.heuristics.BatchHeuristic` protocol (the greedy H4
+    family, the binary-search H2/H3, H4ls), the whole block is solved in
+    one lock-step ``solve_batch`` call; otherwise (randomized heuristics
+    such as H1, or third-party heuristics without a batch kernel) the
+    mappings are produced per instance exactly as before.  Either way the
+    block's periods come from one vectorized stack pass, and both paths
+    are bit-for-bit identical to ``R`` sequential solve + evaluate calls.
+
+    Parameters
+    ----------
+    name:
+        Registered heuristic name (also the curve label).
+    batch:
+        ``None`` (default) batch-solves blocks of at least
+        :data:`BATCH_SOLVE_MIN_REPETITIONS` repetitions — below the
+        crossover, array-op overhead makes lock-step slower than the
+        plain loop.  ``True``/``False`` force one path (tests,
+        benchmarks); results are identical either way.
     """
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, *, batch: bool | None = None):
         self._heuristic = get_heuristic(name)
+        self._batch = batch
         # Keep the *requested* spelling: it is both the series key and the
         # RNG stream label, which the per-cell runner derived from the
         # scenario's declared name.
         self.label = name
 
+    def _use_batch(self, block: CellBlock) -> bool:
+        if self._batch is not None:
+            return self._batch
+        return block.repetitions >= BATCH_SOLVE_MIN_REPETITIONS
+
     def solve_block(self, block: CellBlock) -> np.ndarray:
         """The ``(R, n)`` assignment array of the heuristic over the block."""
         heuristic = self._heuristic
+        if self._use_batch(block) and supports_batch(heuristic):
+            for instance in block.instances:
+                heuristic.check_feasible(instance)
+            assignments = heuristic.solve_batch(block.instances)
+            _validate_block_rule(block.instances, assignments, heuristic.rule)
+            return assignments
         assignments = np.empty(
             (block.repetitions, block.stack.num_tasks), dtype=np.int64
         )
@@ -221,8 +287,10 @@ class LocalSearchProvider(CurveProvider):
     never above the base's).
     """
 
-    def __init__(self, base: str = "H4w", label: str | None = None):
-        self._base = HeuristicProvider(base)
+    def __init__(
+        self, base: str = "H4w", label: str | None = None, *, batch: bool | None = None
+    ):
+        self._base = HeuristicProvider(base, batch=batch)
         self.label = label if label is not None else f"{base}{LOCAL_SEARCH_SUFFIX}"
 
     @property
@@ -232,10 +300,15 @@ class LocalSearchProvider(CurveProvider):
 
     def evaluate_block(self, block: CellBlock) -> BlockResult:
         seeds = self._base.solve_block(block)
-        refined = np.empty_like(seeds)
-        for repetition, instance in enumerate(block.instances):
-            mapping, _ = refine_specialized(instance, seeds[repetition])
-            refined[repetition] = mapping.as_array
+        if self._base._use_batch(block):
+            # One lock-step descent across the whole block (bit-for-bit
+            # the per-repetition refine_specialized loop below).
+            refined, _ = refine_specialized_batch(block.instances, seeds)
+        else:
+            refined = np.empty_like(seeds)
+            for repetition, instance in enumerate(block.instances):
+                mapping, _ = refine_specialized(instance, seeds[repetition])
+                refined[repetition] = mapping.as_array
         periods = np.minimum(
             block.stack.periods(refined), block.stack.periods(seeds)
         )

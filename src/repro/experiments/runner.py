@@ -15,8 +15,14 @@ identical repetitions of each sweep point into one
 :class:`~repro.batch.InstanceStack` and hands whole blocks to the curve
 providers, which score each curve's ``R`` mappings in a single
 vectorized pass instead of re-entering the scalar evaluator per cell.
-The original per-cell path of PR 1 is kept as ``engine="cells"`` — the
-bit-for-bit reference the equivalence tests compare against.
+Heuristics implementing the :class:`~repro.heuristics.BatchHeuristic`
+protocol (H2/H3, the H4 family, H4ls) additionally *solve* the whole
+block in one lock-step ``solve_batch`` call — both on the serial path
+and inside each pool worker — so neither solving nor scoring re-enters
+Python per repetition; heuristics without a batch kernel (H1) fall back
+to the per-instance solve loop transparently.  The original per-cell
+path of PR 1 is kept as ``engine="cells"`` — the bit-for-bit reference
+the equivalence tests compare against.
 
 Repetition blocks are independent, so the engine can fan the (sweep
 point, curve) blocks out over a process pool (``workers=N``).  Every

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.application import Application, in_tree
-from ..core.types import TypeAssignment, random_type_assignment
+from ..core.types import random_type_assignment
 from ..exceptions import InvalidApplicationError
 
 __all__ = ["random_chain_application", "random_in_tree_application"]

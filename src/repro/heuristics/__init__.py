@@ -26,12 +26,15 @@ classes directly.
 
 from .base import (
     AssignmentState,
+    BatchAssignmentState,
+    BatchHeuristic,
     Heuristic,
     HeuristicResult,
     available_heuristics,
     backward_task_order,
     get_heuristic,
     register_heuristic,
+    supports_batch,
 )
 from .baselines import (
     GreedyLoadBalanceHeuristic,
@@ -54,7 +57,9 @@ from .h1_random import RandomHeuristic
 from .local_search import (
     LocalSearchHeuristic,
     refine_specialized,
+    refine_specialized_batch,
     specialized_move_mask,
+    specialized_move_mask_batch,
 )
 
 #: The six heuristics evaluated in the paper, in presentation order.
@@ -62,12 +67,15 @@ PAPER_HEURISTICS = ("H1", "H2", "H3", "H4", "H4w", "H4f")
 
 __all__ = [
     "AssignmentState",
+    "BatchAssignmentState",
+    "BatchHeuristic",
     "Heuristic",
     "HeuristicResult",
     "available_heuristics",
     "backward_task_order",
     "get_heuristic",
     "register_heuristic",
+    "supports_batch",
     "GreedyLoadBalanceHeuristic",
     "RoundRobinHeuristic",
     "UniformRandomSpecialized",
@@ -82,6 +90,8 @@ __all__ = [
     "RandomHeuristic",
     "LocalSearchHeuristic",
     "refine_specialized",
+    "refine_specialized_batch",
     "specialized_move_mask",
+    "specialized_move_mask_batch",
     "PAPER_HEURISTICS",
 ]

@@ -33,12 +33,13 @@ exists (``m >= p``).
 from __future__ import annotations
 
 import abc
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from ..core.instance import ProblemInstance
+from ..core.instance import ProblemInstance, shared_successor_table
 from ..core.mapping import Mapping, MappingRule
 from ..core.period import MappingEvaluation, evaluate
 from ..exceptions import InfeasibleProblemError, ReproError
@@ -47,6 +48,9 @@ __all__ = [
     "HeuristicResult",
     "Heuristic",
     "AssignmentState",
+    "BatchAssignmentState",
+    "BatchHeuristic",
+    "supports_batch",
     "register_heuristic",
     "get_heuristic",
     "available_heuristics",
@@ -340,6 +344,194 @@ class AssignmentState:
         if not self.is_complete():
             raise ReproError("assignment is incomplete")
         return Mapping(self.assignment, self.instance.num_machines)
+
+
+class BatchAssignmentState:
+    """Lock-step :class:`AssignmentState` over ``R`` stacked instances.
+
+    The batch solvers advance all ``R`` repetitions of a block through the
+    same backward traversal simultaneously: every piece of per-instance
+    greedy state (assignment, dedicated machines, accumulated busy time,
+    expected products, the free-machine feasibility guard) becomes an
+    array with a leading repetition axis, and each greedy step is a
+    handful of vectorized operations over ``(R, m)`` slices instead of
+    ``R`` Python loop iterations.
+
+    All instances must share the precedence graph (and therefore the
+    backward traversal order); types, ``w`` and ``f`` are per repetition.
+    Row ``r``'s arithmetic mirrors a scalar :class:`AssignmentState` on
+    instance ``r`` operation for operation, so the resulting assignments
+    are bit-for-bit identical to ``R`` sequential solves.
+
+    Rows can be deactivated (``rows`` index arguments) so drivers with
+    per-repetition early exit — the batched binary search marks rows
+    infeasible for their candidate period — simply stop updating them.
+    """
+
+    __slots__ = (
+        "order",
+        "types",
+        "w",
+        "f",
+        "assignment",
+        "machine_type",
+        "accumulated",
+        "x",
+        "free_machines",
+        "pending_types",
+        "_succ",
+        "_has_machine",
+        "_all_rows",
+    )
+
+    def __init__(self, instances: Sequence[ProblemInstance]):
+        if not instances:
+            raise ReproError("cannot batch-solve zero instances")
+        first = instances[0]
+        self.order = backward_task_order(first)
+        successors = shared_successor_table(instances)
+        self.types = np.stack([inst.application.types.as_array for inst in instances])
+        self.w = np.stack([inst.processing_times for inst in instances])
+        self.f = np.stack([inst.failure_rates for inst in instances])
+        self._succ = np.asarray(
+            [-1 if succ is None else succ for succ in successors], dtype=np.int64
+        )
+        self._reset_progress()
+
+    def _reset_progress(self) -> None:
+        """(Re)initialise every assignment-progress array to the empty state."""
+        R, n, m = self.w.shape
+        self.assignment = np.full((R, n), -1, dtype=np.int64)
+        #: per-row machine -> dedicated type (-1 = free machine)
+        self.machine_type = np.full((R, m), -1, dtype=np.int64)
+        self.accumulated = np.zeros((R, m), dtype=np.float64)
+        self.x = np.full((R, n), -1.0, dtype=np.float64)
+        self.free_machines = np.full(R, m, dtype=np.int64)
+        # Distinct types present per row: all of them are pending until
+        # they gain their first dedicated machine, exactly as in the
+        # scalar state.
+        max_type = int(self.types.max())
+        self._has_machine = np.zeros((R, max_type + 1), dtype=bool)
+        sorted_types = np.sort(self.types, axis=1)
+        self.pending_types = 1 + np.count_nonzero(
+            sorted_types[:, 1:] != sorted_types[:, :-1], axis=1
+        ).astype(np.int64)
+        self._all_rows = np.arange(R)
+
+    def subset(self, rows: np.ndarray) -> "BatchAssignmentState":
+        """A fresh, unassigned state restricted to the given rows.
+
+        Shares the traversal order and successor table with the receiver;
+        ``types``/``w``/``f`` are sliced per row, and every progress array
+        starts empty.  Drivers that re-run the greedy placement several
+        times over shrinking row sets — the batched binary search tries
+        one candidate period per active row and pass — build each pass's
+        state this way instead of restacking the instances.
+        """
+        clone = object.__new__(type(self))
+        clone.order = self.order
+        clone._succ = self._succ
+        clone.types = self.types[rows]
+        clone.w = self.w[rows]
+        clone.f = self.f[rows]
+        clone._reset_progress()
+        return clone
+
+    @property
+    def num_rows(self) -> int:
+        """Stack depth ``R``."""
+        return int(self.assignment.shape[0])
+
+    @property
+    def num_machines(self) -> int:
+        """Platform size ``m``."""
+        return int(self.machine_type.shape[1])
+
+    def downstream_demand(self, task: int) -> np.ndarray:
+        """Per-row products required by ``task``'s successor (``(R,)``)."""
+        succ = int(self._succ[task])
+        if succ < 0:
+            return np.ones(self.num_rows, dtype=np.float64)
+        return self.x[:, succ]
+
+    def candidate_exec(self, task: int) -> np.ndarray:
+        """Batched :meth:`AssignmentState.candidate_exec_vector` (``(R, m)``)."""
+        products = self.downstream_demand(task)[:, np.newaxis] / (
+            1.0 - self.f[:, task, :]
+        )
+        return self.accumulated + products * self.w[:, task, :]
+
+    def eligible_mask(self, task: int) -> np.ndarray:
+        """Batched :meth:`AssignmentState.eligible_mask` (``(R, m)`` bool)."""
+        task_type = self.types[:, task]
+        dedicated_ok = self.machine_type == task_type[:, np.newaxis]
+        free = self.machine_type == -1
+        has_machine = self._has_machine[self._all_rows, task_type]
+        # nbFreeMachines / nbTypesToGo guard, rowwise: a type that already
+        # owns a machine must leave a free machine per pending type; a
+        # pending type may always claim one of the machines reserved for
+        # the pending set.
+        free_ok = np.where(
+            has_machine,
+            self.free_machines - 1 >= self.pending_types,
+            self.free_machines - 1 >= self.pending_types - 1,
+        )
+        return dedicated_ok | (free & free_ok[:, np.newaxis])
+
+    def assign(self, task: int, machines: np.ndarray, rows: np.ndarray | None = None) -> None:
+        """Assign ``task`` to ``machines[k]`` in row ``rows[k]``, lock-step.
+
+        ``rows`` defaults to every row; pass the indices of the still
+        active rows to leave dead rows untouched.  Eligibility is
+        guaranteed by construction in the batch drivers (they mask
+        ineligible machines before choosing), so no per-row check is
+        re-run here.
+        """
+        if rows is None:
+            rows = self._all_rows
+        machines = np.asarray(machines, dtype=np.int64)
+        task_type = self.types[rows, task]
+        newly = self.machine_type[rows, machines] == -1
+        if newly.any():
+            nrows, nmachines, ntypes = (
+                rows[newly],
+                machines[newly],
+                task_type[newly],
+            )
+            had_machine = self._has_machine[nrows, ntypes]
+            self.machine_type[nrows, nmachines] = ntypes
+            self.pending_types[nrows] -= ~had_machine
+            self._has_machine[nrows, ntypes] = True
+            self.free_machines[nrows] -= 1
+        demand = self.downstream_demand(task)[rows]
+        x_task = demand / (1.0 - self.f[rows, task, machines])
+        self.x[rows, task] = x_task
+        self.accumulated[rows, machines] += x_task * self.w[rows, task, machines]
+        self.assignment[rows, task] = machines
+
+
+@runtime_checkable
+class BatchHeuristic(Protocol):
+    """Protocol of heuristics that can solve a whole repetition block.
+
+    ``solve_batch`` takes the ``R`` structurally identical instances of
+    one :class:`~repro.batch.InstanceStack` block and returns the
+    ``(R, n)`` assignment array whose row ``r`` is bit-for-bit identical
+    to ``solve_mapping(instances[r])``.  The block engine feeds the array
+    straight into the stack's vectorized scoring pass, so a curve whose
+    heuristic implements this protocol never re-enters Python per
+    repetition.  Deterministic heuristics only — randomized ones (H1)
+    keep the per-instance path.
+    """
+
+    def solve_batch(self, instances: Sequence[ProblemInstance]) -> np.ndarray:
+        """Solve every instance of the block at once (``(R, n)`` int64)."""
+        ...  # pragma: no cover - protocol stub
+
+
+def supports_batch(heuristic: object) -> bool:
+    """True when ``heuristic`` implements :class:`BatchHeuristic`."""
+    return isinstance(heuristic, BatchHeuristic)
 
 
 class Heuristic(abc.ABC):

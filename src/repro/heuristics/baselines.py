@@ -23,7 +23,7 @@ import numpy as np
 from ..core.instance import ProblemInstance
 from ..core.mapping import Mapping
 from ..exceptions import ReproError
-from .base import AssignmentState, Heuristic, register_heuristic
+from .base import Heuristic, register_heuristic
 
 __all__ = [
     "UniformRandomSpecialized",

@@ -31,13 +31,20 @@ from __future__ import annotations
 
 import abc
 import math
-from dataclasses import dataclass
+from collections.abc import Sequence
 
 import numpy as np
 
 from ..core.instance import ProblemInstance
 from ..core.mapping import Mapping
-from .base import AssignmentState, Heuristic, backward_task_order, register_heuristic
+from ..exceptions import ReproError
+from .base import (
+    AssignmentState,
+    BatchAssignmentState,
+    Heuristic,
+    backward_task_order,
+    register_heuristic,
+)
 
 __all__ = ["BinarySearchHeuristic", "RankBinarySearchHeuristic", "HeterogeneityBinarySearchHeuristic"]
 
@@ -86,6 +93,8 @@ class BinarySearchHeuristic(Heuristic):
         self.integer_search = bool(integer_search)
         self.rel_tol = float(rel_tol)
         self.max_iterations = int(max_iterations)
+        self._period_bound: float | None = None
+        self._period_bounds: np.ndarray | None = None
 
     # -- machine ranking (heuristic-specific) -----------------------------------------
     @abc.abstractmethod
@@ -97,6 +106,18 @@ class BinarySearchHeuristic(Heuristic):
         The bisection driver intersects this order with the eligibility
         and period-feasibility masks; returning a full permutation lets
         the ranking itself be computed with vectorized NumPy sorts.
+        """
+
+    @abc.abstractmethod
+    def machine_order_batch(
+        self, state: BatchAssignmentState, task: int, rows: np.ndarray
+    ) -> np.ndarray:
+        """Rowwise machine permutations for the batched driver.
+
+        The returned ``(len(rows), m)`` array must equal
+        :meth:`machine_order` applied to each row's instance and state;
+        ``rows`` indexes the original instance list so stacked
+        precomputations from :meth:`prepare_batch` can be sliced.
         """
 
     def machine_priority(
@@ -111,7 +132,26 @@ class BinarySearchHeuristic(Heuristic):
         return [int(u) for u in self.machine_order(instance, state, task) if int(u) in keep]
 
     def prepare(self, instance: ProblemInstance) -> None:
-        """Hook for per-instance precomputation (ranks, heterogeneity)."""
+        """Per-instance precomputation run once per solve.
+
+        Caches the bisection's worst-case upper bound (previously
+        recomputed by every solve entry point) so the driver and any
+        introspection share one value; subclasses extend it with their
+        ranking data (ranks, heterogeneity) and must call ``super()``.
+        """
+        self._period_bound = worst_case_period_bound(instance)
+
+    def prepare_batch(
+        self, instances: Sequence[ProblemInstance], state: BatchAssignmentState
+    ) -> None:
+        """Stacked counterpart of :meth:`prepare` for the batched driver.
+
+        Caches the per-row period bounds; subclasses stack their ranking
+        data and must call ``super()``.
+        """
+        self._period_bounds = np.asarray(
+            [worst_case_period_bound(inst) for inst in instances], dtype=np.float64
+        )
 
     # -- one greedy assignment round ---------------------------------------------------
     def _try_period(
@@ -135,13 +175,111 @@ class BinarySearchHeuristic(Heuristic):
             state.assign(task, int(order[ranked[0]]))
         return state.to_mapping()
 
+    # -- one batched greedy assignment round -------------------------------------------
+    def _try_period_batch(
+        self,
+        template: BatchAssignmentState,
+        rows: np.ndarray,
+        targets: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Attempt every row's candidate period in one lock-step pass.
+
+        Row ``k`` runs the same greedy placement as :meth:`_try_period`
+        on instance ``rows[k]`` under period ``targets[k]``; rows whose
+        placement becomes infeasible are dropped from the active set and
+        simply stop being updated.  Returns ``(ok, assignments)`` where
+        ``ok[k]`` says whether row ``k`` placed every task.
+        """
+        state = template.subset(rows)
+        alive = np.ones(rows.size, dtype=bool)
+        targets_col = targets[:, np.newaxis]
+        for task in state.order:
+            feasible = state.eligible_mask(task) & (
+                state.candidate_exec(task) <= targets_col
+            )
+            alive &= feasible.any(axis=1)
+            if not alive.any():
+                break
+            order = self.machine_order_batch(state, task, rows)
+            # First machine of each row's preference order that satisfies
+            # both masks — the batched form of order[ranked[0]].
+            feasible_ordered = np.take_along_axis(feasible, order, axis=1)
+            first = np.argmax(feasible_ordered, axis=1)
+            chosen = np.take_along_axis(order, first[:, np.newaxis], axis=1)[:, 0]
+            active = np.flatnonzero(alive)
+            state.assign(task, chosen[active], active)
+        return alive, state.assignment
+
     # -- Heuristic API ------------------------------------------------------------------
+    def solve_batch(self, instances: Sequence[ProblemInstance]) -> np.ndarray:
+        """Bisect all ``R`` instances lock-step; row ``r`` equals the
+        sequential :meth:`solve_mapping` on ``instances[r]`` bit for bit.
+
+        Every row keeps its own ``(low, high)`` bracket and converges on
+        its own schedule — converged rows leave the active set while the
+        rest keep bisecting, and each round's feasibility checks run as
+        one vectorized greedy pass over the still-active rows.
+        """
+        template = BatchAssignmentState(instances)
+        self.prepare_batch(instances, template)
+        if self._period_bounds is None:  # prepare_batch overridden without super()
+            self._period_bounds = np.asarray(
+                [worst_case_period_bound(inst) for inst in instances], dtype=np.float64
+            )
+        num_tasks = template.assignment.shape[1]
+        all_rows = np.arange(template.num_rows)
+        high = self._period_bounds.copy()
+        low = np.zeros_like(high)
+        best = np.full((template.num_rows, num_tasks), -1, dtype=np.int64)
+
+        def attempt(rows: np.ndarray, targets: np.ndarray) -> np.ndarray:
+            ok, assignments = self._try_period_batch(template, rows, targets)
+            best[rows[ok]] = assignments[ok]
+            return ok
+
+        ok = attempt(all_rows, high)
+        if not ok.all():
+            # Defensive fallback mirroring the sequential driver: the
+            # feasibility guard makes the worst-case bound feasible
+            # whenever m >= p, but double it once just in case.
+            retry = all_rows[~ok]
+            high[retry] *= 2.0
+            attempt(retry, high[retry])
+        iterations = np.zeros(template.num_rows, dtype=np.int64)
+        while True:
+            if self.integer_search:
+                active = high - low > 1.0
+            else:
+                active = high - low > self.rel_tol * np.maximum(high, 1.0)
+            active &= iterations < self.max_iterations
+            rows = all_rows[active]
+            if rows.size == 0:
+                break
+            if self.integer_search:
+                mid = low[rows] + np.floor((high[rows] - low[rows]) / 2.0)
+            else:
+                mid = (low[rows] + high[rows]) / 2.0
+            iterations[rows] += 1
+            ok = attempt(rows, mid)
+            high[rows[ok]] = mid[ok]
+            low[rows[~ok]] = mid[~ok]
+        if (best < 0).any():
+            raise ReproError(
+                "batched binary search failed to place some repetitions even "
+                "at the doubled worst-case bound"
+            )
+        return best
+
     def solve_mapping(
         self, instance: ProblemInstance, rng: np.random.Generator | None = None
     ) -> tuple[Mapping, int, dict]:
         self.prepare(instance)
         low = 0.0
-        high = worst_case_period_bound(instance)
+        # The base prepare() caches the bound; recompute lazily if a
+        # subclass overrode prepare() without extending it.
+        if self._period_bound is None:
+            self._period_bound = worst_case_period_bound(instance)
+        high = self._period_bound
         best = self._try_period(instance, high)
         if best is None:
             # The guard in AssignmentState guarantees eligibility whenever a
@@ -179,8 +317,10 @@ class RankBinarySearchHeuristic(BinarySearchHeuristic):
     def __init__(self, **kwargs) -> None:
         super().__init__(**kwargs)
         self._ranks: np.ndarray | None = None
+        self._ranks_stack: np.ndarray | None = None
 
     def prepare(self, instance: ProblemInstance) -> None:
+        super().prepare(instance)
         w = instance.processing_times
         # rank[i, u] = position of task i when the column w[:, u] is sorted
         # ascending (0 = the task this machine performs fastest).
@@ -192,6 +332,24 @@ class RankBinarySearchHeuristic(BinarySearchHeuristic):
             ranks[order[:, u], u] = rows
         self._ranks = ranks
 
+    def prepare_batch(
+        self, instances, state: BatchAssignmentState
+    ) -> None:
+        super().prepare_batch(instances, state)
+        # Stacked rank matrices: a stable argsort along the task axis of
+        # the (R, n, m) stack equals R independent per-instance argsorts.
+        order = np.argsort(state.w, axis=1, kind="stable")
+        ranks = np.empty_like(order)
+        np.put_along_axis(
+            ranks,
+            order,
+            np.broadcast_to(
+                np.arange(order.shape[1])[np.newaxis, :, np.newaxis], order.shape
+            ),
+            axis=1,
+        )
+        self._ranks_stack = ranks
+
     def machine_order(
         self, instance: ProblemInstance, state: AssignmentState, task: int
     ) -> np.ndarray:
@@ -200,6 +358,18 @@ class RankBinarySearchHeuristic(BinarySearchHeuristic):
         # lexsort: last key is primary — rank, then w[task, u], then u.
         return np.lexsort(
             (np.arange(instance.num_machines), w[task, :], self._ranks[task, :])
+        )
+
+    def machine_order_batch(
+        self, state: BatchAssignmentState, task: int, rows: np.ndarray
+    ) -> np.ndarray:
+        assert self._ranks_stack is not None
+        num_machines = state.num_machines
+        indices = np.broadcast_to(
+            np.arange(num_machines), (rows.size, num_machines)
+        )
+        return np.lexsort(
+            (indices, state.w[:, task, :], self._ranks_stack[rows, task, :])
         )
 
 
@@ -212,9 +382,22 @@ class HeterogeneityBinarySearchHeuristic(BinarySearchHeuristic):
     def __init__(self, **kwargs) -> None:
         super().__init__(**kwargs)
         self._heterogeneity: np.ndarray | None = None
+        self._heterogeneity_stack: np.ndarray | None = None
 
     def prepare(self, instance: ProblemInstance) -> None:
+        super().prepare(instance)
         self._heterogeneity = instance.platform.machine_heterogeneity()
+
+    def prepare_batch(
+        self, instances, state: BatchAssignmentState
+    ) -> None:
+        super().prepare_batch(instances, state)
+        # Stacked per-instance (not axis-reduced on the stack) so each
+        # row's std reduction is the exact float sequence of the scalar
+        # path — heterogeneity feeds a sort key, where one ulp flips ties.
+        self._heterogeneity_stack = np.stack(
+            [inst.platform.machine_heterogeneity() for inst in instances]
+        )
 
     def machine_order(
         self, instance: ProblemInstance, state: AssignmentState, task: int
@@ -228,4 +411,16 @@ class HeterogeneityBinarySearchHeuristic(BinarySearchHeuristic):
                 state.candidate_exec_vector(task),
                 -self._heterogeneity,
             )
+        )
+
+    def machine_order_batch(
+        self, state: BatchAssignmentState, task: int, rows: np.ndarray
+    ) -> np.ndarray:
+        assert self._heterogeneity_stack is not None
+        num_machines = state.num_machines
+        indices = np.broadcast_to(
+            np.arange(num_machines), (rows.size, num_machines)
+        )
+        return np.lexsort(
+            (indices, state.candidate_exec(task), -self._heterogeneity_stack[rows])
         )

@@ -20,9 +20,12 @@ mapping is re-checked against the seed under the exact scalar evaluation
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
-from ..batch.incremental import MappingEvaluator
+from ..batch.evaluation import InstanceStack
+from ..batch.incremental import MappingEvaluator, StackMappingEvaluator
 from ..core.instance import ProblemInstance
 from ..core.mapping import Mapping
 from ..core.period import evaluate
@@ -32,7 +35,9 @@ from .greedy import FastestMachineHeuristic
 __all__ = [
     "LocalSearchHeuristic",
     "refine_specialized",
+    "refine_specialized_batch",
     "specialized_move_mask",
+    "specialized_move_mask_batch",
 ]
 
 
@@ -55,6 +60,79 @@ def specialized_move_mask(instance: ProblemInstance, assignment: np.ndarray) -> 
     # Machine u accepts type t when it is empty or dedicated to t already.
     accepts = (distinct == 0)[:, np.newaxis] | ((distinct == 1)[:, np.newaxis] & hosted)
     return accepts[:, types].T
+
+
+def specialized_move_mask_batch(
+    instances: Sequence[ProblemInstance], assignments: np.ndarray
+) -> np.ndarray:
+    """Rowwise :func:`specialized_move_mask` as one ``(R, n, m)`` array.
+
+    Entry ``[r, i, u]`` is true when moving task ``i`` of repetition ``r``
+    to machine ``u`` keeps row ``r``'s mapping specialized.
+    """
+    R = len(instances)
+    n, m = instances[0].num_tasks, instances[0].num_machines
+    types = np.stack([inst.application.types.as_array for inst in instances])
+    p = max(inst.num_types for inst in instances)
+    rows = np.arange(R)
+    counts = np.zeros((R, m, p), dtype=np.int64)
+    np.add.at(
+        counts,
+        (rows[:, np.newaxis], np.asarray(assignments, dtype=np.int64), types),
+        1,
+    )
+    hosted = counts > 0
+    distinct = hosted.sum(axis=2)
+    # Machine u accepts type t when it is empty or dedicated to t already.
+    accepts = (distinct == 0)[:, :, np.newaxis] | (
+        (distinct == 1)[:, :, np.newaxis] & hosted
+    )
+    # result[r, i, u] = accepts[r, u, types[r, i]]
+    return accepts[
+        rows[:, np.newaxis, np.newaxis],
+        np.arange(m)[np.newaxis, np.newaxis, :],
+        types[:, :, np.newaxis],
+    ]
+
+
+def refine_specialized_batch(
+    instances: Sequence[ProblemInstance],
+    seeds: np.ndarray,
+    *,
+    max_moves: int | None = None,
+    rel_tol: float = 1e-12,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rowwise :func:`refine_specialized` over a whole repetition block.
+
+    Every row descends through its own best-single-move sequence, but the
+    expensive part — probing all ``(task, destination)`` candidates — runs
+    as one :meth:`~repro.batch.StackMappingEvaluator.best_moves` scan per
+    round across all still-improving rows.  Rows reach their local optima
+    on their own schedule and drop out of the active set; because rows
+    are independent, row ``r``'s move sequence (and final mapping) is
+    bit-for-bit the sequential refinement of ``instances[r]``.
+
+    Returns ``(refined assignments, per-row move counts)``.
+    """
+    seeds = np.asarray(seeds, dtype=np.int64)
+    evaluator = StackMappingEvaluator(instances, seeds)
+    R, n = seeds.shape
+    cap = max_moves if max_moves is not None else 100 * n
+    moves = np.zeros(R, dtype=np.int64)
+    # The scalar loop checks the cap before probing, so cap=0 must not
+    # move at all; start from the same guard.
+    active = moves < cap
+    while active.any():
+        allowed = specialized_move_mask_batch(instances, evaluator.assignment)
+        tasks, machines, has_move = evaluator.best_moves(
+            allowed=allowed, rel_tol=rel_tol, active=active
+        )
+        active &= has_move
+        for row in np.flatnonzero(active):
+            evaluator.move(int(row), int(tasks[row]), int(machines[row]))
+        moves[active] += 1
+        active &= moves < cap
+    return evaluator.assignment, moves
 
 
 def refine_specialized(
@@ -120,3 +198,16 @@ class LocalSearchHeuristic(Heuristic):
                 {"base": self.base, "moves": moves, "seed_period": seed_period},
             )
         return seed_mapping, 1, {"base": self.base, "moves": 0, "seed_period": seed_period}
+
+    def solve_batch(self, instances: Sequence[ProblemInstance]) -> np.ndarray:
+        """Batched H4ls: one H4w batch solve, one lock-step refinement.
+
+        The seed/refined comparison runs through the stack's vectorized
+        evaluation, which is bit-for-bit the scalar evaluation — so each
+        row returns exactly what :meth:`solve_mapping` would.
+        """
+        seeds = FastestMachineHeuristic().solve_batch(instances)
+        refined, _ = refine_specialized_batch(instances, seeds)
+        stack = InstanceStack.from_instances(instances, require_uniform_types=False)
+        improved = stack.periods(refined) < stack.periods(seeds)
+        return np.where(improved[:, np.newaxis], refined, seeds)

@@ -8,27 +8,21 @@ import numpy as np
 import pytest
 from hypothesis import settings
 
-# Hypothesis tiers: the "default" profile keeps tier-1 property tests
-# quick; CI's non-blocking slow job (and local deep runs) select
-# HYPOTHESIS_PROFILE=thorough.  Per-test @settings override these.
-settings.register_profile("default", max_examples=25, deadline=None)
-settings.register_profile("thorough", max_examples=300, deadline=None)
-settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
-
 from repro.core import (
     Application,
     FailureModel,
     Platform,
     ProblemInstance,
     TypeAssignment,
-    linear_chain,
-)
-from repro.generators import (
-    random_chain_application,
-    random_failure_rates,
-    random_processing_times,
 )
 from tests.helpers import make_random_instance as _make_random_instance
+
+# Hypothesis tiers: the "default" profile keeps tier-1 property tests
+# quick; CI's non-blocking slow job (and local deep runs) select
+# HYPOTHESIS_PROFILE=thorough.  Per-test @settings override these.
+settings.register_profile("default", max_examples=25, deadline=None)
+settings.register_profile("thorough", max_examples=300, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

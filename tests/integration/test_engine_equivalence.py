@@ -14,12 +14,17 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.exceptions import ExperimentError
 from repro.experiments import ResultStore, run_figure, run_scenario
 from repro.experiments import providers as providers_module
+from repro.experiments.figures import FIGURES
+from repro.experiments.providers import CellBlock, HeuristicProvider
 from repro.generators import ScenarioConfig
+from repro.heuristics import get_heuristic, supports_batch
+from repro.simulation.rng import RandomStreamFactory
 
 
 def _series_payload(result):
@@ -159,6 +164,78 @@ class TestBlockVsCells:
             run_scenario(
                 scenario, engine="cells", store=ResultStore(tmp_path / "s")
             )
+
+
+class TestBatchSolveEquivalence:
+    """The batch solve layer vs the per-instance loop on real figure shapes.
+
+    For every batch-capable heuristic of a figure's curve set, the forced
+    ``solve_batch`` path must produce the per-instance path's assignments
+    bit for bit on a block sampled from that figure's scenario.
+    """
+
+    @pytest.mark.parametrize("figure_id", ["fig5", "fig9", "fig10"])
+    def test_block_solve_identical_to_per_instance(self, figure_id):
+        scenario = FIGURES[figure_id].scenario.scaled(repetitions=3)
+        sweep_value = scenario.sweep_values[0]
+        block = CellBlock.sample(scenario, sweep_value, RandomStreamFactory(21))
+        covered = 0
+        for name in scenario.heuristics:
+            if not supports_batch(get_heuristic(name)):
+                continue  # H1: randomized, stays on the per-instance path
+            batched = HeuristicProvider(name, batch=True).solve_block(block)
+            looped = HeuristicProvider(name, batch=False).solve_block(block)
+            assert (batched == looped).all(), (figure_id, name)
+            covered += 1
+        assert covered >= 3  # H2/H3 and at least one H4-family curve
+
+    def test_engine_uses_batch_solve_above_threshold(self, monkeypatch):
+        """A block-engine run at production depth routes through solve_batch
+        and still matches the per-cell reference engine bit for bit."""
+        calls = []
+        scenario = _small_scenario(
+            repetitions=providers_module.BATCH_SOLVE_MIN_REPETITIONS,
+            heuristics=("H2", "H4w"),
+        )
+        for name in scenario.heuristics:
+            cls = type(get_heuristic(name))
+            original = cls.solve_batch
+
+            def counting(self, instances, _original=original):
+                calls.append(type(self).name)
+                return _original(self, instances)
+
+            monkeypatch.setattr(cls, "solve_batch", counting)
+        block = run_scenario(scenario, seed=29, engine="block")
+        assert sorted(set(calls)) == ["H2", "H4w"]
+        cells = run_scenario(scenario, seed=29, engine="cells")
+        _assert_identical(cells, block)
+
+
+class TestBatchFallback:
+    """Providers whose heuristic lacks ``solve_batch`` must keep working
+    under the block engine — serially and on a process pool."""
+
+    def test_h1_has_no_batch_kernel(self):
+        assert not supports_batch(get_heuristic("H1"))
+
+    def test_fallback_block_run_matches_cells_with_workers(self):
+        scenario = _small_scenario(
+            repetitions=providers_module.BATCH_SOLVE_MIN_REPETITIONS,
+            heuristics=("H1", "RoundRobin", "H4w"),
+        )
+        cells = run_scenario(scenario, seed=31, engine="cells")
+        block = run_scenario(scenario, seed=31, engine="block", workers=2)
+        _assert_identical(cells, block)
+
+    def test_fallback_provider_solves_blocks_directly(self):
+        scenario = _small_scenario(repetitions=4, heuristics=("H1",))
+        block = CellBlock.sample(
+            scenario, scenario.sweep_values[0], RandomStreamFactory(8)
+        )
+        result = HeuristicProvider("H1").evaluate_block(block)
+        assert result.periods.shape == (4,)
+        assert np.isfinite(result.periods).all()
 
 
 class TestOptionalCurves:

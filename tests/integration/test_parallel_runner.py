@@ -12,7 +12,6 @@ import os
 import subprocess
 import sys
 
-import pytest
 
 from repro.experiments import run_figure, run_scenario
 from repro.generators import ScenarioConfig

@@ -14,12 +14,10 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    Application,
     FailureModel,
     Mapping,
     Platform,
     ProblemInstance,
-    TypeAssignment,
     evaluate,
     linear_chain,
 )
@@ -131,7 +129,6 @@ class TestTheorem2Construction:
         # Swap two integers across the groups to unbalance them (sums 5 and 7).
         unbalanced = [[1, 2, 2], [3, 2, 2]]
         assignment = np.empty(inst.num_tasks, dtype=np.int64)
-        machine_of_integer = {i: u for u, i in enumerate(integers)}
         # Assign greedily: group g's tasks to machines holding its integers.
         used = set()
         task_index = 0

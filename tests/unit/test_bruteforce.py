@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import FailureModel, Mapping, MappingRule, Platform, ProblemInstance, evaluate
+from repro.core import FailureModel, MappingRule, Platform, ProblemInstance, evaluate
 from repro.core.application import Application
 from repro.core.types import TypeAssignment
 from repro.exact.bruteforce import bruteforce_optimal

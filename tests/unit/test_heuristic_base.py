@@ -14,7 +14,7 @@ from repro.heuristics import (
     backward_task_order,
     get_heuristic,
 )
-from repro.heuristics.base import AssignmentState, Heuristic
+from repro.heuristics.base import AssignmentState
 
 
 class TestRegistry:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import FailureModel, Platform, ProblemInstance, evaluate
+from repro.core import FailureModel, Platform, ProblemInstance
 from repro.core.application import Application
 from repro.core.types import TypeAssignment
 from repro.exact.bruteforce import bruteforce_optimal

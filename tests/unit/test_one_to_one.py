@@ -6,12 +6,9 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    Application,
     FailureModel,
-    Mapping,
     Platform,
     ProblemInstance,
-    TypeAssignment,
     evaluate,
     linear_chain,
 )
