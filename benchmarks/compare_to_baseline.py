@@ -36,7 +36,7 @@ from pathlib import Path
 #: speed, the resource every key benchmark below also spends.
 CALIBRATION = "benchmarks/test_batch_evaluation.py::test_bench_scalar_evaluation_loop"
 
-#: The benchmarks the gate protects (the PR 1-3 speedup claims).
+#: The benchmarks the gate protects (the PR 1-4 speedup claims).
 KEY_BENCHMARKS = (
     "benchmarks/test_batch_evaluation.py::test_bench_evaluate_batch",
     "benchmarks/test_batch_evaluation.py::test_bench_incremental_moves",
@@ -44,6 +44,7 @@ KEY_BENCHMARKS = (
     "benchmarks/test_engine_block_scheduler.py::test_bench_block_pipeline",
     "benchmarks/test_engine_block_scheduler.py::test_bench_batch_solve_greedy",
     "benchmarks/test_engine_block_scheduler.py::test_bench_batch_solve_binary_search",
+    "benchmarks/test_engine_block_scheduler.py::test_bench_batch_refine",
 )
 
 #: Default failure threshold: a key benchmark may be at most this much

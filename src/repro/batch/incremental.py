@@ -387,6 +387,37 @@ class StackMappingEvaluator:
         np.add.at(periods, (self._rows[:, np.newaxis], self._assignment), self._contrib)
         self._periods = periods
 
+    def subset(self, rows: np.ndarray) -> "StackMappingEvaluator":
+        """A new evaluator holding only ``rows``, state carried over as is.
+
+        Every per-row array is sliced (not recomputed), so row ``rows[j]``
+        of this evaluator and row ``j`` of the subset are in *identical*
+        numeric state — probes and moves on the subset are bit-for-bit
+        what the full stack would produce for those rows, because every
+        batched operation here is row-independent.  This is what lets
+        local-search descents drop converged rows instead of paying
+        full-stack probes to the end (see
+        :func:`repro.heuristics.local_search.refine_specialized_batch`).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 1 or rows.size == 0:
+            raise InvalidMappingError("subset needs a non-empty 1-d row selection")
+        if rows.min() < 0 or rows.max() >= self.num_rows:
+            raise InvalidMappingError(
+                f"subset rows outside 0..{self.num_rows - 1}"
+            )
+        clone = object.__new__(StackMappingEvaluator)
+        clone.instances = tuple(self.instances[int(row)] for row in rows)
+        clone._assignment = self._assignment[rows]
+        clone._x = self._x[rows]
+        clone._contrib = self._contrib[rows]
+        clone._periods = self._periods[rows]
+        clone._upstream = self._upstream  # shared precedence graph
+        clone._f = self._f[rows]
+        clone._w = self._w[rows]
+        clone._rows = np.arange(rows.size)
+        return clone
+
     # -- batched delta queries -----------------------------------------------------
     def candidate_periods(self, task: int) -> np.ndarray:
         """Rowwise :meth:`MappingEvaluator.candidate_periods` (``(R, m)``).

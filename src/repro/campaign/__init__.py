@@ -1,0 +1,53 @@
+"""Distributed campaign orchestration: plan, execute, merge.
+
+The paper's figures are R-repetition Monte-Carlo sweeps; this package
+scales them past one host by splitting a campaign into deterministic,
+disjoint **shards** executed anywhere and merged back without
+coordination:
+
+1. :func:`~repro.campaign.plan.plan` expands a
+   :class:`~repro.campaign.plan.CampaignManifest` (figures x seeds x
+   curves x sweep points) into per-shard work-unit lists
+   (``microrepro shard plan``);
+2. :func:`~repro.campaign.worker.run_shard` executes exactly one
+   shard's units through the block engine into a local
+   :class:`~repro.experiments.store.ResultStore`
+   (``microrepro shard run``);
+3. :func:`~repro.campaign.merge.merge_stores` unions the shard stores —
+   append-only, key-addressed cell records with conflict detection —
+   into the store a single host would have produced, bit for bit
+   (``microrepro store merge``).
+
+Results are pure functions of ``(scenario, seed, curve, sweep value)``
+through CRC-hashed random stream labels, which is what makes the merged
+store independent of how the work was partitioned.
+"""
+
+from .merge import merge_stores
+from .plan import (
+    PLAN_AXES,
+    CampaignManifest,
+    ShardPlan,
+    WorkUnit,
+    expand_units,
+    load_plan,
+    parse_seed_spec,
+    plan,
+    write_plans,
+)
+from .worker import ShardReport, run_shard
+
+__all__ = [
+    "PLAN_AXES",
+    "CampaignManifest",
+    "ShardPlan",
+    "WorkUnit",
+    "expand_units",
+    "load_plan",
+    "parse_seed_spec",
+    "plan",
+    "write_plans",
+    "ShardReport",
+    "run_shard",
+    "merge_stores",
+]

@@ -1,0 +1,397 @@
+"""Campaign manifests and the deterministic shard planner.
+
+A :class:`CampaignManifest` describes one Monte-Carlo campaign: which
+figures to reproduce, over which root seeds, at which scale.  The
+planner expands it into the campaign's **work units** — one per
+``(figure, seed, curve, sweep value)`` block, the exact granularity of
+the result store's cell records — and partitions them into ``N``
+disjoint :class:`ShardPlan` s:
+
+>>> manifest = CampaignManifest(figures=("fig5",), seeds=(0, 1), repetitions=4)
+>>> shards = plan(manifest, shards=2, by="seed")
+>>> sum(len(s.units) for s in shards) == len(expand_units(manifest))
+True
+
+Planning is a pure function of ``(manifest, shards, by)``: re-planning
+on any host reproduces the same partition, so a worker given only the
+campaign manifest and its ``k/N`` coordinates computes exactly the same
+units as one given a serialized per-shard manifest.
+
+The ``by`` axis controls what stays together on one shard:
+
+``"seed"``
+    Whole seeds (every figure of seed ``s`` on one host) — the natural
+    choice for multi-seed campaigns, no cross-host RunMeta sharing.
+``"curve"``
+    (figure, seed, curve) groups — spreads expensive curves (MIP, the
+    binary-search family) across hosts.
+``"block"``
+    Individual blocks — finest partition, best balance for small
+    campaigns.
+
+Units are assigned round-robin over the grouping keys in first-
+appearance order, so shard loads stay within one group of each other.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+
+from ..exceptions import ExperimentError
+from ..experiments.figures import FIGURES, FigureSpec
+from ..experiments.providers import resolve_curves
+from ..generators.scenarios import ScenarioConfig
+
+__all__ = [
+    "CampaignManifest",
+    "WorkUnit",
+    "ShardPlan",
+    "parse_seed_spec",
+    "expand_units",
+    "plan",
+    "write_plans",
+    "load_plan",
+    "PLAN_AXES",
+]
+
+#: Valid shard-partition axes.
+PLAN_AXES = ("seed", "curve", "block")
+
+#: File name of the campaign-level manifest written next to shard plans.
+CAMPAIGN_FILE = "campaign.json"
+
+
+def parse_seed_spec(spec: str | int) -> tuple[int, ...]:
+    """Expand a seed specification into an explicit tuple.
+
+    Accepts a plain integer, an inclusive range ``"0..9"``, or a
+    comma-separated mix of both (``"0..3,7,9"``).
+    """
+    if isinstance(spec, int):
+        return (spec,)
+    seeds: list[int] = []
+    for part in str(spec).split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ".." in part:
+            low_text, _, high_text = part.partition("..")
+            try:
+                low, high = int(low_text), int(high_text)
+            except ValueError as exc:
+                raise ExperimentError(f"bad seed range {part!r}; expected LO..HI") from exc
+            if high < low:
+                raise ExperimentError(f"bad seed range {part!r}: {high} < {low}")
+            seeds.extend(range(low, high + 1))
+        else:
+            try:
+                seeds.append(int(part))
+            except ValueError as exc:
+                raise ExperimentError(
+                    f"bad seed {part!r}; expected an integer or LO..HI"
+                ) from exc
+    if not seeds:
+        raise ExperimentError(f"seed spec {spec!r} expands to no seeds")
+    if len(set(seeds)) != len(seeds):
+        raise ExperimentError(f"seed spec {spec!r} repeats a seed")
+    return tuple(seeds)
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignManifest:
+    """Everything that defines a campaign's results (plus worker knobs).
+
+    The first block of fields determines *what* is computed — they are
+    part of the plan's identity and must match between planner and
+    workers.  ``workers`` and ``memoize_instances`` only affect how fast
+    a host computes its shard and may differ per host.
+    """
+
+    figures: tuple[str, ...]
+    seeds: tuple[int, ...] = (0,)
+    repetitions: int | None = None
+    max_points: int | None = None
+    no_milp: bool = False
+    milp_time_limit: float = 30.0
+    optional_curves: bool = False
+    workers: int | None = None
+    memoize_instances: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.figures:
+            raise ExperimentError("a campaign needs at least one figure")
+        for figure_id in self.figures:
+            if figure_id not in FIGURES:
+                raise ExperimentError(
+                    f"unknown figure {figure_id!r}; known figures: {sorted(FIGURES)}"
+                )
+        if not self.seeds:
+            raise ExperimentError("a campaign needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ExperimentError("campaign seeds must be distinct")
+
+    def spec_for(self, figure_id: str) -> FigureSpec:
+        """The figure's spec (validated at construction)."""
+        return FIGURES[figure_id]
+
+    def scenario_for(self, figure_id: str) -> ScenarioConfig:
+        """The (possibly scaled-down) scenario a figure actually runs."""
+        return self.spec_for(figure_id).scenario.scaled(
+            repetitions=self.repetitions, max_points=self.max_points
+        )
+
+    def use_milp_for(self, figure_id: str) -> bool:
+        """Whether the MIP curve runs for a figure under this manifest."""
+        return False if self.no_milp else self.scenario_for(figure_id).include_milp
+
+    def curves_for(self, figure_id: str) -> tuple[str, ...]:
+        """The figure's curve labels, in the engine's series order."""
+        spec = self.spec_for(figure_id)
+        scenario = self.scenario_for(figure_id)
+        providers = resolve_curves(
+            scenario,
+            use_milp=self.use_milp_for(figure_id),
+            use_oto=scenario.include_one_to_one,
+            milp_time_limit=self.milp_time_limit,
+            extra_curves=spec.optional_curves if self.optional_curves else (),
+        )
+        return tuple(provider.label for provider in providers)
+
+    # -- serialisation ----------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready plain-dict representation."""
+        data = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            data[spec.name] = list(value) if isinstance(value, tuple) else value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignManifest":
+        """Rebuild a manifest from :meth:`to_dict` output.
+
+        Accepts pre-distributed campaign manifests too: a scalar
+        ``"seed"`` field is promoted to a one-element ``seeds`` axis.
+        """
+        kwargs = dict(data)
+        if "seed" in kwargs and "seeds" not in kwargs:
+            kwargs["seeds"] = [kwargs.pop("seed")]
+        kwargs.pop("seed", None)
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(kwargs) - known
+        if unknown:
+            raise ExperimentError(
+                f"unknown campaign manifest fields {sorted(unknown)}; "
+                f"expected {sorted(known)}"
+            )
+        for name in ("figures", "seeds"):
+            if name in kwargs and kwargs[name] is not None:
+                kwargs[name] = tuple(kwargs[name])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True, slots=True)
+class WorkUnit:
+    """One block of work: a (figure, seed, curve, sweep value) cell.
+
+    The unit of distribution is the unit of storage — computing a unit
+    produces exactly one :class:`~repro.experiments.store.CellRecord`,
+    which is what makes shard stores mergeable without coordination.
+    """
+
+    figure_id: str
+    seed: int
+    curve: str
+    sweep_value: int
+
+    def as_list(self) -> list:
+        """JSON-ready ``[figure, seed, curve, sweep value]`` quadruple."""
+        return [self.figure_id, self.seed, self.curve, self.sweep_value]
+
+    @classmethod
+    def from_list(cls, data: list) -> "WorkUnit":
+        figure_id, seed, curve, sweep_value = data
+        return cls(str(figure_id), int(seed), str(curve), int(sweep_value))
+
+    def group_key(self, by: str) -> tuple:
+        """The shard-assignment key of this unit along one plan axis."""
+        if by == "seed":
+            return (self.seed,)
+        if by == "curve":
+            return (self.figure_id, self.seed, self.curve)
+        if by == "block":
+            return (self.figure_id, self.seed, self.curve, self.sweep_value)
+        raise ExperimentError(f"unknown plan axis {by!r}; use one of {PLAN_AXES}")
+
+
+def expand_units(manifest: CampaignManifest) -> list[WorkUnit]:
+    """Every work unit of a campaign, in canonical order.
+
+    Canonical order — figures (manifest order), then seeds, then curves
+    (series order), then sweep values — is what makes planning
+    deterministic and shard manifests reproducible from ``(manifest, N,
+    by)`` alone.
+    """
+    units: list[WorkUnit] = []
+    for figure_id in manifest.figures:
+        scenario = manifest.scenario_for(figure_id)
+        curves = manifest.curves_for(figure_id)
+        for seed in manifest.seeds:
+            for curve in curves:
+                for sweep_value in scenario.sweep_values:
+                    units.append(WorkUnit(figure_id, seed, curve, int(sweep_value)))
+    return units
+
+
+@dataclass(frozen=True, slots=True)
+class ShardPlan:
+    """One worker's slice of a campaign: the manifest plus its units."""
+
+    manifest: CampaignManifest
+    index: int
+    shards: int
+    by: str
+    units: tuple[WorkUnit, ...] = field(default_factory=tuple)
+
+    @property
+    def name(self) -> str:
+        """Display name (``shard 2/4``)."""
+        return f"shard {self.index}/{self.shards}"
+
+    def to_dict(self) -> dict:
+        return {
+            "manifest": self.manifest.to_dict(),
+            "shard": self.index,
+            "shards": self.shards,
+            "by": self.by,
+            "units": [unit.as_list() for unit in self.units],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardPlan":
+        return cls(
+            manifest=CampaignManifest.from_dict(data["manifest"]),
+            index=int(data["shard"]),
+            shards=int(data["shards"]),
+            by=str(data["by"]),
+            units=tuple(WorkUnit.from_list(unit) for unit in data["units"]),
+        )
+
+
+def plan(
+    manifest: CampaignManifest, *, shards: int, by: str = "seed"
+) -> list[ShardPlan]:
+    """Partition a campaign into ``shards`` disjoint, covering shard plans.
+
+    Group keys along the ``by`` axis are assigned round-robin in first-
+    appearance order over the canonical unit expansion; two calls with
+    the same arguments produce identical plans on any host.  Every unit
+    lands on exactly one shard (some shards may be empty when there are
+    fewer groups than shards).
+    """
+    if shards < 1:
+        raise ExperimentError(f"shards must be >= 1, got {shards}")
+    if by not in PLAN_AXES:
+        raise ExperimentError(f"unknown plan axis {by!r}; use one of {PLAN_AXES}")
+    assignment: dict[tuple, int] = {}
+    per_shard: list[list[WorkUnit]] = [[] for _ in range(shards)]
+    for unit in expand_units(manifest):
+        key = unit.group_key(by)
+        shard = assignment.setdefault(key, len(assignment) % shards)
+        per_shard[shard].append(unit)
+    return [
+        ShardPlan(manifest=manifest, index=index, shards=shards, by=by, units=tuple(units))
+        for index, units in enumerate(per_shard)
+    ]
+
+
+def write_plans(
+    manifest: CampaignManifest,
+    out_dir: str | os.PathLike,
+    *,
+    shards: int,
+    by: str = "seed",
+) -> list[tuple[Path, ShardPlan]]:
+    """Write ``campaign.json`` plus one ``shard_<k>.json`` per shard.
+
+    Returns ``(path, plan)`` pairs (ship each path to its worker host;
+    the campaign manifest alone also suffices together with ``--shard
+    k/N``).
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    shard_plans = plan(manifest, shards=shards, by=by)
+    campaign_doc = dict(manifest.to_dict(), shards=shards, by=by)
+    (out / CAMPAIGN_FILE).write_text(
+        json.dumps(campaign_doc, indent=2) + "\n", encoding="utf-8"
+    )
+    written = []
+    for shard_plan in shard_plans:
+        path = out / f"shard_{shard_plan.index}.json"
+        path.write_text(json.dumps(shard_plan.to_dict(), indent=2) + "\n", encoding="utf-8")
+        written.append((path, shard_plan))
+    return written
+
+
+def load_plan(
+    path: str | os.PathLike, *, shard: tuple[int, int] | None = None, by: str | None = None
+) -> ShardPlan:
+    """Load a shard plan from a planner file.
+
+    ``path`` may be a per-shard manifest (``shard_k.json``, self-
+    contained) or a campaign manifest — the latter needs ``shard=(k,
+    N)`` and re-plans deterministically, which is how a worker can run
+    from nothing but the campaign file and its coordinates.
+    """
+    try:
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ExperimentError(f"cannot read plan file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"{path} is not a valid plan file: {exc}") from exc
+    if "units" in raw:
+        if shard is not None and shard != (int(raw["shard"]), int(raw["shards"])):
+            raise ExperimentError(
+                f"{path} is shard {raw['shard']}/{raw['shards']}, not "
+                f"{shard[0]}/{shard[1]}"
+            )
+        if by is not None and by != raw["by"]:
+            raise ExperimentError(
+                f"{path} was planned by {raw['by']!r}; it cannot be re-partitioned "
+                f"by {by!r} (re-run 'shard plan', or pass the campaign manifest)"
+            )
+        return ShardPlan.from_dict(raw)
+    count = raw.pop("shards", None)
+    recorded_by = raw.pop("by", None)
+    if by is not None and recorded_by is not None and by != recorded_by:
+        # Same hazard as a mismatched shard count: two hosts partitioning
+        # the one campaign along different axes don't tile its units.
+        raise ExperimentError(
+            f"{path} was planned by {recorded_by!r}, not {by!r}; "
+            "re-run 'shard plan' to change the partition axis"
+        )
+    axis = by or recorded_by or "seed"
+    manifest = CampaignManifest.from_dict(raw)
+    if shard is None:
+        if count in (None, 1):
+            shard = (0, 1)
+        else:
+            raise ExperimentError(
+                f"{path} is a campaign manifest planned for {count} shards; "
+                "pass --shard k/N to pick one"
+            )
+    elif count is not None and shard[1] != count:
+        # A planner-written campaign file pins the shard count: accepting a
+        # different N would silently re-partition the campaign and leave
+        # group keys uncovered across the fleet.
+        raise ExperimentError(
+            f"{path} was planned for {count} shard(s), not {shard[1]}; "
+            "re-run 'shard plan' to change the partition"
+        )
+    index, total = shard
+    if not 0 <= index < total:
+        raise ExperimentError(f"shard index {index} outside 0..{total - 1}")
+    return plan(manifest, shards=total, by=axis)[index]

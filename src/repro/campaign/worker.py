@@ -1,0 +1,184 @@
+"""Shard worker: execute exactly one shard's work units into a store.
+
+A worker host receives a :class:`~repro.campaign.plan.ShardPlan` (a
+``shard_k.json`` file, or the campaign manifest plus ``k/N``) and a
+local result-store directory, and computes *exactly* the plan's units
+through the same block engine a single-host campaign uses — the same
+providers, the same :class:`~repro.simulation.rng.RandomStreamFactory`
+streams re-derived from each unit's root seed.  Because a unit's result
+is a pure function of ``(scenario, seed, curve, sweep value)``, the
+union of all shard stores carries bit-for-bit the cell records a single
+host would have stored — only run-header wall-clocks and on-disk record
+order can differ (see :meth:`repro.experiments.store.ResultStore.merge`).
+
+Each completed block is appended to the shard store the moment it
+finishes, so a killed worker resumes with ``run_shard(...,
+resume=True)`` (the default) and recomputes at most the block in
+flight.  Per ``(figure, seed)`` run the worker also records a
+:class:`~repro.experiments.store.RunMeta` header carrying the *full*
+curve list of the run — not just this shard's — so the merged store can
+rebuild :class:`~repro.experiments.runner.ExperimentResult` objects as
+soon as every shard landed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..experiments.providers import resolve_provider
+from ..experiments.runner import execute_blocks
+from ..experiments.store import CellRecord, ResultStore, RunMeta
+from ..simulation.rng import RandomStreamFactory
+from .plan import ShardPlan, WorkUnit
+
+__all__ = ["ShardReport", "run_shard"]
+
+
+@dataclass(slots=True)
+class ShardReport:
+    """What one :func:`run_shard` call did.
+
+    Attributes
+    ----------
+    shard, shards:
+        The executed shard's coordinates.
+    computed, skipped:
+        Blocks computed this call / blocks already stored (resume).
+    runs:
+        The ``(figure_id, seed)`` runs the shard contributed to.
+    elapsed_seconds:
+        Wall-clock duration of the call.
+    """
+
+    shard: int
+    shards: int
+    computed: int = 0
+    skipped: int = 0
+    runs: list[tuple[str, int]] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def summary(self) -> str:
+        """One-line report for the CLI."""
+        return (
+            f"shard {self.shard}/{self.shards}: {self.computed} block(s) computed, "
+            f"{self.skipped} already stored, {len(self.runs)} run(s), "
+            f"{self.elapsed_seconds:.1f}s"
+        )
+
+
+def _group_units(units: tuple[WorkUnit, ...]) -> dict[tuple[str, int], list[WorkUnit]]:
+    """Units grouped per (figure, seed) run, preserving canonical order."""
+    groups: dict[tuple[str, int], list[WorkUnit]] = {}
+    for unit in units:
+        groups.setdefault((unit.figure_id, unit.seed), []).append(unit)
+    return groups
+
+
+def run_shard(
+    shard: ShardPlan,
+    store: ResultStore,
+    *,
+    workers: int | None = None,
+    resume: bool = True,
+    log=None,
+) -> ShardReport:
+    """Execute every unit of ``shard`` against ``store``.
+
+    Parameters
+    ----------
+    shard:
+        The plan to execute (see :func:`repro.campaign.plan.load_plan`).
+    store:
+        Destination store — typically a per-shard directory that is later
+        merged; running several shards into one *local* store is also
+        fine (the records are key-addressed).
+    workers:
+        Process-pool size for this host's blocks (overrides the
+        manifest's ``workers`` knob when given).
+    resume:
+        Skip units whose cells the store already holds with at least the
+        required repetitions (a re-run after a kill recomputes only the
+        remainder).
+    log:
+        Optional callable for per-run progress lines.
+    """
+    manifest = shard.manifest
+    pool = workers if workers is not None else manifest.workers
+    report = ShardReport(shard=shard.index, shards=shard.shards)
+    start = time.perf_counter()
+    for (figure_id, seed), units in _group_units(shard.units).items():
+        spec = manifest.spec_for(figure_id)
+        scenario = manifest.scenario_for(figure_id)
+        scenario_hash = scenario.stable_hash()
+        repetitions = scenario.repetitions
+        entropy = RandomStreamFactory(seed).entropy
+        providers = {
+            unit.curve: resolve_provider(
+                unit.curve, milp_time_limit=manifest.milp_time_limit
+            )
+            for unit in units
+        }
+
+        pending: list[tuple[int, str]] = []
+        for unit in units:
+            record = (
+                store.get_cell(figure_id, scenario_hash, seed, unit.curve, unit.sweep_value)
+                if resume
+                else None
+            )
+            if record is not None and record.repetitions >= repetitions:
+                report.skipped += 1
+            else:
+                pending.append((unit.sweep_value, unit.curve))
+
+        run_start = time.perf_counter()
+
+        def record_block(sweep_value: int, label: str, values, failures: int) -> None:
+            store.put_cell(
+                CellRecord(
+                    figure_id=figure_id,
+                    scenario_hash=scenario_hash,
+                    seed=seed,
+                    curve=label,
+                    sweep_value=int(sweep_value),
+                    repetitions=repetitions,
+                    values=values,
+                    failures=failures,
+                )
+            )
+            report.computed += 1
+
+        execute_blocks(
+            scenario,
+            entropy,
+            pending,
+            providers,
+            record_block,
+            milp_time_limit=manifest.milp_time_limit,
+            workers=pool,
+            memoize=manifest.memoize_instances,
+        )
+        store.put_meta(
+            RunMeta(
+                figure_id=figure_id,
+                scenario_hash=scenario_hash,
+                seed=seed,
+                scenario=scenario.to_dict(),
+                # The run's *full* curve order (this shard may hold only a
+                # slice): after the merge the header must describe the
+                # whole run so load_result/export work on the union.
+                curves=list(manifest.curves_for(figure_id)),
+                normalize_to=spec.normalize_to,
+                elapsed_seconds=time.perf_counter() - run_start,
+            )
+        )
+        report.runs.append((figure_id, seed))
+        if log is not None:
+            log(
+                f"{figure_id} seed={seed}: {len(pending)} block(s) computed, "
+                f"{len(units) - len(pending)} stored"
+            )
+    store.flush()
+    report.elapsed_seconds = time.perf_counter() - start
+    return report

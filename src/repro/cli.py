@@ -10,12 +10,28 @@ Reproduce Figure 10 with a reduced sweep (3 repetitions per point)::
 
     microrepro run fig10 --repetitions 3 --seed 42
 
-Run a persistent, resumable campaign over several figures::
+Run a persistent, resumable campaign over several figures and seeds::
 
     microrepro campaign fig5 fig6 --store results/ --repetitions 10
+    microrepro campaign fig5 --seeds 0..9 --store results/   # 10-seed sweep
     microrepro resume --store results/          # picks up where it stopped
     microrepro export --store results/          # list what the store holds
-    microrepro export --store results/ fig5 --csv
+    microrepro export --store results/ fig5 --seed 3 --csv
+
+Distribute a campaign over several hosts (see ``repro.campaign``): plan
+disjoint shards, ship one plan per host, run each shard into a local
+store, merge the shard stores back, and export the pooled curves::
+
+    microrepro shard plan fig5 --seeds 0..9 --shards 4 --out plans/
+    scp plans/shard_2.json host2:            # one plan file per host
+    microrepro shard run plans/shard_2.json --store shard_2/   # on host2
+    microrepro shard run plans/campaign.json --shard 3/4 --store shard_3/
+    microrepro store merge --store merged/ shard_0/ shard_1/ shard_2/ shard_3/
+    microrepro export --store merged/ fig5 --aggregate seeds --csv
+
+The merged store's cells and exports are bit-for-bit a single host's;
+``export --aggregate seeds`` pools every seed's repetitions into one
+mean/CI per sweep point.
 
 Solve one random instance with every heuristic and the exact MIP::
 
@@ -29,6 +45,7 @@ the store directory.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -38,13 +55,28 @@ import numpy as np
 
 from ._version import __version__
 from .analysis.tables import catalog_table
+from .campaign import (
+    PLAN_AXES,
+    CampaignManifest,
+    load_plan,
+    merge_stores,
+    parse_seed_spec,
+    run_shard,
+    write_plans,
+)
 from .core.failure import FailureModel
 from .core.instance import ProblemInstance
 from .core.platform import Platform
 from .exact.milp import solve_specialized_milp
 from .exceptions import ExperimentError, ReproError
 from .experiments.figures import FIGURES, figure_ids
-from .experiments.reporting import campaign_report, figure_report, summary_line
+from .experiments.reporting import (
+    aggregate_report,
+    aggregate_seeds,
+    campaign_report,
+    figure_report,
+    summary_line,
+)
 from .experiments.runner import run_figure
 from .experiments.store import ResultStore
 from .generators.applications import random_chain_application
@@ -145,7 +177,16 @@ def build_parser() -> argparse.ArgumentParser:
         "figures", nargs="+", choices=figure_ids(), help="figures to run, in order"
     )
     _add_store_argument(campaign_parser, required_hint=True)
-    campaign_parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    campaign_parser.add_argument("--seed", type=int, default=None, help="root random seed")
+    campaign_parser.add_argument(
+        "--seeds",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "run every figure once per seed: an inclusive range '0..9', a "
+            "comma list '0,5,9', or a mix; replaces --seed"
+        ),
+    )
     campaign_parser.add_argument(
         "--repetitions", type=int, default=None, help="repetitions per sweep point"
     )
@@ -196,9 +237,122 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="disambiguate runs by seed"
     )
     export_parser.add_argument(
+        "--scenario-hash",
+        default=None,
+        metavar="HASH",
+        help=(
+            "disambiguate runs stored at several scales (hashes are listed "
+            "in the store catalogue)"
+        ),
+    )
+    export_parser.add_argument(
         "--csv", action="store_true", help="print CSV instead of tables"
     )
+    export_parser.add_argument(
+        "--aggregate",
+        choices=("seeds",),
+        default=None,
+        help=(
+            "pool every stored seed of each figure into one cross-seed "
+            "mean/CI per sweep point"
+        ),
+    )
     export_parser.set_defaults(func=_cmd_export)
+
+    shard_parser = subparsers.add_parser(
+        "shard",
+        help="plan and execute distributed campaign shards (see 'store merge')",
+    )
+    shard_sub = shard_parser.add_subparsers(dest="shard_command", required=True)
+
+    plan_parser = shard_sub.add_parser(
+        "plan", help="split a campaign into disjoint per-host work-unit manifests"
+    )
+    plan_parser.add_argument(
+        "figures", nargs="+", choices=figure_ids(), help="figures to run"
+    )
+    plan_parser.add_argument(
+        "--seeds", default="0", metavar="SPEC", help="seed axis, e.g. '0..9' or '0,5,9'"
+    )
+    plan_parser.add_argument(
+        "--shards", type=int, required=True, help="number of worker shards"
+    )
+    plan_parser.add_argument(
+        "--by",
+        choices=PLAN_AXES,
+        default="seed",
+        help="partition axis: whole seeds, (figure, seed, curve) groups, or blocks",
+    )
+    plan_parser.add_argument(
+        "--out", required=True, metavar="DIR", help="directory for the plan files"
+    )
+    plan_parser.add_argument(
+        "--repetitions", type=int, default=None, help="repetitions per sweep point"
+    )
+    plan_parser.add_argument(
+        "--max-points", type=int, default=None, help="maximum number of sweep points"
+    )
+    plan_parser.add_argument(
+        "--no-milp", action="store_true", help="skip the exact MIP everywhere"
+    )
+    plan_parser.add_argument(
+        "--milp-time-limit", type=float, default=30.0, help="per-instance MIP time limit (s)"
+    )
+    plan_parser.add_argument(
+        "--optional-curves",
+        action="store_true",
+        help="also plan each figure's optional curves",
+    )
+    plan_parser.set_defaults(func=_cmd_shard_plan)
+
+    shard_run_parser = shard_sub.add_parser(
+        "run", help="execute one shard's units into a local result store"
+    )
+    shard_run_parser.add_argument(
+        "plan",
+        metavar="PLAN",
+        help="a shard_k.json from 'shard plan', or the campaign.json with --shard",
+    )
+    shard_run_parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="K/N",
+        help="which shard to run when PLAN is a campaign manifest (e.g. 2/4)",
+    )
+    shard_run_parser.add_argument(
+        "--by",
+        choices=PLAN_AXES,
+        default=None,
+        help="partition axis override when re-planning from a campaign manifest",
+    )
+    _add_store_argument(shard_run_parser, required_hint=True)
+    shard_run_parser.add_argument(
+        "--workers", type=int, default=None, help="block process-pool size on this host"
+    )
+    shard_run_parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="recompute blocks even when the shard store already holds them",
+    )
+    shard_run_parser.set_defaults(func=_cmd_shard_run)
+
+    store_parser = subparsers.add_parser(
+        "store", help="result-store utilities (merge shard stores)"
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command", required=True)
+
+    merge_parser = store_sub.add_parser(
+        "merge",
+        help=(
+            "union shard stores into one (conflict-checked, idempotent); "
+            "the destination then serves resume/export like any store"
+        ),
+    )
+    merge_parser.add_argument(
+        "sources", nargs="+", metavar="SHARD_DIR", help="shard store directories"
+    )
+    _add_store_argument(merge_parser, required_hint=True)
+    merge_parser.set_defaults(func=_cmd_store_merge)
 
     solve_parser = subparsers.add_parser(
         "solve", help="solve one random instance with every heuristic"
@@ -270,43 +424,55 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_campaign(manifest: dict, store: ResultStore) -> list:
-    """Run (or finish) every figure of a campaign manifest against a store."""
+def _run_campaign(manifest: CampaignManifest, store: ResultStore) -> list:
+    """Run (or finish) every (figure, seed) run of a campaign manifest."""
     results = []
-    for figure_id in manifest["figures"]:
-        result = run_figure(
-            figure_id,
-            seed=manifest["seed"],
-            repetitions=manifest["repetitions"],
-            max_points=manifest["max_points"],
-            include_milp=False if manifest["no_milp"] else None,
-            milp_time_limit=manifest["milp_time_limit"],
-            workers=manifest["workers"],
-            memoize_instances=manifest.get("memoize_instances", False),
-            include_optional=manifest["optional_curves"],
-            store=store,
-            resume=True,
-        )
-        print(summary_line(result), flush=True)
-        results.append(result)
+    for figure_id in manifest.figures:
+        for seed in manifest.seeds:
+            result = run_figure(
+                figure_id,
+                seed=seed,
+                repetitions=manifest.repetitions,
+                max_points=manifest.max_points,
+                include_milp=False if manifest.no_milp else None,
+                milp_time_limit=manifest.milp_time_limit,
+                workers=manifest.workers,
+                memoize_instances=manifest.memoize_instances,
+                include_optional=manifest.optional_curves,
+                store=store,
+                resume=True,
+            )
+            print(summary_line(result), flush=True)
+            results.append(result)
     return results
+
+
+def _campaign_seeds(args: argparse.Namespace) -> tuple[int, ...]:
+    """The seed axis from ``--seeds SPEC`` / the legacy ``--seed N``."""
+    if args.seeds is not None and args.seed is not None:
+        raise ExperimentError("pass either --seed or --seeds, not both")
+    if args.seeds is not None:
+        return parse_seed_spec(args.seeds)
+    return (args.seed if args.seed is not None else 0,)
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     store = ResultStore(_store_path(args, required=True))
-    manifest = {
-        "figures": list(args.figures),
-        "seed": args.seed,
-        "repetitions": args.repetitions,
-        "max_points": args.max_points,
-        "no_milp": bool(args.no_milp),
-        "milp_time_limit": args.milp_time_limit,
-        "workers": args.workers,
-        "optional_curves": bool(args.optional_curves),
-        "memoize_instances": bool(args.memoize_instances),
-    }
+    manifest = CampaignManifest(
+        figures=tuple(args.figures),
+        seeds=_campaign_seeds(args),
+        repetitions=args.repetitions,
+        max_points=args.max_points,
+        no_milp=bool(args.no_milp),
+        milp_time_limit=args.milp_time_limit,
+        workers=args.workers,
+        optional_curves=bool(args.optional_curves),
+        memoize_instances=bool(args.memoize_instances),
+    )
     manifest_path = store.path / CAMPAIGN_MANIFEST
-    manifest_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+    manifest_path.write_text(
+        json.dumps(manifest.to_dict(), indent=2), encoding="utf-8"
+    )
     try:
         results = _run_campaign(manifest, store)
     finally:
@@ -322,9 +488,12 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         raise ExperimentError(
             f"no {CAMPAIGN_MANIFEST} in {store.path}; start with 'microrepro campaign'"
         )
-    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    # from_dict also reads pre-multi-seed manifests (scalar "seed" field).
+    manifest = CampaignManifest.from_dict(
+        json.loads(manifest_path.read_text(encoding="utf-8"))
+    )
     if args.workers is not None:
-        manifest["workers"] = args.workers
+        manifest = dataclasses.replace(manifest, workers=args.workers)
     try:
         results = _run_campaign(manifest, store)
     finally:
@@ -336,17 +505,90 @@ def _cmd_resume(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     store = ResultStore(_store_path(args, required=True))
     try:
+        if args.aggregate and not args.figures:
+            raise ExperimentError("--aggregate needs explicit figure names to pool")
+        if args.aggregate and args.seed is not None:
+            raise ExperimentError(
+                "--aggregate pools every stored seed; it cannot be combined "
+                "with --seed"
+            )
         if not args.figures:
             print(catalog_table(store.catalog()))
             return 0
         for figure_id in args.figures:
-            result = store.load_result(figure_id, seed=args.seed)
+            if args.aggregate == "seeds":
+                result, seeds = aggregate_seeds(
+                    store, figure_id, scenario_hash=args.scenario_hash
+                )
+                if args.csv:
+                    print(result.to_csv(), end="")
+                else:
+                    print(aggregate_report(result, seeds))
+                continue
+            result = store.load_result(
+                figure_id, scenario_hash=args.scenario_hash, seed=args.seed
+            )
             if args.csv:
                 print(result.to_csv(), end="")
             else:
                 print(figure_report(result))
     finally:
         store.close()
+    return 0
+
+
+def _cmd_shard_plan(args: argparse.Namespace) -> int:
+    manifest = CampaignManifest(
+        figures=tuple(args.figures),
+        seeds=parse_seed_spec(args.seeds),
+        repetitions=args.repetitions,
+        max_points=args.max_points,
+        no_milp=bool(args.no_milp),
+        milp_time_limit=args.milp_time_limit,
+        optional_curves=bool(args.optional_curves),
+    )
+    written = write_plans(manifest, args.out, shards=args.shards, by=args.by)
+    total = sum(len(shard.units) for _, shard in written)
+    print(
+        f"planned {total} work unit(s) over {len(written)} shard(s) "
+        f"by {args.by} into {args.out}"
+    )
+    for path, shard in written:
+        print(f"  {path}  ({len(shard.units)} unit(s))")
+    return 0
+
+
+def _parse_shard_coords(text: str) -> tuple[int, int]:
+    index_text, sep, total_text = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError(text)
+        return int(index_text), int(total_text)
+    except ValueError as exc:
+        raise ExperimentError(f"bad --shard {text!r}; expected K/N (e.g. 2/4)") from exc
+
+
+def _cmd_shard_run(args: argparse.Namespace) -> int:
+    shard = load_plan(
+        args.plan,
+        shard=None if args.shard is None else _parse_shard_coords(args.shard),
+        by=args.by,
+    )
+    with ResultStore(_store_path(args, required=True)) as store:
+        report = run_shard(
+            shard,
+            store,
+            workers=args.workers,
+            resume=not args.no_resume,
+            log=lambda line: print(line, flush=True),
+        )
+    print(report.summary())
+    return 0
+
+
+def _cmd_store_merge(args: argparse.Namespace) -> int:
+    report = merge_stores(_store_path(args, required=True), args.sources)
+    print(report.summary())
     return 0
 
 

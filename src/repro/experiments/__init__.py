@@ -28,9 +28,16 @@ from .providers import (
     resolve_curves,
     resolve_provider,
 )
-from .reporting import campaign_report, figure_report, summary_line
-from .runner import ExperimentResult, run_figure, run_scenario
-from .store import CellRecord, ResultStore, RunMeta
+from .reporting import (
+    aggregate_report,
+    aggregate_results,
+    aggregate_seeds,
+    campaign_report,
+    figure_report,
+    summary_line,
+)
+from .runner import ExperimentResult, execute_blocks, run_figure, run_scenario
+from .store import CellRecord, MergeReport, ResultStore, RunMeta
 
 __all__ = [
     "FIGURES",
@@ -39,9 +46,13 @@ __all__ = [
     "figure_report",
     "summary_line",
     "campaign_report",
+    "aggregate_report",
+    "aggregate_results",
+    "aggregate_seeds",
     "ExperimentResult",
     "run_figure",
     "run_scenario",
+    "execute_blocks",
     "BlockResult",
     "CellBlock",
     "CurveProvider",
@@ -54,6 +65,7 @@ __all__ = [
     "resolve_curves",
     "resolve_provider",
     "CellRecord",
+    "MergeReport",
     "ResultStore",
     "RunMeta",
 ]

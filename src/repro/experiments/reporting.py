@@ -1,20 +1,38 @@
-"""Text reports for experiment results.
+"""Text reports and cross-seed aggregation for experiment results.
 
 The reporting layer turns an :class:`~repro.experiments.runner.ExperimentResult`
 into the artefacts recorded in EXPERIMENTS.md: a header recalling the
 paper's setting and expected shape, the figure table, and (when an exact
 baseline is present) the aggregate normalisation factors.
+
+Multi-seed campaigns store one run per ``(figure, seed)``;
+:func:`aggregate_results` / :func:`aggregate_seeds` pool those runs into
+one cross-seed result — every sweep point's samples are the union of
+each seed's repetitions, so the reported mean/CI per point covers
+``R x num_seeds`` independent Monte-Carlo draws (``microrepro export
+--aggregate seeds``).
 """
 
 from __future__ import annotations
 
 import io
+from collections.abc import Sequence
 
+from ..analysis.stats import Series
 from ..analysis.tables import format_table
+from ..exceptions import ExperimentError
 from .figures import FIGURES
 from .runner import MIP_LABEL, OTO_LABEL, ExperimentResult
+from .store import ResultStore
 
-__all__ = ["figure_report", "summary_line", "campaign_report"]
+__all__ = [
+    "figure_report",
+    "summary_line",
+    "campaign_report",
+    "aggregate_results",
+    "aggregate_seeds",
+    "aggregate_report",
+]
 
 
 def summary_line(result: ExperimentResult) -> str:
@@ -31,23 +49,12 @@ def campaign_report(results: list[ExperimentResult]) -> str:
     """One line per completed figure of a campaign run."""
     lines = [summary_line(result) for result in results]
     total = sum(result.elapsed_seconds for result in results)
-    lines.append(f"campaign: {len(results)} figure(s), {total:.1f}s total")
+    lines.append(f"campaign: {len(results)} figure run(s), {total:.1f}s total")
     return "\n".join(lines)
 
 
-def figure_report(result: ExperimentResult, *, float_format: str = "{:.1f}") -> str:
-    """Full plain-text report of one reproduced figure."""
-    buffer = io.StringIO()
-    spec = FIGURES.get(result.figure_id)
-
-    buffer.write(f"== {result.figure_id} ==\n")
-    buffer.write(summary_line(result) + "\n")
-    if spec is not None and spec.expected_shape:
-        buffer.write(f"Paper's expected shape: {spec.expected_shape}\n")
-    buffer.write("\n")
-    buffer.write(result.to_table(float_format=float_format))
-    buffer.write("\n")
-
+def _normalization_sections(result: ExperimentResult, buffer: io.StringIO) -> None:
+    """Append the aggregate-factor tables for every exact baseline present."""
     for reference in (MIP_LABEL, OTO_LABEL):
         if reference in result.series:
             report = result.normalization_report(reference)
@@ -69,4 +76,148 @@ def figure_report(result: ExperimentResult, *, float_format: str = "{:.1f}") -> 
             f"\nMIP did not prove optimality on {result.milp_failures} instance(s) "
             "(expected on the larger task counts, cf. Figure 12).\n"
         )
+
+
+def figure_report(result: ExperimentResult, *, float_format: str = "{:.1f}") -> str:
+    """Full plain-text report of one reproduced figure."""
+    buffer = io.StringIO()
+    spec = FIGURES.get(result.figure_id)
+
+    buffer.write(f"== {result.figure_id} ==\n")
+    buffer.write(summary_line(result) + "\n")
+    if spec is not None and spec.expected_shape:
+        buffer.write(f"Paper's expected shape: {spec.expected_shape}\n")
+    buffer.write("\n")
+    buffer.write(result.to_table(float_format=float_format))
+    buffer.write("\n")
+    _normalization_sections(result, buffer)
+    return buffer.getvalue()
+
+
+# -- cross-seed aggregation ---------------------------------------------------------
+
+
+def _pooled(series_by_seed: list[dict[str, Series]]) -> dict[str, Series]:
+    """Union the per-seed sample lists, seed-major at every sweep point."""
+    pooled: dict[str, Series] = {}
+    for label in series_by_seed[0]:
+        out = Series(label=label)
+        x_values = series_by_seed[0][label].x_values
+        for x in x_values:
+            for per_seed in series_by_seed:
+                out.extend(x, per_seed[label].samples.get(x, ()))
+        pooled[label] = out
+    return pooled
+
+
+def aggregate_results(results: Sequence[ExperimentResult]) -> ExperimentResult:
+    """Pool several same-figure runs (one per seed) into one result.
+
+    Every input must reproduce the same figure under the same scenario
+    (equal :meth:`~repro.generators.scenarios.ScenarioConfig.stable_hash`
+    and repetition count) with a distinct seed and the same curve set.
+    Inputs are pooled in ascending-seed order, so the output is
+    independent of the order runs were loaded or computed in; its
+    ``seed`` is ``None``, its per-point sample count is ``repetitions x
+    len(results)``, and elapsed/failure counters are summed.
+
+    Normalised series (Figure 11) are pooled the same way *after* each
+    seed's per-instance normalisation — the mean of paired ratios, never
+    the ratio of pooled means.
+    """
+    if not results:
+        raise ExperimentError("cannot aggregate zero experiment runs")
+    seeds = [result.seed for result in results]
+    if any(seed is None for seed in seeds):
+        raise ExperimentError("cross-seed aggregation requires explicit seeds")
+    if len(set(seeds)) != len(seeds):
+        raise ExperimentError(f"duplicate seeds in aggregation: {sorted(seeds)}")
+    first = results[0]
+    for result in results[1:]:
+        if result.figure_id != first.figure_id:
+            raise ExperimentError(
+                f"cannot aggregate runs of different figures: "
+                f"{first.figure_id!r} vs {result.figure_id!r}"
+            )
+        if (
+            result.scenario.stable_hash() != first.scenario.stable_hash()
+            or result.scenario.repetitions != first.scenario.repetitions
+            or list(result.scenario.sweep_values) != list(first.scenario.sweep_values)
+        ):
+            raise ExperimentError(
+                f"cannot aggregate {first.figure_id!r} runs of different scenarios "
+                f"(seeds {first.seed} and {result.seed} disagree)"
+            )
+        if list(result.series) != list(first.series):
+            raise ExperimentError(
+                f"cannot aggregate {first.figure_id!r} runs with different curves: "
+                f"{list(first.series)} vs {list(result.series)}"
+            )
+    ordered = sorted(results, key=lambda result: result.seed)
+    normalized = None
+    if all(result.normalized is not None for result in ordered):
+        normalized = _pooled([result.normalized for result in ordered])
+    return ExperimentResult(
+        figure_id=first.figure_id,
+        scenario=first.scenario,
+        series=_pooled([result.series for result in ordered]),
+        normalized=normalized,
+        seed=None,
+        elapsed_seconds=sum(result.elapsed_seconds for result in ordered),
+        milp_failures=sum(result.milp_failures for result in ordered),
+    )
+
+
+def aggregate_seeds(
+    store: ResultStore,
+    figure_id: str,
+    *,
+    scenario_hash: str | None = None,
+) -> tuple[ExperimentResult, list[int]]:
+    """Load and pool every stored seed of one figure run.
+
+    Returns ``(pooled result, seeds)``.  ``scenario_hash`` narrows the
+    lookup when the store holds the figure at several scales.
+    """
+    metas = [
+        meta
+        for meta in store.runs()
+        if meta.figure_id == figure_id
+        and (scenario_hash is None or meta.scenario_hash == scenario_hash)
+    ]
+    if not metas:
+        raise ExperimentError(f"no stored run of {figure_id!r} in {store.path}")
+    hashes = {meta.scenario_hash for meta in metas}
+    if len(hashes) > 1:
+        raise ExperimentError(
+            f"{figure_id!r} is stored under {len(hashes)} different scenarios "
+            f"({', '.join(sorted(hashes))}); pick one with --scenario-hash "
+            "(scenario_hash= from Python)"
+        )
+    seeds = sorted(meta.seed for meta in metas)
+    results = [
+        store.load_result(figure_id, scenario_hash=meta.scenario_hash, seed=meta.seed)
+        for meta in sorted(metas, key=lambda meta: meta.seed)
+    ]
+    return aggregate_results(results), seeds
+
+
+def aggregate_report(
+    result: ExperimentResult, seeds: Sequence[int], *, float_format: str = "{:.1f}"
+) -> str:
+    """Plain-text report of a cross-seed pooled result."""
+    buffer = io.StringIO()
+    scenario = result.scenario
+    seed_text = ",".join(str(seed) for seed in seeds)
+    buffer.write(f"== {result.figure_id} (aggregated over {len(seeds)} seeds) ==\n")
+    buffer.write(
+        f"{result.figure_id}: {scenario.description or scenario.name} "
+        f"[{scenario.repetitions} reps x {len(seeds)} seeds = "
+        f"{scenario.repetitions * len(seeds)} samples/point x "
+        f"{len(scenario.sweep_values)} points, seeds={seed_text}, "
+        f"{result.elapsed_seconds:.1f}s total]\n\n"
+    )
+    buffer.write(result.to_table(float_format=float_format))
+    buffer.write("\n")
+    _normalization_sections(result, buffer)
     return buffer.getvalue()

@@ -77,6 +77,7 @@ __all__ = [
     "ExperimentResult",
     "run_figure",
     "run_scenario",
+    "execute_blocks",
     "MIP_LABEL",
     "OTO_LABEL",
 ]
@@ -366,6 +367,65 @@ def run_scenario(
     return result
 
 
+def execute_blocks(
+    scenario: ScenarioConfig,
+    entropy,
+    pending: list[tuple[int, str]],
+    provider_by_label: dict[str, "object"],
+    record,
+    *,
+    milp_time_limit: float = 30.0,
+    workers: int | None = None,
+    memoize: bool = False,
+) -> None:
+    """Compute a set of (sweep value, curve label) blocks, in any subset.
+
+    The shared execution core of the block engine: :func:`run_scenario`
+    feeds it a figure's full grid, the distributed shard worker
+    (:mod:`repro.campaign.worker`) exactly its shard's units.  Each
+    completed block is handed to ``record(sweep_value, label, values,
+    failures)`` — on the parallel path in completion order, so callers
+    that need a deterministic layout must fold afterwards (series
+    folding, or the store's key-addressed records).
+
+    ``provider_by_label`` supplies the resolved providers for the serial
+    path; the process-pool path re-resolves providers by label in each
+    worker (jobs must stay picklable), which is why every curve label
+    must round-trip through
+    :func:`~repro.experiments.providers.resolve_provider`.
+    """
+    if workers is not None and workers > 1 and pending:
+        job_args = [
+            (scenario, sweep_value, label, entropy, milp_time_limit, memoize)
+            for sweep_value, label in pending
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_evaluate_block_job, args): key
+                for key, args in zip(pending, job_args)
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                # Record blocks as they complete so an interrupt loses at
+                # most the blocks in flight.
+                for future in done:
+                    sweep_value, label = futures[future]
+                    values, failures = future.result()
+                    record(sweep_value, label, values, failures)
+    else:
+        by_point: dict[int, list[str]] = {}
+        for sweep_value, label in pending:
+            by_point.setdefault(sweep_value, []).append(label)
+        streams = RandomStreamFactory(np.random.SeedSequence(entropy))
+        for sweep_value, point_labels in by_point.items():
+            # One sampling pass serves every curve of the point.
+            block = CellBlock.sample(scenario, sweep_value, streams, memoize=memoize)
+            for label in point_labels:
+                result = provider_by_label[label].evaluate_block(block)
+                record(sweep_value, label, result.values(), result.failures)
+
+
 def _run_blocks(
     scenario: ScenarioConfig,
     entropy,
@@ -423,37 +483,16 @@ def _run_blocks(
                 )
             )
 
-    if workers is not None and workers > 1 and pending:
-        job_args = [
-            (scenario, sweep_value, label, entropy, milp_time_limit, memoize)
-            for sweep_value, label in pending
-        ]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_evaluate_block_job, args): key
-                for key, args in zip(pending, job_args)
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                # Store blocks as they complete so an interrupt loses at
-                # most the blocks in flight; folding order is fixed below.
-                for future in done:
-                    sweep_value, label = futures[future]
-                    values, failures = future.result()
-                    record(sweep_value, label, values, failures)
-    else:
-        by_point: dict[int, list[str]] = {}
-        for sweep_value, label in pending:
-            by_point.setdefault(sweep_value, []).append(label)
-        provider_by_label = dict(zip(labels, providers))
-        streams = RandomStreamFactory(np.random.SeedSequence(entropy))
-        for sweep_value, point_labels in by_point.items():
-            # One sampling pass serves every curve of the point.
-            block = CellBlock.sample(scenario, sweep_value, streams, memoize=memoize)
-            for label in point_labels:
-                result = provider_by_label[label].evaluate_block(block)
-                record(sweep_value, label, result.values(), result.failures)
+    execute_blocks(
+        scenario,
+        entropy,
+        pending,
+        dict(zip(labels, providers)),
+        record,
+        milp_time_limit=milp_time_limit,
+        workers=workers,
+        memoize=memoize,
+    )
 
     # Fold in the fixed (sweep value, curve) order so series contents do
     # not depend on worker scheduling or resume state.

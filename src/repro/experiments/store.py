@@ -21,9 +21,16 @@ Record kinds
 
 The index maps record keys to byte offsets and remembers the prefix
 length it covers; on open, any lines appended after the last index write
-(e.g. by a run that was killed) are recovered by scanning the tail, and
-a torn final line is ignored.  Records are append-only: re-putting a key
-appends a new line and the index points at the newest one.
+(e.g. by a run that was killed) are recovered by scanning the tail; a
+crash-truncated final line is recovered when its JSON is complete (only
+the newline was lost) and ignored otherwise.  Records are append-only:
+re-putting a key appends a new line and the index points at the newest
+one.
+
+Append-only cell records are also what makes stores *mergeable*:
+:meth:`ResultStore.merge` unions the shard stores of a distributed
+campaign back into one (see :mod:`repro.campaign`), with key-level
+conflict detection and idempotent re-merge.
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ from __future__ import annotations
 import json
 import math
 import os
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -42,7 +49,7 @@ from ..generators.scenarios import ScenarioConfig
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .runner import ExperimentResult
 
-__all__ = ["CellRecord", "RunMeta", "ResultStore"]
+__all__ = ["CellRecord", "RunMeta", "ResultStore", "MergeReport"]
 
 #: How many appended records may accumulate before the index is rewritten.
 _INDEX_EVERY = 64
@@ -129,6 +136,80 @@ def _key_str(parts: tuple) -> str:
     return "|".join(str(part) for part in parts)
 
 
+def _values_equal(left: list[float], right: list[float]) -> bool:
+    """Elementwise equality treating NaN as equal to NaN.
+
+    Cell values are bit-for-bit reproducible floats except for the MIP
+    curve's timeout NaNs; two stores that both recorded "no proven
+    optimum" for a repetition agree, which plain ``==`` would deny.
+    """
+    if len(left) != len(right):
+        return False
+    return all(
+        a == b or (math.isnan(a) and math.isnan(b)) for a, b in zip(left, right)
+    )
+
+
+def _cells_equal(left: CellRecord, right: CellRecord) -> bool:
+    """Whether two records of the same key carry identical results."""
+    return (
+        left.repetitions == right.repetitions
+        and left.failures == right.failures
+        and _values_equal(left.values, right.values)
+    )
+
+
+def _metas_compatible(left: RunMeta, right: RunMeta) -> bool:
+    """Same-run headers may differ only in ``elapsed_seconds``.
+
+    Shards of one distributed campaign each record their own wall-clock,
+    but must agree on everything that defines the run (scenario, curve
+    order, normalisation).
+    """
+    return replace(left, elapsed_seconds=0.0) == replace(right, elapsed_seconds=0.0)
+
+
+@dataclass(slots=True)
+class MergeReport:
+    """What one :meth:`ResultStore.merge` call did.
+
+    Attributes
+    ----------
+    sources:
+        Number of source stores merged.
+    cells_added, cells_skipped:
+        New cell records appended / identical records already present.
+    metas_added, metas_updated, metas_skipped:
+        New run headers / headers rewritten with a larger
+        ``elapsed_seconds`` / headers already present.
+    """
+
+    sources: int = 0
+    cells_added: int = 0
+    cells_skipped: int = 0
+    metas_added: int = 0
+    metas_updated: int = 0
+    metas_skipped: int = 0
+
+    def summary(self) -> str:
+        """One-line report for the CLI."""
+        return (
+            f"merged {self.sources} store(s): {self.cells_added} cell(s) added, "
+            f"{self.cells_skipped} identical skipped; {self.metas_added} run "
+            f"header(s) added, {self.metas_updated} updated"
+        )
+
+
+@dataclass(slots=True)
+class _MergePlan:
+    """Staged writes of one merge (nothing touches disk until it is clean)."""
+
+    cells: dict[str, CellRecord] = field(default_factory=dict)
+    metas: dict[str, RunMeta] = field(default_factory=dict)
+    conflicts: list[str] = field(default_factory=list)
+    report: MergeReport = field(default_factory=MergeReport)
+
+
 class ResultStore:
     """Append-only on-disk store of experiment cells and run headers.
 
@@ -203,20 +284,33 @@ class ResultStore:
                     # Torn final write of an interrupted run: remember it
                     # so the next append starts on a fresh line instead of
                     # merging into (and losing) both records on a rescan.
+                    # A kill can also truncate *only* the trailing newline
+                    # — the record itself is complete JSON and is
+                    # recovered rather than dropped (a strict prefix of a
+                    # JSON object never parses, so this cannot resurrect
+                    # a half-written record).  The record stays outside
+                    # the indexed prefix (``_indexed_end`` is not
+                    # advanced): its line is still open, and the next
+                    # append or rescan re-derives it from the tail.
                     self._tail_torn = True
+                    self._index_record(line, offset)
                     break
-                try:
-                    record = json.loads(line)
-                    kind = record["kind"]
-                    if kind == "cell":
-                        self._cells[_key_str(CellRecord(**record["data"]).key)] = offset
-                    elif kind == "meta":
-                        self._meta[_key_str(RunMeta(**record["data"]).key)] = offset
-                except (KeyError, TypeError, ValueError, json.JSONDecodeError):
-                    pass  # skip foreign/corrupt lines, keep scanning
+                self._index_record(line, offset)
                 offset += len(line)
                 self._index_dirty = True
             self._indexed_end = offset
+
+    def _index_record(self, line: bytes, offset: int) -> None:
+        """Register one scanned line's key, ignoring foreign/corrupt lines."""
+        try:
+            record = json.loads(line)
+            kind = record["kind"]
+            if kind == "cell":
+                self._cells[_key_str(CellRecord(**record["data"]).key)] = offset
+            elif kind == "meta":
+                self._meta[_key_str(RunMeta(**record["data"]).key)] = offset
+        except (KeyError, TypeError, ValueError, ExperimentError, json.JSONDecodeError):
+            pass
 
     # -- writing ----------------------------------------------------------------
     def _append(self, kind: str, data: dict) -> int:
@@ -319,6 +413,22 @@ class ResultStore:
             handle.seek(offset)
             return json.loads(handle.readline())
 
+    def _read_all(self, index: dict[str, int]) -> list[dict]:
+        """Payloads of every indexed record, in key order, one file handle.
+
+        Bulk reads (``cells()``, ``runs()``, the merge scan) would pay one
+        open/seek/close per record through :meth:`_read`; at campaign
+        scale that is tens of thousands of syscall round-trips per store.
+        """
+        if not index:
+            return []
+        with open(self._records_path, "rb") as handle:
+            payloads = []
+            for _, offset in sorted(index.items()):
+                handle.seek(offset)
+                payloads.append(json.loads(handle.readline()))
+        return payloads
+
     # -- run headers -------------------------------------------------------------
     def put_meta(self, meta: RunMeta) -> None:
         """Append one run header (last write wins on re-put)."""
@@ -338,8 +448,8 @@ class ResultStore:
     def runs(self) -> list[RunMeta]:
         """Every stored run header, in key order."""
         return [
-            RunMeta(**self._read(offset)["data"])
-            for _, offset in sorted(self._meta.items())
+            RunMeta(**payload["data"])
+            for payload in self._read_all(self._meta)
         ]
 
     # -- ExperimentResult round-trip ----------------------------------------------
@@ -471,6 +581,120 @@ class ResultStore:
             elapsed_seconds=meta.elapsed_seconds,
             milp_failures=milp_failures,
         )
+
+    def cells(self) -> list[CellRecord]:
+        """Every stored cell (newest record per key), in key order."""
+        return [
+            CellRecord(**payload["data"])
+            for payload in self._read_all(self._cells)
+        ]
+
+    # -- merging -----------------------------------------------------------------
+    def merge(self, *stores: "ResultStore") -> MergeReport:
+        """Union other stores' records into this one (the shard-merge core).
+
+        Cell records are matched by key: keys absent here are appended,
+        identical records (same values bit for bit, NaN matching NaN) are
+        skipped — so re-merging an already-merged shard is a no-op — and a
+        key carrying *different* values anywhere (against this store or
+        between two sources) is a hard error listing every offending cell.
+        Run headers must agree on everything but ``elapsed_seconds``,
+        which keeps the per-shard maximum.
+
+        The merge is two-phase: every source is checked before anything is
+        written, so a conflicting merge leaves this store untouched.
+        Records land in sorted key order, making the merged byte stream
+        independent of source completion times (only of source *order*,
+        which callers should keep stable).
+        """
+        plan = _MergePlan()
+        plan.report.sources = len(stores)
+        # Preload this store's records once: staging otherwise pays one
+        # open/seek/close per overlapping key, which dominates the
+        # conflict scan on an idempotent re-merge.
+        mine_cells = dict(
+            zip(
+                sorted(self._cells),
+                (CellRecord(**payload["data"]) for payload in self._read_all(self._cells)),
+            )
+        )
+        mine_metas = dict(
+            zip(
+                sorted(self._meta),
+                (RunMeta(**payload["data"]) for payload in self._read_all(self._meta)),
+            )
+        )
+        for store in stores:
+            if store.path.resolve() == self.path.resolve():
+                raise ExperimentError(f"cannot merge a store into itself: {self.path}")
+            for record in store.cells():
+                self._stage_cell(plan, record, mine_cells, source=store)
+            for meta in store.runs():
+                self._stage_meta(plan, meta, mine_metas, source=store)
+        if plan.conflicts:
+            shown = plan.conflicts[:10]
+            more = len(plan.conflicts) - len(shown)
+            listing = "\n  - ".join(shown)
+            raise ExperimentError(
+                f"store merge aborted, {len(plan.conflicts)} conflicting record(s) "
+                f"(nothing was written):\n  - {listing}"
+                + (f"\n  ... and {more} more" if more else "")
+            )
+        for _, record in sorted(plan.cells.items()):
+            self.put_cell(record)
+        for _, meta in sorted(plan.metas.items()):
+            self.put_meta(meta)
+        self.flush()
+        return plan.report
+
+    def _stage_cell(
+        self,
+        plan: _MergePlan,
+        record: CellRecord,
+        mine_cells: dict[str, CellRecord],
+        *,
+        source: "ResultStore",
+    ) -> None:
+        key = _key_str(record.key)
+        staged = plan.cells.get(key)
+        existing = staged if staged is not None else mine_cells.get(key)
+        if existing is None:
+            plan.cells[key] = record
+            plan.report.cells_added += 1
+        elif _cells_equal(existing, record):
+            plan.report.cells_skipped += 1
+        else:
+            plan.conflicts.append(
+                f"cell {key}: {source.path} disagrees with previously merged values"
+            )
+
+    def _stage_meta(
+        self,
+        plan: _MergePlan,
+        meta: RunMeta,
+        mine_metas: dict[str, RunMeta],
+        *,
+        source: "ResultStore",
+    ) -> None:
+        key = _key_str(meta.key)
+        staged = plan.metas.get(key)
+        existing = staged if staged is not None else mine_metas.get(key)
+        if existing is None:
+            plan.metas[key] = meta
+            plan.report.metas_added += 1
+        elif not _metas_compatible(existing, meta):
+            plan.conflicts.append(
+                f"run header {key}: {source.path} disagrees on the scenario, curve "
+                "order or normalisation"
+            )
+        elif meta.elapsed_seconds > existing.elapsed_seconds:
+            # Keep the slowest shard's wall-clock (idempotent re-merge:
+            # max() is monotone, so a second pass changes nothing).
+            plan.metas[key] = replace(existing, elapsed_seconds=meta.elapsed_seconds)
+            if staged is None:
+                plan.report.metas_updated += 1
+        else:
+            plan.report.metas_skipped += 1
 
     # -- catalogue ----------------------------------------------------------------
     def catalog(self) -> list[dict]:

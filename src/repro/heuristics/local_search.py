@@ -107,32 +107,49 @@ def refine_specialized_batch(
     Every row descends through its own best-single-move sequence, but the
     expensive part — probing all ``(task, destination)`` candidates — runs
     as one :meth:`~repro.batch.StackMappingEvaluator.best_moves` scan per
-    round across all still-improving rows.  Rows reach their local optima
-    on their own schedule and drop out of the active set; because rows
-    are independent, row ``r``'s move sequence (and final mapping) is
-    bit-for-bit the sequential refinement of ``instances[r]``.
+    round across the still-improving rows.  Rows reach their local optima
+    on their own schedule and are then *dropped from the stack*
+    (:meth:`~repro.batch.StackMappingEvaluator.subset`), so late rounds
+    probe only the rows still descending instead of paying the full
+    ``R``-row scan to the very last move — the difference between the
+    deepest row's round count and the *average* row's.  Because rows are
+    independent and subsetting carries row state over bit for bit, row
+    ``r``'s move sequence (and final mapping) is exactly the sequential
+    refinement of ``instances[r]``.
 
     Returns ``(refined assignments, per-row move counts)``.
     """
     seeds = np.asarray(seeds, dtype=np.int64)
-    evaluator = StackMappingEvaluator(instances, seeds)
     R, n = seeds.shape
-    cap = max_moves if max_moves is not None else 100 * n
+    result = seeds.copy()
     moves = np.zeros(R, dtype=np.int64)
+    cap = max_moves if max_moves is not None else 100 * n
     # The scalar loop checks the cap before probing, so cap=0 must not
     # move at all; start from the same guard.
-    active = moves < cap
-    while active.any():
-        allowed = specialized_move_mask_batch(instances, evaluator.assignment)
-        tasks, machines, has_move = evaluator.best_moves(
-            allowed=allowed, rel_tol=rel_tol, active=active
-        )
-        active &= has_move
-        for row in np.flatnonzero(active):
+    if cap <= 0 or R == 0:
+        return result, moves
+    evaluator = StackMappingEvaluator(instances, seeds)
+    live = np.arange(R)  # original index of each evaluator row
+    live_instances = list(instances)
+    while True:
+        allowed = specialized_move_mask_batch(live_instances, evaluator.assignment)
+        tasks, machines, has_move = evaluator.best_moves(allowed=allowed, rel_tol=rel_tol)
+        for row in np.flatnonzero(has_move):
             evaluator.move(int(row), int(tasks[row]), int(machines[row]))
-        moves[active] += 1
-        active &= moves < cap
-    return evaluator.assignment, moves
+        moves[live[has_move]] += 1
+        done = ~has_move | (moves[live] >= cap)
+        if not done.any():
+            continue
+        finished = np.flatnonzero(done)
+        result[live[finished]] = evaluator.assignment[finished]
+        keep = np.flatnonzero(~done)
+        if keep.size == 0:
+            break
+        # Compact the stack to the rows still descending.
+        evaluator = evaluator.subset(keep)
+        live = live[keep]
+        live_instances = [live_instances[int(row)] for row in keep]
+    return result, moves
 
 
 def refine_specialized(

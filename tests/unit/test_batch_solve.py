@@ -184,6 +184,34 @@ class TestStackMappingEvaluator:
         assert stacked.periods[1] == scalar.period
         assert (stacked.machine_periods[1] == scalar.machine_periods).all()
 
+    def test_subset_carries_state_bit_for_bit(self):
+        stacked = StackMappingEvaluator(self.block.instances, self.seeds)
+        stacked.move(2, 1, int(np.argmin(stacked.candidate_periods(1)[2])))
+        rows = np.array([2, 0])
+        sub = stacked.subset(rows)
+        assert sub.num_rows == 2
+        assert (sub.assignment == stacked.assignment[rows]).all()
+        assert (sub.machine_periods == stacked.machine_periods[rows]).all()
+        assert (sub.periods == stacked.periods[rows]).all()
+        # Probes on the subset are exactly the full stack's rows.
+        for task in range(self.block.stack.num_tasks):
+            assert (
+                sub.candidate_periods(task) == stacked.candidate_periods(task)[rows]
+            ).all(), task
+        # Moves on the subset do not touch the parent.
+        before = stacked.assignment
+        sub.move(0, 0, int(np.argmin(sub.candidate_periods(0)[0])))
+        assert (stacked.assignment == before).all()
+
+    def test_subset_rejects_bad_rows(self):
+        stacked = StackMappingEvaluator(self.block.instances, self.seeds)
+        with pytest.raises(InvalidMappingError):
+            stacked.subset(np.array([], dtype=np.int64))
+        with pytest.raises(InvalidMappingError):
+            stacked.subset(np.array([stacked.num_rows]))
+        with pytest.raises(InvalidMappingError):
+            stacked.subset(np.array([-1]))
+
     def test_rejects_bad_shapes(self):
         with pytest.raises(InvalidMappingError):
             StackMappingEvaluator(self.block.instances, self.seeds[:, :-1])

@@ -1,0 +1,231 @@
+"""Unit tests for the distributed campaign subsystem (plan / worker / merge)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignManifest,
+    ShardPlan,
+    WorkUnit,
+    expand_units,
+    load_plan,
+    merge_stores,
+    parse_seed_spec,
+    plan,
+    run_shard,
+    write_plans,
+)
+from repro.exceptions import ExperimentError
+from repro.experiments import FIGURES, ResultStore
+
+
+def _manifest(**overrides) -> CampaignManifest:
+    defaults = dict(
+        figures=("fig6",),
+        seeds=(0, 1),
+        repetitions=2,
+        max_points=2,
+    )
+    defaults.update(overrides)
+    return CampaignManifest(**defaults)
+
+
+class TestSeedSpec:
+    def test_single_int(self):
+        assert parse_seed_spec(7) == (7,)
+        assert parse_seed_spec("7") == (7,)
+
+    def test_inclusive_range(self):
+        assert parse_seed_spec("0..3") == (0, 1, 2, 3)
+
+    def test_comma_mix(self):
+        assert parse_seed_spec("0..2,7,9") == (0, 1, 2, 7, 9)
+
+    def test_rejects_garbage_and_duplicates(self):
+        with pytest.raises(ExperimentError):
+            parse_seed_spec("x..3")
+        with pytest.raises(ExperimentError):
+            parse_seed_spec("3..1")
+        with pytest.raises(ExperimentError):
+            parse_seed_spec("1,1")
+        with pytest.raises(ExperimentError):
+            parse_seed_spec("")
+
+
+class TestManifest:
+    def test_validates_figures_and_seeds(self):
+        with pytest.raises(ExperimentError):
+            CampaignManifest(figures=("fig99",))
+        with pytest.raises(ExperimentError):
+            CampaignManifest(figures=("fig6",), seeds=())
+        with pytest.raises(ExperimentError):
+            CampaignManifest(figures=("fig6",), seeds=(1, 1))
+
+    def test_round_trip(self):
+        manifest = _manifest(no_milp=True, workers=4)
+        assert CampaignManifest.from_dict(manifest.to_dict()) == manifest
+
+    def test_from_dict_promotes_legacy_scalar_seed(self):
+        legacy = _manifest().to_dict()
+        del legacy["seeds"]
+        legacy["seed"] = 3
+        assert CampaignManifest.from_dict(legacy).seeds == (3,)
+
+    def test_curves_follow_engine_series_order(self):
+        manifest = _manifest(figures=("fig10",))
+        curves = manifest.curves_for("fig10")
+        assert curves[-1] == "MIP"  # fig10 runs the exact MIP last
+        assert manifest.curves_for("fig6") == FIGURES["fig6"].scenario.heuristics
+
+    def test_no_milp_drops_the_mip_curve(self):
+        manifest = _manifest(figures=("fig10",), no_milp=True)
+        assert "MIP" not in manifest.curves_for("fig10")
+
+    def test_optional_curves_are_planned_when_asked(self):
+        assert "H4ls" not in _manifest().curves_for("fig6")
+        assert "H4ls" in _manifest(optional_curves=True).curves_for("fig6")
+
+
+class TestPlanner:
+    def test_units_cover_the_full_grid(self):
+        manifest = _manifest()
+        units = expand_units(manifest)
+        scenario = manifest.scenario_for("fig6")
+        expected = (
+            len(manifest.seeds)
+            * len(manifest.curves_for("fig6"))
+            * len(scenario.sweep_values)
+        )
+        assert len(units) == expected
+        assert len(set(units)) == len(units)
+
+    @pytest.mark.parametrize("by", ["seed", "curve", "block"])
+    @pytest.mark.parametrize("shards", [1, 2, 3])
+    def test_shards_partition_the_units(self, by, shards):
+        manifest = _manifest()
+        shard_plans = plan(manifest, shards=shards, by=by)
+        assert len(shard_plans) == shards
+        merged = [unit for shard in shard_plans for unit in shard.units]
+        assert sorted(map(repr, merged)) == sorted(map(repr, expand_units(manifest)))
+
+    def test_by_seed_keeps_whole_seeds_together(self):
+        shard_plans = plan(_manifest(), shards=2, by="seed")
+        for shard in shard_plans:
+            assert len({unit.seed for unit in shard.units}) == 1
+
+    def test_planning_is_deterministic(self):
+        first = plan(_manifest(), shards=3, by="curve")
+        second = plan(_manifest(), shards=3, by="curve")
+        assert [s.units for s in first] == [s.units for s in second]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ExperimentError):
+            plan(_manifest(), shards=0)
+        with pytest.raises(ExperimentError):
+            plan(_manifest(), shards=2, by="machine")
+        with pytest.raises(ExperimentError):
+            WorkUnit("fig6", 0, "H2", 10).group_key("machine")
+
+
+class TestPlanFiles:
+    def test_write_and_load_shard_plan(self, tmp_path):
+        manifest = _manifest()
+        written = write_plans(manifest, tmp_path / "plans", shards=2, by="block")
+        assert len(written) == 2
+        assert (tmp_path / "plans" / "campaign.json").exists()
+        path, written_plan = written[1]
+        assert written_plan == plan(manifest, shards=2, by="block")[1]
+        shard = load_plan(path)
+        assert isinstance(shard, ShardPlan)
+        assert shard.index == 1 and shard.shards == 2
+        assert shard.manifest == manifest
+        assert shard.units == plan(manifest, shards=2, by="block")[1].units
+
+    def test_load_campaign_manifest_with_coordinates(self, tmp_path):
+        manifest = _manifest()
+        write_plans(manifest, tmp_path / "plans", shards=2, by="block")
+        campaign = tmp_path / "plans" / "campaign.json"
+        shard = load_plan(campaign, shard=(0, 2))
+        assert shard.units == plan(manifest, shards=2, by="block")[0].units
+        # Planned-for-N campaign files refuse to run without coordinates.
+        with pytest.raises(ExperimentError):
+            load_plan(campaign)
+        with pytest.raises(ExperimentError):
+            load_plan(campaign, shard=(5, 2))
+
+    def test_shard_file_rejects_wrong_coordinates(self, tmp_path):
+        (path, _), _ = write_plans(_manifest(), tmp_path / "plans", shards=2, by="seed")
+        with pytest.raises(ExperimentError):
+            load_plan(path, shard=(1, 2))
+
+    def test_shard_file_rejects_conflicting_axis(self, tmp_path):
+        (path, _), _ = write_plans(_manifest(), tmp_path / "plans", shards=2, by="block")
+        assert load_plan(path, by="block").by == "block"
+        with pytest.raises(ExperimentError):
+            load_plan(path, by="seed")
+
+    def test_campaign_file_rejects_conflicting_axis(self, tmp_path):
+        # Two hosts partitioning one campaign along different axes would
+        # not tile its units; the recorded axis is pinned like the count.
+        write_plans(_manifest(), tmp_path / "plans", shards=2, by="block")
+        campaign = tmp_path / "plans" / "campaign.json"
+        with pytest.raises(ExperimentError):
+            load_plan(campaign, shard=(0, 2), by="seed")
+        assert load_plan(campaign, shard=(0, 2), by="block").by == "block"
+        # A hand-written manifest records no axis: --by is then free.
+        plain = tmp_path / "plain.json"
+        plain.write_text(json.dumps(_manifest().to_dict()), encoding="utf-8")
+        assert load_plan(plain, shard=(1, 2), by="curve").by == "curve"
+
+    def test_campaign_file_rejects_different_shard_count(self, tmp_path):
+        # Accepting 0/8 against a 4-shard plan would silently re-partition
+        # the campaign and leave units uncovered across the fleet.
+        write_plans(_manifest(), tmp_path / "plans", shards=4, by="block")
+        campaign = tmp_path / "plans" / "campaign.json"
+        with pytest.raises(ExperimentError):
+            load_plan(campaign, shard=(0, 8))
+        assert load_plan(campaign, shard=(0, 4)).shards == 4
+
+    def test_plain_campaign_manifest_defaults_to_single_shard(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(_manifest().to_dict()), encoding="utf-8")
+        shard = load_plan(path)
+        assert shard.shards == 1
+        assert len(shard.units) == len(expand_units(_manifest()))
+
+
+class TestWorker:
+    def test_run_shard_is_resumable(self, tmp_path):
+        shard = plan(_manifest(seeds=(0,)), shards=1, by="seed")[0]
+        with ResultStore(tmp_path / "s") as store:
+            first = run_shard(shard, store)
+            assert first.computed == len(shard.units)
+            assert first.skipped == 0
+            again = run_shard(shard, store)
+        assert again.computed == 0
+        assert again.skipped == len(shard.units)
+
+    def test_meta_carries_the_full_curve_list(self, tmp_path):
+        # A shard holding one curve still records the whole run's curve
+        # order, so the merged store can rebuild results.
+        manifest = _manifest(seeds=(0,))
+        shard = plan(manifest, shards=2, by="curve")[0]
+        labels = {unit.curve for unit in shard.units}
+        assert labels != set(manifest.curves_for("fig6"))  # a strict slice
+        with ResultStore(tmp_path / "s") as store:
+            run_shard(shard, store)
+            meta = store.runs()[0]
+        assert meta.curves == list(manifest.curves_for("fig6"))
+
+
+class TestMergeStores:
+    def test_missing_source_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            merge_stores(tmp_path / "m", [tmp_path / "nope"])
+
+    def test_no_sources_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            merge_stores(tmp_path / "m", [])

@@ -157,7 +157,7 @@ class TestCampaignCommands:
         assert main(_campaign_args(store_dir)) == 0
         output = capsys.readouterr().out
         assert "fig6" in output and "fig10" in output
-        assert "campaign: 2 figure(s)" in output
+        assert "campaign: 2 figure run(s)" in output
         assert (store_dir / CAMPAIGN_MANIFEST).exists()
         store = ResultStore(store_dir)
         assert store.load_result("fig6").figure_id == "fig6"
@@ -169,7 +169,7 @@ class TestCampaignCommands:
         capsys.readouterr()
         assert main(["resume", "--store", str(store_dir)]) == 0
         output = capsys.readouterr().out
-        assert "campaign: 2 figure(s)" in output
+        assert "campaign: 2 figure run(s)" in output
 
     def test_resume_without_manifest_rejected(self, tmp_path, capsys):
         store_dir = tmp_path / "empty-store"
@@ -208,3 +208,194 @@ class TestCampaignCommands:
         assert manifest["figures"] == ["fig6", "fig10"]
         assert manifest["repetitions"] == 1
         assert manifest["no_milp"] is True
+        assert manifest["seeds"] == [0]
+
+    def test_multi_seed_campaign_stores_every_seed(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        code = main(
+            [
+                "campaign", "fig6", "--store", str(store_dir), "--seeds", "3..4",
+                "--repetitions", "1", "--max-points", "2", "--no-milp",
+            ]
+        )
+        assert code == 0
+        assert "campaign: 2 figure run(s)" in capsys.readouterr().out
+        store = ResultStore(store_dir)
+        assert store.load_result("fig6", seed=3).seed == 3
+        assert store.load_result("fig6", seed=4).seed == 4
+
+    def test_seed_and_seeds_are_mutually_exclusive(self, tmp_path, capsys):
+        code = main(
+            [
+                "campaign", "fig6", "--store", str(tmp_path / "s"),
+                "--seed", "1", "--seeds", "0..2",
+            ]
+        )
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_resume_reads_legacy_scalar_seed_manifest(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        main(_campaign_args(store_dir))
+        capsys.readouterr()
+        manifest = json.loads((store_dir / CAMPAIGN_MANIFEST).read_text())
+        manifest["seed"] = manifest.pop("seeds")[0]  # pre-multi-seed layout
+        (store_dir / CAMPAIGN_MANIFEST).write_text(json.dumps(manifest))
+        assert main(["resume", "--store", str(store_dir)]) == 0
+        assert "campaign: 2 figure run(s)" in capsys.readouterr().out
+
+    def test_export_aggregate_seeds_csv(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        main(
+            [
+                "campaign", "fig6", "--store", str(store_dir), "--seeds", "0,1",
+                "--repetitions", "1", "--max-points", "2", "--no-milp",
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            ["export", "--store", str(store_dir), "fig6", "--aggregate", "seeds", "--csv"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert output.startswith("n,")
+        # Two seeds x one repetition pooled per point.
+        assert ",2\r\n" in output or ",2\n" in output
+        code = main(
+            ["export", "--store", str(store_dir), "fig6", "--aggregate", "seeds"]
+        )
+        assert code == 0
+        assert "aggregated over 2 seeds" in capsys.readouterr().out
+
+    def test_export_aggregate_needs_figures(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        main(_campaign_args(store_dir))
+        capsys.readouterr()
+        assert main(["export", "--store", str(store_dir), "--aggregate", "seeds"]) == 2
+        assert "figure names" in capsys.readouterr().err
+
+    def test_export_scenario_hash_filter(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        main(
+            [
+                "campaign", "fig6", "--store", str(store_dir), "--seeds", "0,1",
+                "--repetitions", "1", "--max-points", "2", "--no-milp",
+            ]
+        )
+        capsys.readouterr()
+        store = ResultStore(store_dir)
+        stored_hash = store.runs()[0].scenario_hash
+        code = main(
+            [
+                "export", "--store", str(store_dir), "fig6",
+                "--aggregate", "seeds", "--scenario-hash", stored_hash, "--csv",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.startswith("n,")
+        code = main(
+            [
+                "export", "--store", str(store_dir), "fig6",
+                "--aggregate", "seeds", "--scenario-hash", "deadbeef0000",
+            ]
+        )
+        assert code == 2
+        assert "no stored run" in capsys.readouterr().err
+
+    def test_export_aggregate_rejects_seed_filter(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        main(_campaign_args(store_dir))
+        capsys.readouterr()
+        code = main(
+            [
+                "export", "--store", str(store_dir), "fig6",
+                "--aggregate", "seeds", "--seed", "0",
+            ]
+        )
+        assert code == 2
+        assert "--seed" in capsys.readouterr().err
+
+
+def _plan_args(out_dir, extra=()) -> list[str]:
+    return [
+        "shard", "plan", "fig6", "--seeds", "0..1", "--shards", "2", "--by", "block",
+        "--out", str(out_dir), "--repetitions", "1", "--max-points", "2", "--no-milp",
+        *extra,
+    ]
+
+
+class TestShardCommands:
+    def test_plan_writes_campaign_and_shard_files(self, tmp_path, capsys):
+        out = tmp_path / "plans"
+        assert main(_plan_args(out)) == 0
+        output = capsys.readouterr().out
+        assert "2 shard(s)" in output
+        assert (out / "campaign.json").exists()
+        assert (out / "shard_0.json").exists() and (out / "shard_1.json").exists()
+
+    def test_shard_run_and_merge_match_single_host(self, tmp_path, capsys):
+        out = tmp_path / "plans"
+        main(_plan_args(out))
+        for k in (0, 1):
+            code = main(
+                [
+                    "shard", "run", str(out / f"shard_{k}.json"),
+                    "--store", str(tmp_path / f"shard{k}"),
+                ]
+            )
+            assert code == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "store", "merge", "--store", str(tmp_path / "merged"),
+                str(tmp_path / "shard0"), str(tmp_path / "shard1"),
+            ]
+        )
+        assert code == 0
+        assert "cell(s) added" in capsys.readouterr().out
+        # The merged store serves export exactly like a single-host store.
+        single = tmp_path / "single"
+        main(
+            [
+                "campaign", "fig6", "--store", str(single), "--seeds", "0..1",
+                "--repetitions", "1", "--max-points", "2", "--no-milp",
+            ]
+        )
+        capsys.readouterr()
+        main(["export", "--store", str(tmp_path / "merged"), "fig6", "--seed", "0", "--csv"])
+        merged_csv = capsys.readouterr().out
+        main(["export", "--store", str(single), "fig6", "--seed", "0", "--csv"])
+        assert merged_csv == capsys.readouterr().out
+
+    def test_shard_run_from_campaign_manifest_coordinates(self, tmp_path, capsys):
+        out = tmp_path / "plans"
+        main(_plan_args(out))
+        capsys.readouterr()
+        code = main(
+            [
+                "shard", "run", str(out / "campaign.json"), "--shard", "1/2",
+                "--store", str(tmp_path / "s1"),
+            ]
+        )
+        assert code == 0
+        assert "shard 1/2" in capsys.readouterr().out
+
+    def test_shard_run_rejects_bad_coordinates(self, tmp_path, capsys):
+        out = tmp_path / "plans"
+        main(_plan_args(out))
+        capsys.readouterr()
+        code = main(
+            [
+                "shard", "run", str(out / "campaign.json"), "--shard", "two/4",
+                "--store", str(tmp_path / "s"),
+            ]
+        )
+        assert code == 2
+        assert "K/N" in capsys.readouterr().err
+
+    def test_store_merge_missing_source_fails(self, tmp_path, capsys):
+        code = main(
+            ["store", "merge", "--store", str(tmp_path / "m"), str(tmp_path / "ghost")]
+        )
+        assert code == 2
+        assert "not found" in capsys.readouterr().err

@@ -183,6 +183,48 @@ class TestStoreRecovery:
         assert len(rescanned) == 2
         assert rescanned.get_cell("figX", "abc123", 0, "H4w", 20) is not None
 
+    def test_truncated_mid_record_reopens_and_keeps_prefix(self, tmp_path):
+        # Regression: a kill that truncates the final JSONL line mid-record
+        # (index already flushed past it) must reopen cleanly, keep every
+        # complete record, and stay appendable.
+        with ResultStore(tmp_path / "s") as store:
+            store.put_cell(_record())
+            store.put_cell(_record(sweep_value=20, values=[4.0, 5.0, 6.0]))
+        path = tmp_path / "s" / "results.jsonl"
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 17)  # cut into the final record's JSON
+        reopened = ResultStore(tmp_path / "s")
+        assert len(reopened) == 1
+        assert reopened.get_cell("figX", "abc123", 0, "H4w", 10) == _record()
+        assert reopened.get_cell("figX", "abc123", 0, "H4w", 20) is None
+        reopened.put_cell(_record(sweep_value=30, values=[7.0, 8.0, 9.0]))
+        reopened.close()
+        (tmp_path / "s" / "index.json").unlink()
+        rescanned = ResultStore(tmp_path / "s")
+        assert len(rescanned) == 2
+        assert rescanned.get_cell("figX", "abc123", 0, "H4w", 30).values == [7.0, 8.0, 9.0]
+
+    def test_truncated_newline_recovers_complete_record(self, tmp_path):
+        # A partial write can lose *only* the trailing newline: the final
+        # line is complete JSON and must be recovered, not dropped.
+        with ResultStore(tmp_path / "s") as store:
+            store.put_cell(_record())
+            store.put_cell(_record(sweep_value=20, values=[4.0, 5.0, 6.0]))
+        path = tmp_path / "s" / "results.jsonl"
+        with open(path, "r+b") as handle:
+            handle.truncate(path.stat().st_size - 1)
+        reopened = ResultStore(tmp_path / "s")
+        assert len(reopened) == 2
+        assert reopened.get_cell("figX", "abc123", 0, "H4w", 20).values == [4.0, 5.0, 6.0]
+        # The recovered line is still open: the next append must not merge
+        # into it, and a from-scratch rescan must see every record.
+        reopened.put_cell(_record(sweep_value=30, values=[7.0, 8.0, 9.0]))
+        reopened.close()
+        (tmp_path / "s" / "index.json").unlink()
+        rescanned = ResultStore(tmp_path / "s")
+        assert len(rescanned) == 3
+
     def test_read_only_store_can_be_opened_and_closed(self, tmp_path):
         import os
 
@@ -194,6 +236,107 @@ class TestStoreRecovery:
                 assert readonly.get_cell("figX", "abc123", 0, "H4w", 10) == _record()
         finally:
             os.chmod(tmp_path / "s", 0o755)
+
+
+class TestStoreMerge:
+    def _meta(self, **overrides) -> RunMeta:
+        defaults = dict(
+            figure_id="figX",
+            scenario_hash="abc123",
+            seed=0,
+            scenario=_scenario().to_dict(),
+            curves=["H2", "H4w"],
+            normalize_to=None,
+            elapsed_seconds=1.0,
+        )
+        defaults.update(overrides)
+        return RunMeta(**defaults)
+
+    def test_disjoint_union(self, tmp_path):
+        with ResultStore(tmp_path / "a") as a:
+            a.put_cell(_record(sweep_value=10))
+        with ResultStore(tmp_path / "b") as b:
+            b.put_cell(_record(sweep_value=20, values=[4.0, 5.0, 6.0]))
+        dest = ResultStore(tmp_path / "m")
+        report = dest.merge(ResultStore(tmp_path / "a"), ResultStore(tmp_path / "b"))
+        assert report.cells_added == 2
+        assert len(dest) == 2
+        # Merged records survive a reopen (they are ordinary appends).
+        assert ResultStore(tmp_path / "m").get_cell(
+            "figX", "abc123", 0, "H4w", 20
+        ).values == [4.0, 5.0, 6.0]
+
+    def test_overlapping_identical_cells_are_idempotent(self, tmp_path):
+        with ResultStore(tmp_path / "a") as a:
+            a.put_cell(_record(sweep_value=10))
+            a.put_cell(_record(sweep_value=20, values=[4.0, 5.0, 6.0]))
+        dest = ResultStore(tmp_path / "m")
+        first = dest.merge(ResultStore(tmp_path / "a"))
+        again = dest.merge(ResultStore(tmp_path / "a"))
+        assert first.cells_added == 2
+        assert again.cells_added == 0
+        assert again.cells_skipped == 2
+        assert len(dest) == 2
+
+    def test_identical_nan_cells_do_not_conflict(self, tmp_path):
+        nan_record = _record(curve="MIP", values=[1.0, float("nan"), 3.0], failures=1)
+        with ResultStore(tmp_path / "a") as a:
+            a.put_cell(nan_record)
+        dest = ResultStore(tmp_path / "m")
+        dest.put_cell(nan_record)
+        report = dest.merge(ResultStore(tmp_path / "a"))
+        assert report.cells_skipped == 1
+
+    def test_conflicting_cells_raise_and_write_nothing(self, tmp_path):
+        with ResultStore(tmp_path / "a") as a:
+            a.put_cell(_record(sweep_value=10))
+            a.put_cell(_record(sweep_value=20, values=[4.0, 5.0, 6.0]))
+        with ResultStore(tmp_path / "b") as b:
+            b.put_cell(_record(sweep_value=20, values=[9.0, 9.0, 9.0]))
+            b.put_cell(_record(sweep_value=30))
+        dest = ResultStore(tmp_path / "m")
+        with pytest.raises(ExperimentError) as excinfo:
+            dest.merge(ResultStore(tmp_path / "a"), ResultStore(tmp_path / "b"))
+        # The error names the offending cell key, and the two-phase merge
+        # left the destination untouched (not even the clean records).
+        assert "figX|abc123|0|H4w|20" in str(excinfo.value)
+        assert len(dest) == 0
+
+    def test_merge_into_itself_rejected(self, tmp_path):
+        dest = ResultStore(tmp_path / "m")
+        with pytest.raises(ExperimentError):
+            dest.merge(ResultStore(tmp_path / "m"))
+
+    def test_empty_shard_merge(self, tmp_path):
+        dest = ResultStore(tmp_path / "m")
+        dest.put_cell(_record())
+        report = dest.merge(ResultStore(tmp_path / "empty"))
+        assert report.cells_added == 0
+        assert report.metas_added == 0
+        assert len(dest) == 1
+
+    def test_meta_union_and_elapsed_max(self, tmp_path):
+        with ResultStore(tmp_path / "a") as a:
+            a.put_meta(self._meta(elapsed_seconds=1.0))
+        with ResultStore(tmp_path / "b") as b:
+            b.put_meta(self._meta(elapsed_seconds=5.0))
+        dest = ResultStore(tmp_path / "m")
+        report = dest.merge(ResultStore(tmp_path / "a"), ResultStore(tmp_path / "b"))
+        assert report.metas_added == 1
+        assert dest.get_meta("figX", "abc123", 0).elapsed_seconds == 5.0
+        # Re-merging the slower shard changes nothing (max is monotone).
+        again = dest.merge(ResultStore(tmp_path / "b"))
+        assert again.metas_added == 0 and again.metas_updated == 0
+        assert dest.get_meta("figX", "abc123", 0).elapsed_seconds == 5.0
+
+    def test_differing_meta_conflicts(self, tmp_path):
+        with ResultStore(tmp_path / "a") as a:
+            a.put_meta(self._meta())
+        dest = ResultStore(tmp_path / "m")
+        dest.put_meta(self._meta(curves=["H2", "H4w", "MIP"]))
+        with pytest.raises(ExperimentError) as excinfo:
+            dest.merge(ResultStore(tmp_path / "a"))
+        assert "run header" in str(excinfo.value)
 
 
 class TestExperimentResultRoundTrip:
