@@ -36,7 +36,7 @@ from pathlib import Path
 #: speed, the resource every key benchmark below also spends.
 CALIBRATION = "benchmarks/test_batch_evaluation.py::test_bench_scalar_evaluation_loop"
 
-#: The benchmarks the gate protects (the PR 1-4 speedup claims).
+#: The benchmarks the gate protects (the PR 1-5 speedup claims).
 KEY_BENCHMARKS = (
     "benchmarks/test_batch_evaluation.py::test_bench_evaluate_batch",
     "benchmarks/test_batch_evaluation.py::test_bench_incremental_moves",
@@ -45,6 +45,7 @@ KEY_BENCHMARKS = (
     "benchmarks/test_engine_block_scheduler.py::test_bench_batch_solve_greedy",
     "benchmarks/test_engine_block_scheduler.py::test_bench_batch_solve_binary_search",
     "benchmarks/test_engine_block_scheduler.py::test_bench_batch_refine",
+    "benchmarks/test_service_batching.py::test_bench_service_microbatch",
 )
 
 #: Default failure threshold: a key benchmark may be at most this much

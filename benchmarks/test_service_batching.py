@@ -1,0 +1,103 @@
+"""Benchmark: micro-batched service throughput vs the per-request path.
+
+Acceptance criterion of the solve-service PR: at 32 concurrent
+*compatible* requests (same heuristic, task count and platform size —
+one batching signature), the micro-batched service must clear **>= 2x**
+the per-request path.  Both paths run through the same
+:class:`~repro.service.batcher.MicroBatcher` under the same batching
+window, so the measured ratio isolates the lock-step ``solve_batch`` +
+stacked scoring pass against 32 individual solves — scheduling,
+normalisation and instance sampling costs are identical on both sides,
+and the responses are asserted bit-for-bit equal first.
+
+``test_bench_service_microbatch`` additionally pins the batched path's
+wall-clock in the CI regression gate (``benchmarks/baseline.json``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.service import MicroBatcher, direct_response, normalize_request
+
+#: Concurrent compatible requests, per the acceptance criterion.
+CONCURRENCY = 32
+
+
+def _requests():
+    """32 compatible requests: one signature, 32 distinct seeds."""
+    return [
+        normalize_request(
+            {
+                "heuristic": "H2",
+                "application": {"tasks": 100, "types": 5},
+                "platform": {"machines": 50},
+                "options": {"seed": seed},
+            }
+        )
+        for seed in range(CONCURRENCY)
+    ]
+
+
+def _serve_all(requests, *, batch: bool) -> list[dict]:
+    """All requests through one service batcher, batched or per-request.
+
+    No cache — every round must actually solve (the benchmark measures
+    solving, not dict lookups).  The window is wide enough that all 32
+    requests always land in one group on both paths; ``batch`` is then
+    the only difference.
+    """
+
+    async def scenario():
+        batcher = MicroBatcher(
+            window=0.05, max_batch=CONCURRENCY, batch=batch, cache=None
+        )
+        return await asyncio.gather(
+            *(batcher.submit(request) for request in requests)
+        )
+
+    return asyncio.run(scenario())
+
+
+def _time(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_service_batching_speedup_at_32_concurrent():
+    """Acceptance: batched service throughput >= 2x per-request at 32."""
+    requests = _requests()
+    batched = _serve_all(requests, batch=True)
+    fallback = _serve_all(requests, batch=False)
+    reference = [direct_response(request) for request in requests]
+    for response, other, direct in zip(batched, fallback, reference):
+        # Bit-for-bit across all three paths before comparing clocks.
+        assert response["assignment"] == other["assignment"] == direct["assignment"]
+        assert response["period"] == other["period"] == direct["period"]
+
+    batched_time = _time(lambda: _serve_all(requests, batch=True))
+    fallback_time = _time(lambda: _serve_all(requests, batch=False))
+    speedup = fallback_time / batched_time
+    print(
+        f"\n{CONCURRENCY} concurrent compatible requests: per-request "
+        f"{fallback_time * 1e3:.0f} ms, micro-batched {batched_time * 1e3:.0f} ms "
+        f"({speedup:.1f}x)"
+    )
+    assert speedup >= 2.0
+
+
+def test_bench_service_microbatch(benchmark):
+    """Key benchmark: one 32-deep micro-batched service round."""
+    requests = _requests()
+    benchmark(lambda: _serve_all(requests, batch=True))
+
+
+def test_bench_service_per_request(benchmark):
+    """Companion: the same 32 requests on the per-request path."""
+    requests = _requests()
+    benchmark(lambda: _serve_all(requests, batch=False))

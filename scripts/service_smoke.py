@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""CI smoke check of the solve service, end to end over real HTTP.
+
+Starts ``microrepro serve`` as a subprocess on a free port, fires a mix
+of concurrent solve requests — several signatures, several heuristics,
+deliberate duplicates — through the stdlib client, and asserts:
+
+* every response is **bit-for-bit identical** to the direct (unbatched,
+  uncached) reference solve of the same request;
+* the duplicates produced cache hits (``/stats`` cache counter > 0);
+* the service actually grouped compatible requests (at least one
+  multi-request flush);
+* ``/stats`` accounting adds up (solved == requests fired, errors == 0).
+
+Exit code 0 on success; any assertion or timeout kills the server and
+exits non-zero.  Runs from a source checkout::
+
+    python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import re
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service import (  # noqa: E402 - path bootstrap above
+    direct_response,
+    normalize_request,
+    service_stats,
+    solve_remote,
+)
+
+STARTUP_TIMEOUT = 30.0
+
+
+def request_mix() -> list[dict]:
+    """~20 requests: 3 signatures, mixed heuristics, with duplicates."""
+    mix = []
+    # 8 compatible H4w requests (one signature, distinct seeds).
+    for seed in range(8):
+        mix.append(
+            {
+                "heuristic": "H4w",
+                "application": {"tasks": 20, "types": 3},
+                "platform": {"machines": 6},
+                "options": {"seed": seed},
+            }
+        )
+    # 5 compatible H2 requests on a different platform.
+    for seed in range(5):
+        mix.append(
+            {
+                "heuristic": "H2",
+                "application": {"tasks": 15, "types": 2},
+                "platform": {"machines": 4},
+                "options": {"seed": seed},
+            }
+        )
+    # 3 randomized-heuristic requests (per-instance fallback path).
+    for seed in range(3):
+        mix.append(
+            {
+                "heuristic": "H1",
+                "application": {"tasks": 10, "types": 2},
+                "platform": {"machines": 5},
+                "options": {"seed": seed},
+            }
+        )
+    return mix
+
+
+def start_server() -> tuple[subprocess.Popen, str]:
+    process = subprocess.Popen(
+        # A generous batching window: the grouping assertion below must
+        # hold even when a loaded CI runner staggers the concurrent
+        # wave's arrivals by tens of milliseconds.
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--window-ms", "100"],
+        cwd=REPO_ROOT,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+    # readline() on the pipe blocks, which would let a wedged server
+    # hang the job past STARTUP_TIMEOUT — read on a daemon thread and
+    # poll its queue with a real deadline instead.
+    lines: queue.Queue[str] = queue.Queue()
+    threading.Thread(
+        target=lambda: [lines.put(line) for line in process.stdout],
+        daemon=True,
+    ).start()
+    deadline = time.time() + STARTUP_TIMEOUT
+    seen: list[str] = []
+    while time.time() < deadline:
+        if process.poll() is not None and lines.empty():
+            raise RuntimeError(
+                f"server exited early (rc={process.returncode}): {seen[-3:]!r}"
+            )
+        try:
+            line = lines.get(timeout=0.2)
+        except queue.Empty:
+            continue
+        seen.append(line)
+        match = re.search(r"listening on (http://\S+)", line)
+        if match:
+            return process, match.group(1)
+    raise RuntimeError(
+        f"server did not announce a URL in {STARTUP_TIMEOUT}s: {seen[-3:]!r}"
+    )
+
+
+def main() -> int:
+    process, url = start_server()
+    try:
+        unique = request_mix()
+        # Wave 1: fire every unique request concurrently so the batching
+        # window actually has company to group.
+        with ThreadPoolExecutor(max_workers=len(unique)) as pool:
+            responses = list(
+                pool.map(lambda payload: solve_remote(url, payload), unique)
+            )
+        # Wave 2: re-fire a few duplicates after the first wave settled —
+        # these must be answered from the solve cache.
+        duplicates = [dict(unique[0]), dict(unique[3]), dict(unique[8]), dict(unique[13])]
+        duplicate_responses = [solve_remote(url, payload) for payload in duplicates]
+        requests = unique + duplicates
+        responses = responses + duplicate_responses
+
+        not_cached = [
+            payload
+            for payload, response in zip(duplicates, duplicate_responses)
+            if not response.get("cached")
+        ]
+        if not_cached:
+            print(f"FAIL: duplicate request(s) missed the cache: {not_cached}")
+            return 1
+
+        failures = 0
+        for payload, response in zip(requests, responses):
+            reference = direct_response(normalize_request(payload))
+            for field in ("assignment", "period", "throughput", "key"):
+                if response[field] != reference[field]:
+                    failures += 1
+                    print(
+                        f"MISMATCH {payload}: {field} service={response[field]!r} "
+                        f"direct={reference[field]!r}"
+                    )
+        if failures:
+            print(f"FAIL: {failures} response field(s) diverged from direct solves")
+            return 1
+        print(f"{len(responses)} service responses bit-for-bit match direct solves")
+
+        stats = service_stats(url)
+        print("stats:", stats)
+        service, batcher, cache = stats["service"], stats["batcher"], stats["cache"]
+        checks = [
+            (service["errors"] == 0, "no request errors"),
+            (service["solved"] == len(requests), "every request accounted for"),
+            (cache["hits"] >= len(duplicates), "duplicates hit the cache"),
+            (batcher["max_group"] > 1, "compatible requests were grouped"),
+        ]
+        ok = True
+        for passed, label in checks:
+            print(("PASS" if passed else "FAIL"), label)
+            ok = ok and passed
+        return 0 if ok else 1
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,7 @@ from .plan import (
     plan,
     write_plans,
 )
+from .status import ShardStatus, load_shard_plans, shard_status, status_rows
 from .worker import ShardReport, run_shard
 
 __all__ = [
@@ -49,5 +50,9 @@ __all__ = [
     "write_plans",
     "ShardReport",
     "run_shard",
+    "ShardStatus",
+    "load_shard_plans",
+    "shard_status",
+    "status_rows",
     "merge_stores",
 ]

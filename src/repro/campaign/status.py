@@ -1,0 +1,159 @@
+"""Shard-completeness reporting: which units of a plan are stored.
+
+``microrepro shard status`` answers the fleet-operations question PR 4
+left open: *how far along is every shard of a distributed campaign?*
+Each shard's plan is checked unit by unit against a store — either the
+shard's own store directory (one store per shard) or one merged store
+covering the whole fleet — and classified:
+
+``done``
+    The cell is stored with at least the plan's repetition count.
+``partial``
+    A cell exists but with fewer repetitions than the plan requires
+    (e.g. a store carried over from a smaller trial run); the worker
+    will recompute it.
+``missing``
+    No cell under the unit's key: the work has not run (or its store
+    was lost).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..exceptions import ExperimentError
+from ..experiments.store import ResultStore
+from .plan import CAMPAIGN_FILE, CampaignManifest, ShardPlan, load_plan, plan
+
+__all__ = ["ShardStatus", "shard_status", "load_shard_plans", "status_rows"]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardStatus:
+    """Completeness of one shard plan against one store."""
+
+    shard: int
+    shards: int
+    store: str
+    units: int
+    done: int
+    partial: int
+    missing: int
+
+    @property
+    def complete(self) -> bool:
+        """True when every unit is stored at full depth."""
+        return self.done == self.units
+
+    def as_row(self) -> dict:
+        """One catalogue row for the CLI table."""
+        return {
+            "shard": f"{self.shard}/{self.shards}",
+            "store": self.store,
+            "units": self.units,
+            "done": self.done,
+            "partial": self.partial,
+            "missing": self.missing,
+            "complete": self.complete,
+        }
+
+
+def shard_status(shard: ShardPlan, store: ResultStore) -> ShardStatus:
+    """Classify every unit of one shard plan against a store."""
+    manifest = shard.manifest
+    done = partial = missing = 0
+    scenario_info: dict[str, tuple[str, int]] = {}
+    for unit in shard.units:
+        if unit.figure_id not in scenario_info:
+            scenario = manifest.scenario_for(unit.figure_id)
+            scenario_info[unit.figure_id] = (
+                scenario.stable_hash(),
+                scenario.repetitions,
+            )
+        scenario_hash, repetitions = scenario_info[unit.figure_id]
+        record = store.get_cell(
+            unit.figure_id, scenario_hash, unit.seed, unit.curve, unit.sweep_value
+        )
+        if record is None:
+            missing += 1
+        elif record.repetitions >= repetitions:
+            done += 1
+        else:
+            partial += 1
+    return ShardStatus(
+        shard=shard.index,
+        shards=shard.shards,
+        store=str(store.path),
+        units=len(shard.units),
+        done=done,
+        partial=partial,
+        missing=missing,
+    )
+
+
+def load_shard_plans(path: str | os.PathLike) -> list[ShardPlan]:
+    """Every shard plan of a planner output.
+
+    ``path`` may be a planner directory (the ``--out`` of ``shard
+    plan``: its ``campaign.json`` is re-planned into all shards), a
+    campaign manifest file (same — also accepts the unsharded
+    ``campaign.json`` a plain ``microrepro campaign`` writes next to its
+    store), or a single ``shard_k.json`` (that one shard only).
+    """
+    target = Path(path)
+    if target.is_dir():
+        campaign = target / CAMPAIGN_FILE
+        if not campaign.exists():
+            raise ExperimentError(
+                f"{target} holds no {CAMPAIGN_FILE}; pass a planner directory, "
+                "the campaign manifest, or one shard_k.json"
+            )
+        target = campaign
+    try:
+        raw = json.loads(target.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ExperimentError(f"cannot read plan file {target}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"{target} is not a valid plan file: {exc}") from exc
+    if "units" in raw:
+        return [load_plan(target)]
+    # A campaign manifest: expand and partition once — per-shard
+    # load_plan calls would redo the full unit expansion per shard.
+    shards = int(raw.pop("shards", None) or 1)
+    by = str(raw.pop("by", None) or "seed")
+    manifest = CampaignManifest.from_dict(raw)
+    return plan(manifest, shards=shards, by=by)
+
+
+def status_rows(
+    plans: list[ShardPlan], store_paths: list[str | os.PathLike]
+) -> list[ShardStatus]:
+    """Status of every shard against its store.
+
+    One store path per shard pairs them in index order; a single store
+    path checks every shard against it (the merged-store case).
+    """
+    if not plans:
+        raise ExperimentError("no shard plans to check")
+    if len(store_paths) == 1:
+        store_paths = list(store_paths) * len(plans)
+    if len(store_paths) != len(plans):
+        raise ExperimentError(
+            f"{len(plans)} shard plan(s) but {len(store_paths)} store(s); pass one "
+            "store per shard (in shard order) or a single merged store"
+        )
+    rows = []
+    stores: dict[str, ResultStore] = {}
+    try:
+        for shard, path in zip(plans, store_paths):
+            key = str(path)
+            if key not in stores:
+                stores[key] = ResultStore(path)
+            rows.append(shard_status(shard, stores[key]))
+    finally:
+        for store in stores.values():
+            store.close()
+    return rows

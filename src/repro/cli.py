@@ -31,7 +31,17 @@ store, merge the shard stores back, and export the pooled curves::
 
 The merged store's cells and exports are bit-for-bit a single host's;
 ``export --aggregate seeds`` pools every seed's repetitions into one
-mean/CI per sweep point.
+mean/CI per sweep point (``--ci between`` reports between-seed CIs over
+seed-level means instead), and ``microrepro shard status plans/ shard_0/
+shard_1/`` summarises how complete each shard's store is against its
+plan.
+
+Serve solves over HTTP (micro-batched + cached, see ``repro.service``)
+and fire one request at a running service::
+
+    microrepro serve --port 8000 --cache-dir solve-cache/
+    microrepro request --url http://127.0.0.1:8000 --heuristic H4w \
+        --tasks 10 --types 3 --machines 5 --seed 7
 
 Solve one random instance with every heuristic and the exact MIP::
 
@@ -59,9 +69,11 @@ from .campaign import (
     PLAN_AXES,
     CampaignManifest,
     load_plan,
+    load_shard_plans,
     merge_stores,
     parse_seed_spec,
     run_shard,
+    status_rows,
     write_plans,
 )
 from .core.failure import FailureModel
@@ -71,6 +83,7 @@ from .exact.milp import solve_specialized_milp
 from .exceptions import ExperimentError, ReproError
 from .experiments.figures import FIGURES, figure_ids
 from .experiments.reporting import (
+    CI_MODES,
     aggregate_report,
     aggregate_seeds,
     campaign_report,
@@ -82,6 +95,9 @@ from .experiments.store import ResultStore
 from .generators.applications import random_chain_application
 from .generators.platforms import random_failure_rates, random_processing_times
 from .heuristics import PAPER_HEURISTICS, get_heuristic
+from .service.batcher import DEFAULT_MAX_BATCH, DEFAULT_WINDOW_SECONDS
+from .service.client import solve_remote
+from .service.server import serve as serve_service
 
 __all__ = ["main", "build_parser"]
 
@@ -257,6 +273,16 @@ def build_parser() -> argparse.ArgumentParser:
             "mean/CI per sweep point"
         ),
     )
+    export_parser.add_argument(
+        "--ci",
+        choices=CI_MODES,
+        default="pooled",
+        help=(
+            "with --aggregate seeds: 'pooled' treats all R x S samples as "
+            "one draw; 'between' reports Student CIs over the S seed-level "
+            "means (df = S - 1)"
+        ),
+    )
     export_parser.set_defaults(func=_cmd_export)
 
     shard_parser = subparsers.add_parser(
@@ -336,6 +362,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     shard_run_parser.set_defaults(func=_cmd_shard_run)
 
+    status_parser = shard_sub.add_parser(
+        "status",
+        help="summarise per-shard store completeness against the plan",
+    )
+    status_parser.add_argument(
+        "plan",
+        metavar="PLAN",
+        help="planner output: the plans/ directory, campaign.json, or one shard_k.json",
+    )
+    status_parser.add_argument(
+        "stores",
+        nargs="+",
+        metavar="STORE_DIR",
+        help=(
+            "one store per shard (in shard order), or a single merged store "
+            "checked against every shard"
+        ),
+    )
+    status_parser.set_defaults(func=_cmd_shard_status)
+
     store_parser = subparsers.add_parser(
         "store", help="result-store utilities (merge shard stores)"
     )
@@ -368,6 +414,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--milp", action="store_true", help="also solve the exact MIP for comparison"
     )
     solve_parser.set_defaults(func=_cmd_solve)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the micro-batched solve service (HTTP JSON, see repro.service)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8000, help="bind port (0 picks a free one)"
+    )
+    serve_parser.add_argument(
+        "--window-ms",
+        type=float,
+        default=DEFAULT_WINDOW_SECONDS * 1000.0,
+        help="micro-batching window: how long the first request of a group "
+        "waits for compatible company (milliseconds)",
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=DEFAULT_MAX_BATCH,
+        help="flush a group immediately once it reaches this many requests",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist solved responses here (restart-warm cache); omit for "
+        "an in-memory-only cache",
+    )
+    serve_parser.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=1024,
+        help="in-memory LRU size (0 disables the memory tier)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    request_parser = subparsers.add_parser(
+        "request",
+        help="send one solve request to a running service and print the response",
+    )
+    request_parser.add_argument(
+        "--url", default="http://127.0.0.1:8000", help="service base URL"
+    )
+    request_parser.add_argument(
+        "--heuristic", default="H4w", help="registered heuristic to run"
+    )
+    request_parser.add_argument("--tasks", type=int, default=10, help="number of tasks n")
+    request_parser.add_argument("--types", type=int, default=3, help="number of task types p")
+    request_parser.add_argument("--machines", type=int, default=5, help="number of machines m")
+    request_parser.add_argument("--seed", type=int, default=0, help="instance draw seed")
+    request_parser.add_argument(
+        "--repetition", type=int, default=0, help="repetition index of the draw"
+    )
+    request_parser.set_defaults(func=_cmd_request)
 
     return parser
 
@@ -512,18 +613,20 @@ def _cmd_export(args: argparse.Namespace) -> int:
                 "--aggregate pools every stored seed; it cannot be combined "
                 "with --seed"
             )
+        if args.ci != "pooled" and not args.aggregate:
+            raise ExperimentError("--ci only applies together with --aggregate seeds")
         if not args.figures:
             print(catalog_table(store.catalog()))
             return 0
         for figure_id in args.figures:
             if args.aggregate == "seeds":
                 result, seeds = aggregate_seeds(
-                    store, figure_id, scenario_hash=args.scenario_hash
+                    store, figure_id, scenario_hash=args.scenario_hash, ci=args.ci
                 )
                 if args.csv:
                     print(result.to_csv(), end="")
                 else:
-                    print(aggregate_report(result, seeds))
+                    print(aggregate_report(result, seeds, ci=args.ci))
                 continue
             result = store.load_result(
                 figure_id, scenario_hash=args.scenario_hash, seed=args.seed
@@ -589,6 +692,46 @@ def _cmd_shard_run(args: argparse.Namespace) -> int:
 def _cmd_store_merge(args: argparse.Namespace) -> int:
     report = merge_stores(_store_path(args, required=True), args.sources)
     print(report.summary())
+    return 0
+
+
+def _cmd_shard_status(args: argparse.Namespace) -> int:
+    plans = load_shard_plans(args.plan)
+    rows = status_rows(plans, args.stores)
+    print(catalog_table([row.as_row() for row in rows]))
+    total = sum(row.units for row in rows)
+    done = sum(row.done for row in rows)
+    pending = total - done
+    print(
+        f"{done}/{total} unit(s) stored at full depth"
+        + (f", {pending} pending" if pending else "; campaign complete")
+    )
+    return 0 if pending == 0 else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    serve_service(
+        host=args.host,
+        port=args.port,
+        window=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        cache_dir=args.cache_dir,
+        cache_capacity=args.cache_capacity,
+    )
+    return 0
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    response = solve_remote(
+        args.url,
+        {
+            "heuristic": args.heuristic,
+            "application": {"tasks": args.tasks, "types": args.types},
+            "platform": {"machines": args.machines},
+            "options": {"seed": args.seed, "repetition": args.repetition},
+        },
+    )
+    print(json.dumps(response, indent=2, sort_keys=True))
     return 0
 
 

@@ -39,12 +39,12 @@ import numpy as np
 
 from ..batch import InstanceStack
 from ..core.instance import ProblemInstance
-from ..core.mapping import Mapping, MappingRule
 from ..exact.milp import solve_specialized_milp
 from ..exact.one_to_one import optimal_one_to_one
-from ..exceptions import ExperimentError, MappingRuleViolation, ReproError, SolverError
+from ..exceptions import ExperimentError, ReproError, SolverError
 from ..generators.scenarios import ScenarioConfig, sample_instance
-from ..heuristics import get_heuristic, supports_batch
+from ..heuristics import get_heuristic
+from ..heuristics.base import BATCH_SOLVE_MIN_REPETITIONS, solve_stack
 from ..heuristics.local_search import refine_specialized, refine_specialized_batch
 from ..simulation.rng import RandomStreamFactory
 
@@ -71,10 +71,10 @@ MIP_LABEL = "MIP"
 OTO_LABEL = "OtO"
 #: Curve-label suffix resolved to a :class:`LocalSearchProvider`.
 LOCAL_SEARCH_SUFFIX = "+ls"
-#: Smallest block depth at which the lock-step batch solvers beat the
-#: per-instance loop (measured crossover ~R=6; both paths are bit-for-bit
-#: identical, so this is purely a scheduling choice).
-BATCH_SOLVE_MIN_REPETITIONS = 8
+# The batch/per-instance crossover moved to repro.heuristics.base when the
+# routing became provider-agnostic (the solve service's micro-batcher uses
+# the same solve_stack entry); BATCH_SOLVE_MIN_REPETITIONS stays importable
+# from here.
 
 
 @dataclass(frozen=True, slots=True)
@@ -182,37 +182,6 @@ class CurveProvider(abc.ABC):
         return f"{type(self).__name__}(label={self.label!r})"
 
 
-def _validate_block_rule(
-    instances: Sequence[ProblemInstance],
-    assignments: np.ndarray,
-    rule: MappingRule,
-) -> None:
-    """Batched counterpart of ``Mapping.validate`` over a whole block.
-
-    The specialized rule — every batchable heuristic's rule — is checked
-    in one vectorized counts pass; any other rule falls back to the
-    per-instance validation.
-    """
-    if rule is not MappingRule.SPECIALIZED:
-        for repetition, instance in enumerate(instances):
-            Mapping(assignments[repetition], instance.num_machines).validate(
-                instance, rule
-            )
-        return
-    R = len(instances)
-    n, m = instances[0].num_tasks, instances[0].num_machines
-    types = np.stack([inst.application.types.as_array for inst in instances])
-    counts = np.zeros((R, m, int(types.max()) + 1), dtype=np.int64)
-    np.add.at(counts, (np.arange(R)[:, np.newaxis], assignments, types), 1)
-    distinct = (counts > 0).sum(axis=2)
-    if (distinct > 1).any():
-        row = int(np.argmax((distinct > 1).any(axis=1)))
-        raise MappingRuleViolation(
-            f"batch solve of repetition {row} assigns tasks of two different "
-            "types to the same machine"
-        )
-
-
 class HeuristicProvider(CurveProvider):
     """Curve provider wrapping one registered heuristic.
 
@@ -251,26 +220,22 @@ class HeuristicProvider(CurveProvider):
         return block.repetitions >= BATCH_SOLVE_MIN_REPETITIONS
 
     def solve_block(self, block: CellBlock) -> np.ndarray:
-        """The ``(R, n)`` assignment array of the heuristic over the block."""
-        heuristic = self._heuristic
-        if self._use_batch(block) and supports_batch(heuristic):
-            for instance in block.instances:
-                heuristic.check_feasible(instance)
-            assignments = heuristic.solve_batch(block.instances)
-            _validate_block_rule(block.instances, assignments, heuristic.rule)
-            return assignments
-        assignments = np.empty(
-            (block.repetitions, block.stack.num_tasks), dtype=np.int64
-        )
-        for repetition, instance in enumerate(block.instances):
-            rng = block.streams.stream(
+        """The ``(R, n)`` assignment array of the heuristic over the block.
+
+        Routing (lock-step ``solve_batch`` above the depth crossover,
+        per-instance loop below it or for heuristics without a kernel)
+        lives in :func:`repro.heuristics.base.solve_stack`, the same
+        entry the solve service's micro-batcher uses; per-repetition RNG
+        streams keep the per-cell runner's labels.
+        """
+        return solve_stack(
+            self._heuristic,
+            block.instances,
+            lambda repetition: block.streams.stream(
                 f"heuristic/{self.label}/{block.sweep_value}", repetition
-            )
-            heuristic.check_feasible(instance)
-            mapping, _, _ = heuristic.solve_mapping(instance, rng)
-            mapping.validate(instance, heuristic.rule)
-            assignments[repetition] = mapping.as_array
-        return assignments
+            ),
+            batch=self._use_batch(block),
+        )
 
     def evaluate_block(self, block: CellBlock) -> BlockResult:
         periods = block.stack.periods(self.solve_block(block))

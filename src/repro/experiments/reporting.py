@@ -7,10 +7,21 @@ baseline is present) the aggregate normalisation factors.
 
 Multi-seed campaigns store one run per ``(figure, seed)``;
 :func:`aggregate_results` / :func:`aggregate_seeds` pool those runs into
-one cross-seed result — every sweep point's samples are the union of
-each seed's repetitions, so the reported mean/CI per point covers
-``R x num_seeds`` independent Monte-Carlo draws (``microrepro export
---aggregate seeds``).
+one cross-seed result (``microrepro export --aggregate seeds``), with
+two confidence-interval modes:
+
+``ci="pooled"`` (default)
+    Every sweep point's samples are the union of each seed's
+    repetitions — the mean/CI per point treats all ``R x num_seeds``
+    draws as one sample.  Tightest intervals, but the CI width assumes
+    every draw is independent of the seed structure.
+``ci="between"``
+    Each seed is first reduced to its per-point mean; the reported CI
+    is the Student interval over the ``num_seeds`` seed-level means
+    (``df = num_seeds - 1``).  The conservative choice when seeds are
+    the unit of replication (e.g. comparing campaigns run with
+    different seed sets): the point estimate is unchanged for equal
+    per-seed counts, only the interval widens.
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ __all__ = [
     "figure_report",
     "summary_line",
     "campaign_report",
+    "CI_MODES",
     "aggregate_results",
     "aggregate_seeds",
     "aggregate_report",
@@ -97,6 +109,10 @@ def figure_report(result: ExperimentResult, *, float_format: str = "{:.1f}") -> 
 # -- cross-seed aggregation ---------------------------------------------------------
 
 
+#: Valid cross-seed confidence-interval modes.
+CI_MODES = ("pooled", "between")
+
+
 def _pooled(series_by_seed: list[dict[str, Series]]) -> dict[str, Series]:
     """Union the per-seed sample lists, seed-major at every sweep point."""
     pooled: dict[str, Series] = {}
@@ -110,7 +126,29 @@ def _pooled(series_by_seed: list[dict[str, Series]]) -> dict[str, Series]:
     return pooled
 
 
-def aggregate_results(results: Sequence[ExperimentResult]) -> ExperimentResult:
+def _seed_means(series_by_seed: list[dict[str, Series]]) -> dict[str, Series]:
+    """One sample per seed and sweep point: the seed's per-point mean.
+
+    The summaries rendered from the resulting series are then seed-level
+    statistics — the CI has ``num_seeds - 1`` degrees of freedom instead
+    of treating every repetition as an independent draw.  A seed whose
+    point holds no finite sample (e.g. every MIP repetition timed out)
+    contributes NaN, which the downstream summaries already ignore.
+    """
+    reduced: dict[str, Series] = {}
+    for label in series_by_seed[0]:
+        out = Series(label=label)
+        x_values = series_by_seed[0][label].x_values
+        for x in x_values:
+            for per_seed in series_by_seed:
+                out.add(x, per_seed[label].point(x).mean)
+        reduced[label] = out
+    return reduced
+
+
+def aggregate_results(
+    results: Sequence[ExperimentResult], *, ci: str = "pooled"
+) -> ExperimentResult:
     """Pool several same-figure runs (one per seed) into one result.
 
     Every input must reproduce the same figure under the same scenario
@@ -118,13 +156,19 @@ def aggregate_results(results: Sequence[ExperimentResult]) -> ExperimentResult:
     and repetition count) with a distinct seed and the same curve set.
     Inputs are pooled in ascending-seed order, so the output is
     independent of the order runs were loaded or computed in; its
-    ``seed`` is ``None``, its per-point sample count is ``repetitions x
-    len(results)``, and elapsed/failure counters are summed.
+    ``seed`` is ``None`` and elapsed/failure counters are summed.
+
+    ``ci`` selects what the output's per-point samples are: the union of
+    all seeds' repetitions (``"pooled"``, per-point sample count
+    ``repetitions x len(results)``) or one per-seed mean each
+    (``"between"``, sample count ``len(results)`` — between-seed CIs).
 
     Normalised series (Figure 11) are pooled the same way *after* each
     seed's per-instance normalisation — the mean of paired ratios, never
     the ratio of pooled means.
     """
+    if ci not in CI_MODES:
+        raise ExperimentError(f"unknown CI mode {ci!r}; use one of {CI_MODES}")
     if not results:
         raise ExperimentError("cannot aggregate zero experiment runs")
     seeds = [result.seed for result in results]
@@ -154,13 +198,14 @@ def aggregate_results(results: Sequence[ExperimentResult]) -> ExperimentResult:
                 f"{list(first.series)} vs {list(result.series)}"
             )
     ordered = sorted(results, key=lambda result: result.seed)
+    combine = _pooled if ci == "pooled" else _seed_means
     normalized = None
     if all(result.normalized is not None for result in ordered):
-        normalized = _pooled([result.normalized for result in ordered])
+        normalized = combine([result.normalized for result in ordered])
     return ExperimentResult(
         figure_id=first.figure_id,
         scenario=first.scenario,
-        series=_pooled([result.series for result in ordered]),
+        series=combine([result.series for result in ordered]),
         normalized=normalized,
         seed=None,
         elapsed_seconds=sum(result.elapsed_seconds for result in ordered),
@@ -173,11 +218,14 @@ def aggregate_seeds(
     figure_id: str,
     *,
     scenario_hash: str | None = None,
+    ci: str = "pooled",
 ) -> tuple[ExperimentResult, list[int]]:
     """Load and pool every stored seed of one figure run.
 
     Returns ``(pooled result, seeds)``.  ``scenario_hash`` narrows the
-    lookup when the store holds the figure at several scales.
+    lookup when the store holds the figure at several scales; ``ci``
+    picks pooled or between-seed intervals (see
+    :func:`aggregate_results`).
     """
     metas = [
         meta
@@ -199,22 +247,35 @@ def aggregate_seeds(
         store.load_result(figure_id, scenario_hash=meta.scenario_hash, seed=meta.seed)
         for meta in sorted(metas, key=lambda meta: meta.seed)
     ]
-    return aggregate_results(results), seeds
+    return aggregate_results(results, ci=ci), seeds
 
 
 def aggregate_report(
-    result: ExperimentResult, seeds: Sequence[int], *, float_format: str = "{:.1f}"
+    result: ExperimentResult,
+    seeds: Sequence[int],
+    *,
+    float_format: str = "{:.1f}",
+    ci: str = "pooled",
 ) -> str:
     """Plain-text report of a cross-seed pooled result."""
     buffer = io.StringIO()
     scenario = result.scenario
     seed_text = ",".join(str(seed) for seed in seeds)
+    if ci == "between":
+        sampling = (
+            f"[{len(seeds)} seed-level means/point "
+            f"({scenario.repetitions} reps each, between-seed CIs) x "
+        )
+    else:
+        sampling = (
+            f"[{scenario.repetitions} reps x {len(seeds)} seeds = "
+            f"{scenario.repetitions * len(seeds)} samples/point x "
+        )
     buffer.write(f"== {result.figure_id} (aggregated over {len(seeds)} seeds) ==\n")
     buffer.write(
         f"{result.figure_id}: {scenario.description or scenario.name} "
-        f"[{scenario.repetitions} reps x {len(seeds)} seeds = "
-        f"{scenario.repetitions * len(seeds)} samples/point x "
-        f"{len(scenario.sweep_values)} points, seeds={seed_text}, "
+        + sampling
+        + f"{len(scenario.sweep_values)} points, seeds={seed_text}, "
         f"{result.elapsed_seconds:.1f}s total]\n\n"
     )
     buffer.write(result.to_table(float_format=float_format))

@@ -8,6 +8,15 @@ an interrupted campaign loses at most the block in flight;
 ``run_figure(..., store=..., resume=True)`` then skips every stored
 block and only computes the remainder.
 
+The append/scan/index machinery itself is format-agnostic and lives in
+:class:`JsonlStore`: a directory with one append-only JSONL file of
+``{"kind": ..., "data": {...}}`` records plus a byte-offset index over
+the kinds a subclass declares.  :class:`ResultStore` builds the
+experiment store on it (kinds ``cell`` and ``meta``); the solve
+service's persistent cache tier
+(:class:`repro.service.cache.SolveCacheStore`) reuses the same base for
+its response records.
+
 Record kinds
 ------------
 ``cell``
@@ -49,7 +58,7 @@ from ..generators.scenarios import ScenarioConfig
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .runner import ExperimentResult
 
-__all__ = ["CellRecord", "RunMeta", "ResultStore", "MergeReport"]
+__all__ = ["JsonlStore", "CellRecord", "RunMeta", "ResultStore", "MergeReport"]
 
 #: How many appended records may accumulate before the index is rewritten.
 _INDEX_EVERY = 64
@@ -210,31 +219,53 @@ class _MergePlan:
     report: MergeReport = field(default_factory=MergeReport)
 
 
-class ResultStore:
-    """Append-only on-disk store of experiment cells and run headers.
+#: Exceptions that mark a record line (or an index entry) as unusable.
+_PARSE_ERRORS = (KeyError, TypeError, ValueError, ExperimentError)
 
-    Parameters
-    ----------
-    path:
-        Directory of the store (created if missing).
 
-    Notes
-    -----
-    The store keeps only byte offsets in memory; record payloads are read
-    back on demand.  Writes are flushed per record, so concurrent readers
-    and an interrupted writer always see a consistent prefix.  One store
-    must not be written by several processes at once (the experiment
-    engine funnels all writes through the coordinating process).
+class JsonlStore:
+    """Append-only JSONL records plus a byte-offset index, in a directory.
+
+    The reusable persistence core shared by :class:`ResultStore` and the
+    solve service's cache tier.  A store directory holds one append-only
+    JSON-lines file of ``{"kind": ..., "data": {...}}`` records and an
+    ``index.json`` mapping record keys to byte offsets per kind.
+    Subclasses declare the record kinds they index (:attr:`KINDS`) and
+    how a record's key is derived from its payload (:meth:`_key_of`).
+
+    Guarantees carried by the base:
+
+    * records are append-only and flushed per write, so concurrent
+      readers and an interrupted writer always see a consistent prefix;
+      re-putting a key appends a new line and the index points at the
+      newest one;
+    * on open, lines appended after the last index write are recovered
+      by scanning the tail; a crash-truncated final line is recovered
+      when its JSON survived intact (only the newline lost) and ignored
+      otherwise;
+    * a **stale or corrupt index** — offsets that point into the middle
+      of records, at records of another key, or past EOF (e.g. an
+      ``index.json`` copied from another store, or a records file
+      rewritten underneath it) — is detected on first use and rebuilt
+      from the records file instead of surfacing as a parse error.
+
+    One store must not be written by several processes at once.
     """
+
+    #: Record kinds this store indexes; anything else is ignored on scan.
+    KINDS: tuple[str, ...] = ()
+    #: ``index.json`` field name per kind (defaults to the kind itself).
+    INDEX_NAMES: dict[str, str] = {}
+    #: Name of the append-only records file inside the store directory.
+    RECORDS_FILE = "results.jsonl"
 
     def __init__(self, path: str | os.PathLike):
         self.path = Path(path)
         if not self.path.exists():  # tolerate read-only existing stores
             self.path.mkdir(parents=True, exist_ok=True)
-        self._records_path = self.path / "results.jsonl"
+        self._records_path = self.path / self.RECORDS_FILE
         self._index_path = self.path / "index.json"
-        self._cells: dict[str, int] = {}
-        self._meta: dict[str, int] = {}
+        self._index: dict[str, dict[str, int]] = {kind: {} for kind in self.KINDS}
         self._indexed_end = 0
         self._unindexed = 0
         #: The records file ends in a torn (newline-less) line from an
@@ -245,10 +276,18 @@ class ResultStore:
         self._index_dirty = False
         self._load()
 
+    # -- subclass interface -------------------------------------------------------
+    def _key_of(self, kind: str, data: dict) -> str:
+        """The index key of one record's payload (raise on malformed data)."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def _index_name(self, kind: str) -> str:
+        return self.INDEX_NAMES.get(kind, kind)
+
     # -- loading ----------------------------------------------------------------
     def _load(self) -> None:
-        self._cells.clear()
-        self._meta.clear()
+        for index in self._index.values():
+            index.clear()
         self._indexed_end = 0
         self._tail_torn = False
         self._index_dirty = False
@@ -262,13 +301,20 @@ class ResultStore:
                     else 0
                 )
                 if 0 <= end <= size:
-                    self._cells.update({k: int(v) for k, v in raw["cells"].items()})
-                    self._meta.update({k: int(v) for k, v in raw["meta"].items()})
+                    loaded = {
+                        kind: {
+                            key: int(offset)
+                            for key, offset in raw[self._index_name(kind)].items()
+                        }
+                        for kind in self.KINDS
+                    }
+                    for kind, entries in loaded.items():
+                        self._index[kind].update(entries)
                     self._indexed_end = end
-            except (KeyError, TypeError, ValueError, json.JSONDecodeError):
-                # Corrupt index: fall back to a full scan.
-                self._cells.clear()
-                self._meta.clear()
+            except _PARSE_ERRORS:
+                # Corrupt index file: fall back to a full scan.
+                for index in self._index.values():
+                    index.clear()
                 self._indexed_end = 0
         self._scan_tail()
 
@@ -305,12 +351,87 @@ class ResultStore:
         try:
             record = json.loads(line)
             kind = record["kind"]
-            if kind == "cell":
-                self._cells[_key_str(CellRecord(**record["data"]).key)] = offset
-            elif kind == "meta":
-                self._meta[_key_str(RunMeta(**record["data"]).key)] = offset
-        except (KeyError, TypeError, ValueError, ExperimentError, json.JSONDecodeError):
+            if kind in self._index:
+                self._index[kind][self._key_of(kind, record["data"])] = offset
+        except _PARSE_ERRORS:
             pass
+
+    def _rebuild(self) -> None:
+        """Re-derive the whole index from the records file.
+
+        Invoked when a lookup finds its offset unusable — the on-disk
+        index was stale (another store's, or older than a rewrite of the
+        records file).  The records file itself stays the single source
+        of truth, so a full scan restores every record that is really
+        there; the refreshed index is persisted on the next flush.
+        """
+        for index in self._index.values():
+            index.clear()
+        self._indexed_end = 0
+        self._tail_torn = False
+        self._scan_tail()
+        self._index_dirty = True
+
+    # -- reading ----------------------------------------------------------------
+    def _read(self, offset: int) -> dict:
+        with open(self._records_path, "rb") as handle:
+            handle.seek(offset)
+            return json.loads(handle.readline())
+
+    def _get(self, kind: str, key: str) -> dict | None:
+        """The newest payload stored under ``key``, or ``None``.
+
+        An offset that reads back as anything but a ``kind`` record with
+        this key means the index is stale; the index is then rebuilt from
+        the records file and the lookup retried once.
+        """
+        offset = self._index[kind].get(key)
+        if offset is None:
+            return None
+        try:
+            payload = self._read(offset)
+            if payload["kind"] == kind:
+                data = payload["data"]
+                if self._key_of(kind, data) == key:
+                    return data
+        except _PARSE_ERRORS:
+            pass
+        self._rebuild()
+        offset = self._index[kind].get(key)
+        if offset is None:
+            return None
+        return self._read(offset)["data"]
+
+    def _payloads(self, kind: str) -> list[tuple[str, dict]]:
+        """Every indexed ``(key, payload)`` of a kind, in key order.
+
+        Bulk reads (``cells()``, ``runs()``, the merge scan) would pay
+        one open/seek/close per record through :meth:`_get`; at campaign
+        scale that is tens of thousands of syscall round-trips per store.
+        Like :meth:`_get`, a record that does not read back as its key
+        triggers one index rebuild and retry.
+        """
+        try:
+            return self._scan_payloads(kind)
+        except _PARSE_ERRORS:
+            self._rebuild()
+            return self._scan_payloads(kind)
+
+    def _scan_payloads(self, kind: str) -> list[tuple[str, dict]]:
+        index = self._index[kind]
+        if not index:
+            return []
+        with open(self._records_path, "rb") as handle:
+            payloads = []
+            for key, offset in sorted(index.items()):
+                handle.seek(offset)
+                payload = json.loads(handle.readline())
+                if payload["kind"] != kind or self._key_of(kind, payload["data"]) != key:
+                    raise ExperimentError(
+                        f"stale index entry for {kind} record {key!r}"
+                    )
+                payloads.append((key, payload["data"]))
+        return payloads
 
     # -- writing ----------------------------------------------------------------
     def _append(self, kind: str, data: dict) -> int:
@@ -331,6 +452,12 @@ class ResultStore:
         self._index_dirty = True
         return offset
 
+    def _put(self, kind: str, key: str, data: dict) -> None:
+        """Append one record and point the index at it (last write wins)."""
+        offset = self._append(kind, data)
+        self._index[kind][key] = offset
+        self._maybe_flush()
+
     def _maybe_flush(self) -> None:
         """Periodic index rewrite — call only *after* the new record's key
         is registered, or a crash right after the flush would persist an
@@ -347,11 +474,9 @@ class ResultStore:
         if not self._index_dirty:
             self._unindexed = 0
             return
-        payload = {
-            "end": self._indexed_end,
-            "cells": self._cells,
-            "meta": self._meta,
-        }
+        payload = {"end": self._indexed_end}
+        for kind in self.KINDS:
+            payload[self._index_name(kind)] = self._index[kind]
         tmp = self._index_path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(payload), encoding="utf-8")
         tmp.replace(self._index_path)
@@ -362,18 +487,51 @@ class ResultStore:
         """Flush the index (the records file is already on disk)."""
         self.flush()
 
-    def __enter__(self) -> "ResultStore":
+    def __enter__(self) -> "JsonlStore":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+
+class ResultStore(JsonlStore):
+    """Append-only on-disk store of experiment cells and run headers.
+
+    Parameters
+    ----------
+    path:
+        Directory of the store (created if missing).
+
+    Notes
+    -----
+    The store keeps only byte offsets in memory; record payloads are read
+    back on demand.  Durability, tail recovery and stale-index rebuild
+    come from :class:`JsonlStore`; this class contributes the record
+    schema (:class:`CellRecord` / :class:`RunMeta`), the
+    :class:`~repro.experiments.runner.ExperimentResult` round-trip and
+    shard-store merging.
+    """
+
+    KINDS = ("cell", "meta")
+    #: Index field names predate the generic base; keeping them means a
+    #: PR 2-era store opens without a rescan.
+    INDEX_NAMES = {"cell": "cells", "meta": "meta"}
+
+    def __init__(self, path: str | os.PathLike):
+        super().__init__(path)
+        # Aliases onto the generic per-kind index (same dict objects).
+        self._cells = self._index["cell"]
+        self._meta = self._index["meta"]
+
+    def _key_of(self, kind: str, data: dict) -> str:
+        if kind == "cell":
+            return _key_str(CellRecord(**data).key)
+        return _key_str(RunMeta(**data).key)
+
     # -- cells ------------------------------------------------------------------
     def put_cell(self, record: CellRecord) -> None:
         """Append one completed block (last write wins on re-put)."""
-        offset = self._append("cell", asdict(record))
-        self._cells[_key_str(record.key)] = offset
-        self._maybe_flush()
+        self._put("cell", _key_str(record.key), asdict(record))
 
     def get_cell(
         self,
@@ -384,12 +542,12 @@ class ResultStore:
         sweep_value: int,
     ) -> CellRecord | None:
         """The stored block for a key, or ``None``."""
-        offset = self._cells.get(
-            _key_str((figure_id, scenario_hash, seed, curve, sweep_value))
+        data = self._get(
+            "cell", _key_str((figure_id, scenario_hash, seed, curve, sweep_value))
         )
-        if offset is None:
+        if data is None:
             return None
-        return CellRecord(**self._read(offset)["data"])
+        return CellRecord(**data)
 
     def has_cell(
         self,
@@ -408,49 +566,23 @@ class ResultStore:
     def __len__(self) -> int:
         return len(self._cells)
 
-    def _read(self, offset: int) -> dict:
-        with open(self._records_path, "rb") as handle:
-            handle.seek(offset)
-            return json.loads(handle.readline())
-
-    def _read_all(self, index: dict[str, int]) -> list[dict]:
-        """Payloads of every indexed record, in key order, one file handle.
-
-        Bulk reads (``cells()``, ``runs()``, the merge scan) would pay one
-        open/seek/close per record through :meth:`_read`; at campaign
-        scale that is tens of thousands of syscall round-trips per store.
-        """
-        if not index:
-            return []
-        with open(self._records_path, "rb") as handle:
-            payloads = []
-            for _, offset in sorted(index.items()):
-                handle.seek(offset)
-                payloads.append(json.loads(handle.readline()))
-        return payloads
-
     # -- run headers -------------------------------------------------------------
     def put_meta(self, meta: RunMeta) -> None:
         """Append one run header (last write wins on re-put)."""
-        offset = self._append("meta", asdict(meta))
-        self._meta[_key_str(meta.key)] = offset
-        self._maybe_flush()
+        self._put("meta", _key_str(meta.key), asdict(meta))
 
     def get_meta(
         self, figure_id: str, scenario_hash: str, seed: int
     ) -> RunMeta | None:
         """The stored run header for a key, or ``None``."""
-        offset = self._meta.get(_key_str((figure_id, scenario_hash, seed)))
-        if offset is None:
+        data = self._get("meta", _key_str((figure_id, scenario_hash, seed)))
+        if data is None:
             return None
-        return RunMeta(**self._read(offset)["data"])
+        return RunMeta(**data)
 
     def runs(self) -> list[RunMeta]:
         """Every stored run header, in key order."""
-        return [
-            RunMeta(**payload["data"])
-            for payload in self._read_all(self._meta)
-        ]
+        return [RunMeta(**data) for _, data in self._payloads("meta")]
 
     # -- ExperimentResult round-trip ----------------------------------------------
     def save_result(self, result: "ExperimentResult") -> None:
@@ -584,10 +716,7 @@ class ResultStore:
 
     def cells(self) -> list[CellRecord]:
         """Every stored cell (newest record per key), in key order."""
-        return [
-            CellRecord(**payload["data"])
-            for payload in self._read_all(self._cells)
-        ]
+        return [CellRecord(**data) for _, data in self._payloads("cell")]
 
     # -- merging -----------------------------------------------------------------
     def merge(self, *stores: "ResultStore") -> MergeReport:
@@ -612,18 +741,10 @@ class ResultStore:
         # Preload this store's records once: staging otherwise pays one
         # open/seek/close per overlapping key, which dominates the
         # conflict scan on an idempotent re-merge.
-        mine_cells = dict(
-            zip(
-                sorted(self._cells),
-                (CellRecord(**payload["data"]) for payload in self._read_all(self._cells)),
-            )
-        )
-        mine_metas = dict(
-            zip(
-                sorted(self._meta),
-                (RunMeta(**payload["data"]) for payload in self._read_all(self._meta)),
-            )
-        )
+        mine_cells = {
+            key: CellRecord(**data) for key, data in self._payloads("cell")
+        }
+        mine_metas = {key: RunMeta(**data) for key, data in self._payloads("meta")}
         for store in stores:
             if store.path.resolve() == self.path.resolve():
                 raise ExperimentError(f"cannot merge a store into itself: {self.path}")

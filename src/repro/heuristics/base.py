@@ -42,7 +42,7 @@ import numpy as np
 from ..core.instance import ProblemInstance, shared_successor_table
 from ..core.mapping import Mapping, MappingRule
 from ..core.period import MappingEvaluation, evaluate
-from ..exceptions import InfeasibleProblemError, ReproError
+from ..exceptions import InfeasibleProblemError, MappingRuleViolation, ReproError
 
 __all__ = [
     "HeuristicResult",
@@ -50,12 +50,22 @@ __all__ = [
     "AssignmentState",
     "BatchAssignmentState",
     "BatchHeuristic",
+    "BATCH_SOLVE_MIN_REPETITIONS",
     "supports_batch",
+    "solve_one",
+    "solve_stack",
+    "validate_assignments",
     "register_heuristic",
     "get_heuristic",
     "available_heuristics",
     "backward_task_order",
 ]
+
+#: Smallest stack depth at which the lock-step batch solvers beat the
+#: per-instance loop (measured crossover ~R=6; both paths are bit-for-bit
+#: identical, so this is purely a scheduling choice).  Shared by the block
+#: engine's curve providers and the solve service's micro-batcher.
+BATCH_SOLVE_MIN_REPETITIONS = 8
 
 
 @dataclass(frozen=True, slots=True)
@@ -532,6 +542,108 @@ class BatchHeuristic(Protocol):
 def supports_batch(heuristic: object) -> bool:
     """True when ``heuristic`` implements :class:`BatchHeuristic`."""
     return isinstance(heuristic, BatchHeuristic)
+
+
+def validate_assignments(
+    instances: Sequence[ProblemInstance],
+    assignments: np.ndarray,
+    rule: MappingRule,
+) -> None:
+    """Batched counterpart of ``Mapping.validate`` over a stack of solves.
+
+    The specialized rule — every batchable heuristic's rule — is checked
+    in one vectorized counts pass; any other rule falls back to the
+    per-instance validation.
+    """
+    if rule is not MappingRule.SPECIALIZED:
+        for row, instance in enumerate(instances):
+            Mapping(assignments[row], instance.num_machines).validate(instance, rule)
+        return
+    R = len(instances)
+    m = instances[0].num_machines
+    types = np.stack([inst.application.types.as_array for inst in instances])
+    counts = np.zeros((R, m, int(types.max()) + 1), dtype=np.int64)
+    np.add.at(counts, (np.arange(R)[:, np.newaxis], assignments, types), 1)
+    distinct = (counts > 0).sum(axis=2)
+    if (distinct > 1).any():
+        row = int(np.argmax((distinct > 1).any(axis=1)))
+        raise MappingRuleViolation(
+            f"batch solve of row {row} assigns tasks of two different "
+            "types to the same machine"
+        )
+
+
+def solve_one(
+    heuristic: Heuristic,
+    instance: ProblemInstance,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Feasibility-checked, validated single solve; the ``(n,)`` assignment.
+
+    The scalar counterpart of :func:`solve_stack`: both the block engine's
+    per-instance fallback and the solve service's unbatched path go
+    through this entry, so every consumer applies the same feasibility
+    check and mapping-rule validation.
+    """
+    heuristic.check_feasible(instance)
+    mapping, _, _ = heuristic.solve_mapping(instance, rng)
+    mapping.validate(instance, heuristic.rule)
+    return mapping.as_array
+
+
+def solve_stack(
+    heuristic: Heuristic,
+    instances: Sequence[ProblemInstance],
+    rng_for: Callable[[int], np.random.Generator] | None = None,
+    *,
+    batch: bool | None = None,
+) -> np.ndarray:
+    """Solve a stack of structurally identical instances; ``(R, n)`` int64.
+
+    The provider-agnostic routing entry shared by the experiment engine's
+    :class:`~repro.experiments.providers.HeuristicProvider` and the solve
+    service's micro-batcher: when ``heuristic`` implements
+    :class:`BatchHeuristic` and the stack is at least
+    :data:`BATCH_SOLVE_MIN_REPETITIONS` deep (or ``batch=True`` forces
+    it), the whole stack is solved in one lock-step ``solve_batch`` call;
+    otherwise each instance is solved through :func:`solve_one`.  Row
+    ``r`` is bit-for-bit identical either way.
+
+    Parameters
+    ----------
+    heuristic:
+        The heuristic to run.
+    instances:
+        The stacked instances (shared precedence graph and platform
+        size; types, ``w`` and ``f`` may differ per row).
+    rng_for:
+        ``rng_for(r)`` supplies the generator for row ``r`` on the
+        per-instance path (randomized heuristics); ``None`` passes no
+        generator, which deterministic heuristics ignore.
+    batch:
+        ``None`` (default) applies the depth crossover;
+        ``True``/``False`` force one path (tests, benchmarks).
+    """
+    if not instances:
+        raise ReproError("cannot solve an empty instance stack")
+    use_batch = (
+        batch
+        if batch is not None
+        else len(instances) >= BATCH_SOLVE_MIN_REPETITIONS
+    )
+    if use_batch and supports_batch(heuristic):
+        for instance in instances:
+            heuristic.check_feasible(instance)
+        assignments = heuristic.solve_batch(instances)
+        validate_assignments(instances, assignments, heuristic.rule)
+        return assignments
+    assignments = np.empty(
+        (len(instances), instances[0].num_tasks), dtype=np.int64
+    )
+    for row, instance in enumerate(instances):
+        rng = rng_for(row) if rng_for is not None else None
+        assignments[row] = solve_one(heuristic, instance, rng)
+    return assignments
 
 
 class Heuristic(abc.ABC):

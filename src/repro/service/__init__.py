@@ -1,0 +1,60 @@
+"""Long-running solve service: micro-batched, cached, on-demand solves.
+
+Every entry point before this package was a batch CLI; ``repro.service``
+turns the engine into something a client can *ask*: a long-running
+asyncio HTTP server (``microrepro serve``) accepting JSON solve
+requests.  The serving hot path reuses the scaling machinery the
+experiment engine already has — concurrent compatible requests are
+coalesced by a **micro-batcher** into one
+:class:`~repro.batch.InstanceStack` solved through the same lock-step
+``solve_batch`` kernels that amortize a block's repetitions, and a
+two-tier **solve cache** (LRU over a persistent
+:class:`~repro.experiments.store.JsonlStore` log) makes repeated
+requests O(lookup).
+
+Layers (one module each):
+
+* :mod:`~repro.service.requests` — request schema, normalisation,
+  content-address hashing, the direct reference path;
+* :mod:`~repro.service.batcher` — window-based grouping, coalescing,
+  ``solve_stack`` routing;
+* :mod:`~repro.service.cache` — the two-tier response cache;
+* :mod:`~repro.service.server` — the asyncio HTTP front end
+  (``/solve``, ``/stats``, ``/healthz``);
+* :mod:`~repro.service.client` — stdlib client helpers
+  (``microrepro request``, tests, CI smoke).
+
+Responses are **bit-for-bit identical** to per-request direct solves no
+matter how requests were grouped, cached or ordered — batching and
+caching are scheduling choices, never semantic ones.
+"""
+
+from .batcher import BatcherStats, MicroBatcher
+from .cache import CacheStats, SolveCache, SolveCacheStore
+from .client import get_json, post_json, service_stats, solve_remote
+from .requests import (
+    SolveRequest,
+    build_response,
+    direct_response,
+    normalize_request,
+)
+from .server import ServiceStats, SolveService, serve
+
+__all__ = [
+    "BatcherStats",
+    "MicroBatcher",
+    "CacheStats",
+    "SolveCache",
+    "SolveCacheStore",
+    "get_json",
+    "post_json",
+    "service_stats",
+    "solve_remote",
+    "SolveRequest",
+    "build_response",
+    "direct_response",
+    "normalize_request",
+    "ServiceStats",
+    "SolveService",
+    "serve",
+]

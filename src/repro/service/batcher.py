@@ -1,0 +1,279 @@
+"""Micro-batching solve scheduler: coalesce concurrent requests.
+
+The solve service's hot path.  Solving one request costs a fixed
+Python/NumPy dispatch overhead that :func:`~repro.heuristics.base.solve_stack`
+amortizes across a whole stack — exactly how the experiment engine
+amortizes a block's ``R`` repetitions.  Under concurrent load the
+batcher recreates that shape from independent requests:
+
+1. :meth:`MicroBatcher.submit` first consults the solve cache, then the
+   in-flight table (an identical request already being solved joins its
+   group instead of re-solving — *coalescing*);
+2. a new request is appended to the pending group of its structural
+   :attr:`~repro.service.requests.SolveRequest.signature` (heuristic,
+   task count, platform size — what must match for instances to stack);
+3. the group is **flushed** when its batching window (a few ms) expires
+   or it reaches ``max_batch`` requests, whichever comes first;
+4. a flushed group of at least ``batch_min`` requests whose heuristic
+   has a batch kernel is solved in one lock-step ``solve_batch`` call
+   and scored in one vectorized :class:`~repro.batch.InstanceStack`
+   pass; smaller groups (and kernel-less heuristics such as H1) fall
+   back to per-instance solves.  **Responses are bit-for-bit identical
+   either way** — batching is a scheduling choice, never a semantic
+   one.
+
+Solves run on a worker thread (``asyncio`` executor), so the event loop
+keeps accepting and grouping requests while a batch computes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from ..batch import InstanceStack
+from ..heuristics.base import BATCH_SOLVE_MIN_REPETITIONS, solve_stack, supports_batch
+from .cache import SolveCache
+from .requests import SolveRequest, build_response
+
+__all__ = ["BatcherStats", "MicroBatcher", "DEFAULT_WINDOW_SECONDS", "DEFAULT_MAX_BATCH"]
+
+#: How long the first request of a group waits for company before the
+#: group is solved (the latency cost of batching).
+DEFAULT_WINDOW_SECONDS = 0.002
+#: A group reaching this depth is flushed immediately.
+DEFAULT_MAX_BATCH = 64
+
+
+@dataclass(slots=True)
+class BatcherStats:
+    """Counters of one :class:`MicroBatcher` (reset with the process)."""
+
+    requests: int = 0
+    flushes: int = 0
+    batched_requests: int = 0
+    fallback_requests: int = 0
+    coalesced: int = 0
+    max_group: int = 0
+    solve_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready counters for ``/stats``."""
+        return {
+            "requests": self.requests,
+            "flushes": self.flushes,
+            "batched_requests": self.batched_requests,
+            "fallback_requests": self.fallback_requests,
+            "coalesced": self.coalesced,
+            "max_group": self.max_group,
+            "solve_seconds": round(self.solve_seconds, 6),
+        }
+
+
+@dataclass(slots=True)
+class _Group:
+    """The pending requests of one structural signature."""
+
+    requests: list[SolveRequest] = field(default_factory=list)
+    futures: dict[str, asyncio.Future] = field(default_factory=dict)
+    timer: asyncio.TimerHandle | None = None
+
+
+class MicroBatcher:
+    """Window-based request coalescing in front of ``solve_stack``.
+
+    Parameters
+    ----------
+    window:
+        Seconds the first request of a group waits before its group is
+        flushed (``0`` flushes on the next loop tick — grouping then
+        only catches requests submitted in the same tick).
+    max_batch:
+        Group depth that triggers an immediate flush.
+    batch_min:
+        Smallest flushed group routed through the lock-step batch
+        kernels; defaults to the engine-wide
+        :data:`~repro.heuristics.base.BATCH_SOLVE_MIN_REPETITIONS`
+        crossover.
+    batch:
+        ``None`` applies the ``batch_min`` crossover per flush;
+        ``True``/``False`` force one path (benchmarks, tests).  Results
+        are identical either way.
+    cache:
+        Optional :class:`~repro.service.cache.SolveCache` consulted
+        before grouping and written through after solving.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: float = DEFAULT_WINDOW_SECONDS,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        batch_min: int = BATCH_SOLVE_MIN_REPETITIONS,
+        batch: bool | None = None,
+        cache: SolveCache | None = None,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        self.batch_min = int(batch_min)
+        self.batch = batch
+        self.cache = cache
+        self.stats = BatcherStats()
+        self._groups: dict[tuple, _Group] = {}
+        #: request key -> unresolved future, covering both pending groups
+        #: and groups whose solve is already running on the executor; an
+        #: identical request joins it instead of re-solving.
+        self._inflight: dict[str, asyncio.Future] = {}
+
+    async def submit(self, request: SolveRequest) -> dict:
+        """Resolve one request: cache, coalesce, or enqueue and await.
+
+        Returns the JSON-ready response body with a ``"cached"`` field
+        (``False``, ``"memory"`` or ``"store"``).
+        """
+        self.stats.requests += 1
+        if self.cache is not None:
+            response, tier = await self._cache_get(request.key)
+            if response is not None:
+                return dict(response, cached=tier)
+        inflight = self._inflight.get(request.key)
+        if inflight is not None:
+            # Identical request already pending or mid-solve: one solve
+            # serves both.
+            self.stats.coalesced += 1
+            return dict(await asyncio.shield(inflight), cached=False)
+        future = self._enqueue(request)
+        return dict(await asyncio.shield(future), cached=False)
+
+    async def _cache_get(self, key: str) -> tuple[dict | None, str | None]:
+        """Cache lookup; the persistent tier's file I/O stays off the loop.
+
+        After the executor hop the in-flight table may have gained this
+        key — :meth:`submit` re-checks it before enqueueing, so a miss
+        here can still coalesce instead of re-solving.
+        """
+        if self.cache.store is None:
+            return self.cache.get(key)
+        return await asyncio.get_running_loop().run_in_executor(
+            None, self.cache.get, key
+        )
+
+    def _enqueue(self, request: SolveRequest) -> asyncio.Future:
+        loop = asyncio.get_running_loop()
+        group = self._groups.get(request.signature)
+        if group is None:
+            group = _Group()
+            self._groups[request.signature] = group
+            group.timer = loop.call_later(
+                self.window, self._flush, request.signature
+            )
+        future = loop.create_future()
+        group.requests.append(request)
+        group.futures[request.key] = future
+        self._inflight[request.key] = future
+        if len(group.requests) >= self.max_batch:
+            self._flush(request.signature)
+        return future
+
+    def _flush(self, signature: tuple) -> None:
+        """Detach a group and hand it to the solver task."""
+        group = self._groups.pop(signature, None)
+        if group is None:  # already flushed by the size trigger
+            return
+        if group.timer is not None:
+            group.timer.cancel()
+        asyncio.get_running_loop().create_task(self._solve_group(group))
+
+    async def _solve_group(self, group: _Group) -> None:
+        self.stats.flushes += 1
+        self.stats.max_group = max(self.stats.max_group, len(group.requests))
+        loop = asyncio.get_running_loop()
+        start = time.perf_counter()
+        try:
+            responses, batched = await loop.run_in_executor(
+                None, self._solve, tuple(group.requests)
+            )
+        except BaseException as exc:  # noqa: BLE001 - fan the failure out
+            for key, future in group.futures.items():
+                self._release(key, future)
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        finally:
+            self.stats.solve_seconds += time.perf_counter() - start
+        if batched:
+            self.stats.batched_requests += len(group.requests)
+        else:
+            self.stats.fallback_requests += len(group.requests)
+        if self.cache is not None:
+            # Before resolving the futures, so a submitter that saw its
+            # response can rely on the cache already holding it; the
+            # persistent tier's appends stay off the loop.
+            pairs = [
+                (request.key, response)
+                for request, response in zip(group.requests, responses)
+            ]
+            if self.cache.store is None:
+                self._persist(pairs)
+            else:
+                await loop.run_in_executor(None, self._persist, pairs)
+        for request, response in zip(group.requests, responses):
+            future = group.futures[request.key]
+            self._release(request.key, future)
+            if not future.done():
+                future.set_result(response)
+
+    def _release(self, key: str, future: asyncio.Future) -> None:
+        """Drop an in-flight entry (only if it is still *this* future)."""
+        if self._inflight.get(key) is future:
+            del self._inflight[key]
+
+    def _persist(self, pairs: list[tuple[str, dict]]) -> None:
+        for key, response in pairs:
+            self.cache.put(key, response)
+
+    def _solve(
+        self, requests: tuple[SolveRequest, ...]
+    ) -> tuple[list[dict], bool]:
+        """Solve one flushed group (worker thread; pure, touches no state).
+
+        Group members share a signature, so their instances stack; the
+        lock-step kernel runs when the group clears the crossover (or
+        ``batch=True`` forces it) and the heuristic supports it.
+        Returns ``(responses, batched)``.
+        """
+        heuristic = requests[0].resolve_heuristic()
+        instances = [request.sample() for request in requests]
+        use_batch = (
+            self.batch
+            if self.batch is not None
+            else len(requests) >= self.batch_min
+        )
+        batched = use_batch and supports_batch(heuristic)
+        assignments = solve_stack(
+            heuristic,
+            instances,
+            lambda row: requests[row].rng() if heuristic.randomized else None,
+            batch=use_batch,
+        )
+        stack = InstanceStack.from_instances(instances, require_uniform_types=False)
+        periods = stack.periods(assignments)
+        responses = [
+            build_response(request, assignments[row], periods[row], batched=batched)
+            for row, request in enumerate(requests)
+        ]
+        return responses, batched
+
+    async def drain(self) -> None:
+        """Flush every pending group and wait for their futures (tests)."""
+        pending = []
+        for signature in list(self._groups):
+            group = self._groups.get(signature)
+            if group is not None:
+                pending.extend(group.futures.values())
+            self._flush(signature)
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)

@@ -1,0 +1,174 @@
+"""Two-tier solve cache: in-process LRU over a persistent append log.
+
+Requests are content addressed (:attr:`SolveRequest.key` digests every
+field the response depends on), so a solve response never goes stale —
+caching is a pure space/time trade.  The cache therefore has two tiers:
+
+* a bounded in-process **LRU** answering repeated requests at dict
+  speed;
+* an optional **persistent tier** (:class:`SolveCacheStore`) reusing
+  the :class:`~repro.experiments.store.JsonlStore` append/scan
+  machinery, so a restarted service warms up from disk instead of
+  recomputing, with the same durability story as the result store
+  (append-only records, byte-offset index, tail recovery, stale-index
+  rebuild).
+
+A persistent-tier hit is promoted into the LRU; every miss that gets
+solved is written through to both tiers.  Hit/miss counters per tier
+feed the service's ``/stats`` endpoint.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..experiments.store import JsonlStore
+
+__all__ = ["CacheStats", "SolveCacheStore", "SolveCache"]
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Counters of one :class:`SolveCache` (reset with the process)."""
+
+    memory_hits: int = 0
+    store_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Hits across both tiers."""
+        return self.memory_hits + self.store_hits
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    def as_dict(self) -> dict:
+        """JSON-ready counters for ``/stats``."""
+        return {
+            "hits": self.hits,
+            "memory_hits": self.memory_hits,
+            "store_hits": self.store_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+        }
+
+
+class SolveCacheStore(JsonlStore):
+    """Persistent cache tier: one ``solve`` record per request key.
+
+    A directory holding ``solves.jsonl`` + ``index.json`` with exactly
+    the result store's durability semantics (the base class is shared).
+    Records are ``{"kind": "solve", "data": {"key": ..., "response":
+    {...}}}``; last write per key wins, and a stale or corrupt index is
+    rebuilt from the log on first use.
+    """
+
+    KINDS = ("solve",)
+    RECORDS_FILE = "solves.jsonl"
+
+    def _key_of(self, kind: str, data: dict) -> str:
+        key = data["key"]
+        if not isinstance(key, str) or not key:
+            raise ValueError(f"solve record carries a bad key: {key!r}")
+        return key
+
+    def get(self, key: str) -> dict | None:
+        """The stored response for a request key, or ``None``."""
+        data = self._get("solve", key)
+        if data is None:
+            return None
+        return data["response"]
+
+    def put(self, key: str, response: dict) -> None:
+        """Persist one response (last write wins on re-put)."""
+        self._put("solve", key, {"key": key, "response": response})
+
+    def __len__(self) -> int:
+        return len(self._index["solve"])
+
+
+@dataclass(slots=True)
+class SolveCache:
+    """Bounded LRU in front of an optional :class:`SolveCacheStore`.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of responses held in memory (oldest-use evicted
+        first).  ``0`` disables the memory tier (useful to exercise the
+        persistent tier in tests).
+    store:
+        Persistent tier, or ``None`` for a memory-only cache.
+    """
+
+    capacity: int = 1024
+    store: SolveCacheStore | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+    _memory: OrderedDict = field(default_factory=OrderedDict)
+    # The batcher calls get/put from executor threads (the persistent
+    # tier does file I/O that must stay off the event loop), so every
+    # tier access is serialized here.
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    @classmethod
+    def open(
+        cls, cache_dir: str | os.PathLike | None, *, capacity: int = 1024
+    ) -> "SolveCache":
+        """A cache with a persistent tier at ``cache_dir`` (``None`` = memory only)."""
+        store = SolveCacheStore(cache_dir) if cache_dir is not None else None
+        return cls(capacity=capacity, store=store)
+
+    def get(self, key: str) -> tuple[dict | None, str | None]:
+        """``(response, tier)`` for a key; ``(None, None)`` on a miss.
+
+        ``tier`` is ``"memory"`` or ``"store"``; a store hit is promoted
+        into the memory tier.
+        """
+        with self._lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                return cached, "memory"
+            if self.store is not None:
+                response = self.store.get(key)
+                if response is not None:
+                    self.stats.store_hits += 1
+                    self._remember(key, response)
+                    return response, "store"
+            self.stats.misses += 1
+            return None, None
+
+    def put(self, key: str, response: dict) -> None:
+        """Write a freshly solved response through both tiers."""
+        with self._lock:
+            self.stats.puts += 1
+            self._remember(key, response)
+            if self.store is not None:
+                self.store.put(key, response)
+
+    def _remember(self, key: str, response: dict) -> None:
+        if self.capacity <= 0:
+            return
+        self._memory[key] = response
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def close(self) -> None:
+        """Flush the persistent tier's index."""
+        if self.store is not None:
+            self.store.close()

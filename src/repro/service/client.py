@@ -1,0 +1,73 @@
+"""Tiny stdlib HTTP client for the solve service.
+
+Shared by the ``microrepro request`` one-shot subcommand, the service
+tests and the CI smoke script, so they all speak to the server the same
+way.  Errors surface as :class:`~repro.exceptions.ExperimentError` with
+the server's ``{"error": ...}`` message when one is available.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from ..exceptions import ExperimentError
+
+__all__ = ["get_json", "post_json", "solve_remote", "service_stats"]
+
+#: Default per-call timeout (seconds); a queued solve answers within the
+#: batching window plus one solve, which is far below this.
+DEFAULT_TIMEOUT = 30.0
+
+
+def _decode(raw: bytes, url: str) -> dict:
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ExperimentError(f"{url} returned a non-JSON body: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ExperimentError(f"{url} returned {type(payload).__name__}, expected object")
+    return payload
+
+
+def _request(url: str, data: bytes | None, timeout: float) -> dict:
+    try:
+        request = urllib.request.Request(
+            url,
+            data=data,
+            headers={"Content-Type": "application/json"} if data is not None else {},
+            method="POST" if data is not None else "GET",
+        )
+    except ValueError as exc:
+        raise ExperimentError(f"bad service URL {url!r}: {exc}") from exc
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return _decode(response.read(), url)
+    except urllib.error.HTTPError as exc:
+        payload = _decode(exc.read(), url)
+        raise ExperimentError(
+            payload.get("error", f"{url} failed with HTTP {exc.code}")
+        ) from exc
+    except urllib.error.URLError as exc:
+        raise ExperimentError(f"cannot reach {url}: {exc.reason}") from exc
+
+
+def get_json(url: str, *, timeout: float = DEFAULT_TIMEOUT) -> dict:
+    """GET a JSON object."""
+    return _request(url, None, timeout)
+
+
+def post_json(url: str, payload: dict, *, timeout: float = DEFAULT_TIMEOUT) -> dict:
+    """POST a JSON object, return the JSON response."""
+    return _request(url, json.dumps(payload).encode("utf-8"), timeout)
+
+
+def solve_remote(base_url: str, request: dict, *, timeout: float = DEFAULT_TIMEOUT) -> dict:
+    """Send one solve request to a running service."""
+    return post_json(base_url.rstrip("/") + "/solve", request, timeout=timeout)
+
+
+def service_stats(base_url: str, *, timeout: float = DEFAULT_TIMEOUT) -> dict:
+    """Fetch a running service's ``/stats`` counters."""
+    return get_json(base_url.rstrip("/") + "/stats", timeout=timeout)

@@ -1,0 +1,304 @@
+"""Asyncio HTTP front end of the solve service.
+
+A deliberately small, dependency-free HTTP/1.1 server on
+``asyncio.start_server`` (the container ships no async HTTP framework,
+and the service needs exactly three JSON endpoints):
+
+``POST /solve``
+    One solve request (see :mod:`repro.service.requests` for the
+    schema).  The connection parks in the micro-batcher until its group
+    flushes; the response body carries the mapping, its period and the
+    cache/batch markers.
+``GET /stats``
+    Live counters: request/cache/batcher stats plus latency aggregates.
+``GET /healthz``
+    Liveness probe (also used by the CLI/smoke to await readiness).
+
+Keep-alive is supported, so a client can stream many requests over one
+connection; malformed requests get a 400 with an ``{"error": ...}``
+body instead of tearing the connection down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+
+from .._version import __version__
+from ..exceptions import ReproError
+from .batcher import DEFAULT_MAX_BATCH, DEFAULT_WINDOW_SECONDS, MicroBatcher
+from .cache import SolveCache
+from .requests import normalize_request
+
+__all__ = ["ServiceStats", "SolveService", "serve"]
+
+#: Largest accepted request body (a solve request is a few hundred bytes;
+#: anything bigger is garbage or abuse).
+MAX_BODY_BYTES = 1 << 20
+#: Largest accepted request line + header section.
+MAX_HEADER_BYTES = 1 << 14
+
+
+@dataclass(slots=True)
+class ServiceStats:
+    """Request-level counters of one service process."""
+
+    started_at: float = field(default_factory=time.time)
+    solved: int = 0
+    errors: int = 0
+    latency_seconds: float = 0.0
+    latency_max_seconds: float = 0.0
+
+    def record(self, elapsed: float) -> None:
+        self.solved += 1
+        self.latency_seconds += elapsed
+        self.latency_max_seconds = max(self.latency_max_seconds, elapsed)
+
+    def as_dict(self) -> dict:
+        mean = self.latency_seconds / self.solved if self.solved else 0.0
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "solved": self.solved,
+            "errors": self.errors,
+            "latency_mean_ms": round(mean * 1000.0, 3),
+            "latency_max_ms": round(self.latency_max_seconds * 1000.0, 3),
+        }
+
+
+class SolveService:
+    """One solve-service instance: micro-batcher + cache + HTTP server.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks a free port (``self.port`` holds
+        the effective one after :meth:`start`).
+    window, max_batch, batch:
+        Micro-batcher knobs (see
+        :class:`~repro.service.batcher.MicroBatcher`).
+    cache_dir:
+        Directory of the persistent cache tier, or ``None`` for an
+        in-memory-only cache.
+    cache_capacity:
+        LRU size of the memory tier; ``<= 0`` together with
+        ``cache_dir=None`` disables caching entirely.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window: float = DEFAULT_WINDOW_SECONDS,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        batch: bool | None = None,
+        cache_dir: str | None = None,
+        cache_capacity: int = 1024,
+    ):
+        self.host = host
+        self.port = port
+        self.cache: SolveCache | None = (
+            SolveCache.open(cache_dir, capacity=cache_capacity)
+            if cache_dir is not None or cache_capacity > 0
+            else None
+        )
+        self.batcher = MicroBatcher(
+            window=window, max_batch=max_batch, batch=batch, cache=self.cache
+        )
+        self.stats = ServiceStats()
+        self._server: asyncio.Server | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        # With port=0 the kernel picked one; expose the effective port.
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI entry point)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, close the cache."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.cache is not None:
+            self.cache.close()
+
+    # -- request handling --------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await _read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                status, payload = await self._dispatch(method, target, body)
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                await _write_response(writer, status, payload, keep_alive=keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover - teardown race
+                pass
+
+    async def _dispatch(self, method: str, target: str, body: bytes) -> tuple[int, dict]:
+        path = target.split("?", 1)[0]
+        if method == "POST" and path == "/solve":
+            return await self._solve(body)
+        if method == "GET" and path == "/stats":
+            return 200, self.stats_payload()
+        if method == "GET" and path == "/healthz":
+            return 200, {"status": "ok", "version": __version__}
+        self.stats.errors += 1
+        return 404, {"error": f"no such endpoint: {method} {path}"}
+
+    async def _solve(self, body: bytes) -> tuple[int, dict]:
+        start = time.perf_counter()
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self.stats.errors += 1
+            return 400, {"error": f"request body is not valid JSON: {exc}"}
+        try:
+            request = normalize_request(payload)
+            response = await self.batcher.submit(request)
+        except ReproError as exc:
+            self.stats.errors += 1
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - a solver bug must not kill the connection
+            self.stats.errors += 1
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+        self.stats.record(time.perf_counter() - start)
+        return 200, response
+
+    def stats_payload(self) -> dict:
+        """The ``/stats`` body (also used by tests and the smoke check)."""
+        payload = {
+            "service": self.stats.as_dict(),
+            "batcher": self.batcher.stats.as_dict(),
+        }
+        payload["cache"] = (
+            self.cache.stats.as_dict() if self.cache is not None else None
+        )
+        return payload
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict, bytes] | None:
+    """Parse one HTTP/1.1 request; ``None`` on a cleanly closed connection."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests
+        raise
+    if len(head) > MAX_HEADER_BYTES:
+        raise ConnectionError("header section too large")
+    request_line, *header_lines = head.decode("latin-1").split("\r\n")
+    parts = request_line.split()
+    if len(parts) != 3:
+        raise ConnectionError(f"malformed request line: {request_line!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip().lower()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError as exc:
+        raise ConnectionError(f"bad Content-Length: {exc}") from exc
+    if not 0 <= length <= MAX_BODY_BYTES:
+        raise ConnectionError(f"bad Content-Length ({length} bytes)")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), target, headers, body
+
+
+async def _write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict,
+    *,
+    keep_alive: bool,
+) -> None:
+    reasons = {200: "OK", 400: "Bad Request", 404: "Not Found", 500: "Internal Server Error"}
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
+
+
+def _announce(line: str) -> None:
+    # Flushed so a parent process piping stdout (the CI smoke) sees the
+    # readiness line immediately.
+    print(line, flush=True)
+
+
+async def _serve_async(service: SolveService, *, announce=_announce) -> None:
+    await service.start()
+    announce(f"solve service listening on {service.url} (POST /solve, GET /stats)")
+    try:
+        await service.serve_forever()
+    finally:
+        await service.stop()
+
+
+def serve(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    window: float = DEFAULT_WINDOW_SECONDS,
+    max_batch: int = DEFAULT_MAX_BATCH,
+    cache_dir: str | None = None,
+    cache_capacity: int = 1024,
+    announce=_announce,
+) -> None:
+    """Blocking entry point: run a solve service until interrupted.
+
+    Announces the effective URL on stdout once the socket is bound
+    (``port=0`` binds a free port), which is what ``microrepro serve``
+    and the CI smoke wait for.
+    """
+    service = SolveService(
+        host=host,
+        port=port,
+        window=window,
+        max_batch=max_batch,
+        cache_dir=cache_dir,
+        cache_capacity=cache_capacity,
+    )
+    try:
+        asyncio.run(_serve_async(service, announce=announce))
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass

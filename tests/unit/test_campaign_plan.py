@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 import json
 
 import pytest
@@ -12,10 +13,13 @@ from repro.campaign import (
     WorkUnit,
     expand_units,
     load_plan,
+    load_shard_plans,
     merge_stores,
     parse_seed_spec,
     plan,
     run_shard,
+    shard_status,
+    status_rows,
     write_plans,
 )
 from repro.exceptions import ExperimentError
@@ -229,3 +233,64 @@ class TestMergeStores:
     def test_no_sources_rejected(self, tmp_path):
         with pytest.raises(ExperimentError):
             merge_stores(tmp_path / "m", [])
+
+
+class TestShardStatus:
+    def test_status_classifies_done_partial_missing(self, tmp_path):
+        manifest = _manifest(seeds=(0,))
+        shards = plan(manifest, shards=2, by="block")
+        with ResultStore(tmp_path / "s0") as store:
+            run_shard(shards[0], store)
+            status = shard_status(shards[0], store)
+            assert status.units == len(shards[0].units)
+            assert status.done == status.units
+            assert status.partial == status.missing == 0
+            assert status.complete
+
+            # The other shard's units are absent from this store.
+            other = shard_status(shards[1], store)
+            assert other.done == 0
+            assert other.missing == other.units
+            assert not other.complete
+
+    def test_status_counts_shallow_records_as_partial(self, tmp_path):
+        manifest = _manifest(seeds=(0,))
+        shard = plan(manifest, shards=1, by="seed")[0]
+        shallow = dataclasses.replace(manifest, repetitions=1)
+        with ResultStore(tmp_path / "s") as store:
+            # Run at R=1, then check against the R=2 plan: every unit is
+            # stored but too shallow to serve the deeper campaign.
+            run_shard(plan(shallow, shards=1, by="seed")[0], store)
+            status = shard_status(shard, store)
+        assert status.partial == status.units
+        assert status.done == 0 and status.missing == 0
+
+    def test_load_shard_plans_from_planner_outputs(self, tmp_path):
+        manifest = _manifest()
+        written = write_plans(manifest, tmp_path / "plans", shards=2, by="block")
+        by_dir = load_shard_plans(tmp_path / "plans")
+        by_campaign = load_shard_plans(tmp_path / "plans" / "campaign.json")
+        assert [s.units for s in by_dir] == [shard.units for _, shard in written]
+        assert [s.units for s in by_campaign] == [s.units for s in by_dir]
+        single = load_shard_plans(written[1][0])
+        assert len(single) == 1
+        assert single[0].units == written[1][1].units
+
+    def test_load_shard_plans_rejects_a_planless_directory(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(ExperimentError, match="campaign.json"):
+            load_shard_plans(tmp_path / "empty")
+
+    def test_status_rows_pairs_stores_with_shards(self, tmp_path):
+        manifest = _manifest(seeds=(0,))
+        write_plans(manifest, tmp_path / "plans", shards=2, by="block")
+        shards = load_shard_plans(tmp_path / "plans")
+        with ResultStore(tmp_path / "s0") as store:
+            run_shard(shards[0], store)
+        rows = status_rows(shards, [tmp_path / "s0", tmp_path / "s1"])
+        assert rows[0].complete and not rows[1].complete
+        # A single store is checked against every shard (merged case).
+        merged_rows = status_rows(shards, [tmp_path / "s0"])
+        assert merged_rows[0].complete and not merged_rows[1].complete
+        with pytest.raises(ExperimentError, match="one store per shard"):
+            status_rows(shards, [tmp_path / "a", tmp_path / "b", tmp_path / "c"])

@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+import asyncio
+import contextlib
 import json
+import threading
 
 import pytest
 
 from repro.cli import CAMPAIGN_MANIFEST, STORE_ENV_VAR, build_parser, main
 from repro.experiments import ResultStore
+from repro.service import SolveService, direct_response, normalize_request
 
 
 class TestParser:
@@ -315,6 +319,44 @@ class TestCampaignCommands:
         assert code == 2
         assert "--seed" in capsys.readouterr().err
 
+    def test_export_between_seed_ci(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        main(
+            [
+                "campaign", "fig6", "--store", str(store_dir), "--seeds", "0,1",
+                "--repetitions", "2", "--max-points", "2", "--no-milp",
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "export", "--store", str(store_dir), "fig6",
+                "--aggregate", "seeds", "--ci", "between", "--csv",
+            ]
+        )
+        assert code == 0
+        between = capsys.readouterr().out
+        # One sample per *seed* per point (2), not per repetition (4).
+        assert ",2\n" in between or ",2\r\n" in between
+        code = main(
+            [
+                "export", "--store", str(store_dir), "fig6",
+                "--aggregate", "seeds", "--ci", "between",
+            ]
+        )
+        assert code == 0
+        assert "between-seed CIs" in capsys.readouterr().out
+
+    def test_export_ci_requires_aggregate(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        main(_campaign_args(store_dir))
+        capsys.readouterr()
+        code = main(
+            ["export", "--store", str(store_dir), "fig6", "--ci", "between"]
+        )
+        assert code == 2
+        assert "--aggregate" in capsys.readouterr().err
+
 
 def _plan_args(out_dir, extra=()) -> list[str]:
     return [
@@ -399,3 +441,147 @@ class TestShardCommands:
         )
         assert code == 2
         assert "not found" in capsys.readouterr().err
+
+    def test_shard_status_tracks_progress(self, tmp_path, capsys):
+        out = tmp_path / "plans"
+        main(_plan_args(out))
+        main(
+            [
+                "shard", "run", str(out / "shard_0.json"),
+                "--store", str(tmp_path / "shard0"),
+            ]
+        )
+        capsys.readouterr()
+        # Shard 1 has not run: non-zero exit, its units are missing.
+        code = main(
+            [
+                "shard", "status", str(out),
+                str(tmp_path / "shard0"), str(tmp_path / "shard1"),
+            ]
+        )
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "0/2" in output and "1/2" in output
+        assert "pending" in output
+
+        main(
+            [
+                "shard", "run", str(out / "shard_1.json"),
+                "--store", str(tmp_path / "shard1"),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "shard", "status", str(out),
+                str(tmp_path / "shard0"), str(tmp_path / "shard1"),
+            ]
+        )
+        assert code == 0
+        assert "campaign complete" in capsys.readouterr().out
+
+    def test_shard_status_against_one_merged_store(self, tmp_path, capsys):
+        out = tmp_path / "plans"
+        main(_plan_args(out))
+        for k in (0, 1):
+            main(
+                [
+                    "shard", "run", str(out / f"shard_{k}.json"),
+                    "--store", str(tmp_path / f"shard{k}"),
+                ]
+            )
+        main(
+            [
+                "store", "merge", "--store", str(tmp_path / "merged"),
+                str(tmp_path / "shard0"), str(tmp_path / "shard1"),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["shard", "status", str(out), str(tmp_path / "merged")])
+        assert code == 0
+        assert "campaign complete" in capsys.readouterr().out
+
+    def test_shard_status_store_count_mismatch(self, tmp_path, capsys):
+        out = tmp_path / "plans"
+        main(_plan_args(out))
+        capsys.readouterr()
+        code = main(
+            [
+                "shard", "status", str(out),
+                str(tmp_path / "a"), str(tmp_path / "b"), str(tmp_path / "c"),
+            ]
+        )
+        assert code == 2
+        assert "one store per shard" in capsys.readouterr().err
+
+
+class TestServiceCommands:
+    def test_serve_parser_accepts_service_knobs(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--port", "0", "--window-ms", "1.5",
+                "--max-batch", "16", "--cache-dir", "cache/",
+                "--cache-capacity", "64",
+            ]
+        )
+        assert args.port == 0
+        assert args.window_ms == 1.5
+        assert args.max_batch == 16
+        assert args.cache_dir == "cache/"
+
+    def test_request_round_trips_against_a_live_service(self, capsys):
+        with _live_service() as url:
+            code = main(
+                [
+                    "request", "--url", url, "--heuristic", "H4w",
+                    "--tasks", "8", "--types", "2", "--machines", "4",
+                    "--seed", "5",
+                ]
+            )
+            assert code == 0
+            response = json.loads(capsys.readouterr().out)
+            reference = direct_response(
+                normalize_request(
+                    {
+                        "heuristic": "H4w",
+                        "application": {"tasks": 8, "types": 2},
+                        "platform": {"machines": 4},
+                        "options": {"seed": 5},
+                    }
+                )
+            )
+            assert response["assignment"] == reference["assignment"]
+            assert response["period"] == reference["period"]
+
+            # Same request again: served from the cache.
+            code = main(
+                [
+                    "request", "--url", url, "--heuristic", "H4w",
+                    "--tasks", "8", "--types", "2", "--machines", "4",
+                    "--seed", "5",
+                ]
+            )
+            assert code == 0
+            assert json.loads(capsys.readouterr().out)["cached"] == "memory"
+
+    def test_request_reports_unreachable_service(self, capsys):
+        code = main(["request", "--url", "http://127.0.0.1:1", "--tasks", "4"])
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+
+@contextlib.contextmanager
+def _live_service():
+    """A SolveService on a background event loop (for client-side tests)."""
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    service = SolveService(port=0, window=0.001)
+    asyncio.run_coroutine_threadsafe(service.start(), loop).result(timeout=10)
+    try:
+        yield service.url
+    finally:
+        asyncio.run_coroutine_threadsafe(service.stop(), loop).result(timeout=10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()

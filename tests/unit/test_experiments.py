@@ -6,6 +6,7 @@ import pytest
 
 from repro.exceptions import ExperimentError
 from repro.experiments import FIGURES, figure_ids, figure_report, run_figure, run_scenario, summary_line
+from repro.experiments.reporting import aggregate_results
 from repro.experiments.runner import MIP_LABEL, OTO_LABEL
 from repro.generators import ScenarioConfig
 
@@ -163,3 +164,53 @@ class TestReporting:
         assert "== fig10 ==" in report
         assert "Aggregate factors relative to MIP" in report
         assert "H4w" in report
+
+
+class TestBetweenSeedAggregation:
+    def _runs(self):
+        scenario = ScenarioConfig(
+            name="tiny",
+            num_machines=4,
+            num_types=2,
+            sweep="tasks",
+            sweep_values=(4, 6),
+            repetitions=2,
+            heuristics=("H2", "H4w"),
+        )
+        return [
+            run_scenario(scenario, seed=seed, figure_id="custom")
+            for seed in (0, 1, 2)
+        ]
+
+    def test_between_reduces_each_seed_to_one_sample(self):
+        results = self._runs()
+        pooled = aggregate_results(results, ci="pooled")
+        between = aggregate_results(results, ci="between")
+        for label in between.series:
+            for x in between.series[label].x_values:
+                pooled_point = pooled.series[label].point(x)
+                between_point = between.series[label].point(x)
+                # 3 seeds x 2 reps pooled vs 3 seed-level means.
+                assert pooled_point.count == 6
+                assert between_point.count == 3
+                # Equal per-seed counts: the point estimate is unchanged.
+                assert between_point.mean == pytest.approx(pooled_point.mean)
+                # Each between-sample is that seed's mean.
+                per_seed = [
+                    result.series[label].point(x).mean for result in results
+                ]
+                assert between.series[label].samples[x] == pytest.approx(per_seed)
+
+    def test_between_cis_have_seed_level_degrees_of_freedom(self):
+        results = self._runs()
+        between = aggregate_results(results, ci="between")
+        label = next(iter(between.series))
+        x = between.series[label].x_values[0]
+        point = between.series[label].point(x)
+        # Student half-width over 3 seed means: finite and symmetric.
+        assert point.ci_low <= point.mean <= point.ci_high
+
+    def test_unknown_ci_mode_rejected(self):
+        results = self._runs()
+        with pytest.raises(ExperimentError, match="CI mode"):
+            aggregate_results(results, ci="bogus")

@@ -1,0 +1,484 @@
+"""Unit tests for the solve service: requests, cache, batcher, server."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.heuristics import available_heuristics
+from repro.heuristics.base import BATCH_SOLVE_MIN_REPETITIONS
+from repro.service import (
+    MicroBatcher,
+    SolveCache,
+    SolveCacheStore,
+    SolveService,
+    direct_response,
+    get_json,
+    normalize_request,
+    service_stats,
+    solve_remote,
+)
+
+
+def make_payload(**overrides) -> dict:
+    payload = {
+        "heuristic": "H4w",
+        "application": {"tasks": 10, "types": 3},
+        "platform": {"machines": 5},
+        "options": {"seed": 0, "repetition": 0},
+    }
+    for key, value in overrides.items():
+        if key in ("tasks", "types"):
+            payload["application"][key] = value
+        elif key in ("machines", "w_range", "f_range", "task_dependent_failures"):
+            payload["platform"][key] = value
+        elif key in ("seed", "repetition"):
+            payload["options"][key] = value
+        else:
+            payload[key] = value
+    return payload
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestNormalizeRequest:
+    def test_defaults_fill_in(self):
+        request = normalize_request(
+            {
+                "heuristic": "H2",
+                "application": {"tasks": 6, "types": 2},
+                "platform": {"machines": 3},
+            }
+        )
+        assert request.seed == 0
+        assert request.repetition == 0
+        assert request.num_tasks == 6
+        assert request.scenario.num_machines == 3
+
+    def test_heuristic_case_is_canonicalized(self):
+        lower = normalize_request(make_payload(heuristic="h4w"))
+        upper = normalize_request(make_payload(heuristic="H4W"))
+        assert lower.heuristic == upper.heuristic == "H4w"
+        assert lower.key == upper.key
+
+    def test_key_covers_every_response_field(self):
+        base = normalize_request(make_payload())
+        assert normalize_request(make_payload()).key == base.key
+        for variant in (
+            make_payload(seed=1),
+            make_payload(repetition=1),
+            make_payload(tasks=11),
+            make_payload(types=2),
+            make_payload(machines=6),
+            make_payload(heuristic="H2"),
+            make_payload(w_range=[5.0, 50.0]),
+            make_payload(f_range=[0.0, 0.1]),
+            make_payload(task_dependent_failures=True),
+        ):
+            assert normalize_request(variant).key != base.key, variant
+
+    def test_signature_groups_structurally_compatible_requests(self):
+        base = normalize_request(make_payload())
+        assert normalize_request(make_payload(seed=5)).signature == base.signature
+        assert normalize_request(make_payload(types=2)).signature == base.signature
+        assert normalize_request(make_payload(tasks=12)).signature != base.signature
+        assert normalize_request(make_payload(machines=6)).signature != base.signature
+        assert normalize_request(make_payload(heuristic="H2")).signature != base.signature
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            make_payload(heuristic="NoSuchHeuristic"),
+            make_payload(typo="yes"),
+            {**make_payload(), "application": {"tasks": 10, "types": 3, "junk": 1}},
+            {**make_payload(), "options": {"seed": 0, "junk": 1}},
+            make_payload(tasks=0),
+            make_payload(types=11),  # p > n
+            make_payload(machines=2),  # p > m
+            make_payload(repetition=-1),
+            make_payload(seed=-1),
+            make_payload(seed="zero"),
+        ],
+    )
+    def test_bad_payloads_are_rejected(self, payload):
+        with pytest.raises(ExperimentError):
+            normalize_request(payload)
+
+    def test_request_must_be_an_object(self):
+        with pytest.raises(ExperimentError):
+            normalize_request(["heuristic", "H4w"])
+
+    def test_direct_response_is_deterministic(self):
+        request = normalize_request(make_payload(heuristic="H1", seed=9))
+        first = direct_response(request)
+        second = direct_response(request)
+        assert first == second
+        assert len(first["assignment"]) == 10
+        assert first["period"] > 0
+        assert first["throughput"] == 1.0 / first["period"]
+
+
+class TestSolveCache:
+    def test_memory_tier_hit_and_eviction(self):
+        cache = SolveCache(capacity=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        assert cache.get("a") == ({"v": 1}, "memory")
+        cache.put("c", {"v": 3})  # evicts "b" (least recently used)
+        assert cache.get("b") == (None, None)
+        assert cache.get("a")[1] == "memory"
+        assert cache.stats.evictions == 1
+        assert cache.stats.memory_hits == 2
+        assert cache.stats.misses == 1
+
+    def test_persistent_tier_survives_reopen_and_promotes(self, tmp_path):
+        cache = SolveCache.open(tmp_path / "cache")
+        cache.put("k", {"v": 42})
+        cache.close()
+
+        reopened = SolveCache.open(tmp_path / "cache")
+        response, tier = reopened.get("k")
+        assert response == {"v": 42}
+        assert tier == "store"
+        # Promoted into memory: the second lookup is a memory hit.
+        assert reopened.get("k") == ({"v": 42}, "memory")
+        reopened.close()
+
+    def test_store_tier_rebuilds_a_stale_index(self, tmp_path):
+        store = SolveCacheStore(tmp_path / "cache")
+        store.put("k1", {"v": 1})
+        store.put("k2", {"v": 2})
+        store.close()
+        index_path = tmp_path / "cache" / "index.json"
+        raw = json.loads(index_path.read_text())
+        raw["solve"] = {key: offset + 7 for key, offset in raw["solve"].items()}
+        index_path.write_text(json.dumps(raw))
+
+        reopened = SolveCacheStore(tmp_path / "cache")
+        assert reopened.get("k2") == {"v": 2}
+        assert reopened.get("k1") == {"v": 1}
+
+
+class TestMicroBatcher:
+    def test_window_flush_groups_concurrent_requests(self):
+        async def scenario():
+            batcher = MicroBatcher(window=0.05)
+            requests = [
+                normalize_request(make_payload(seed=seed)) for seed in range(4)
+            ]
+            responses = await asyncio.gather(
+                *(batcher.submit(request) for request in requests)
+            )
+            return batcher.stats, requests, responses
+
+        stats, requests, responses = run(scenario())
+        # All four arrived within the window: one flush, one group of 4.
+        assert stats.flushes == 1
+        assert stats.max_group == 4
+        for request, response in zip(requests, responses):
+            reference = direct_response(request)
+            assert response["assignment"] == reference["assignment"]
+            assert response["period"] == reference["period"]
+
+    def test_max_batch_flushes_immediately(self):
+        async def scenario():
+            batcher = MicroBatcher(window=60.0, max_batch=2)
+            requests = [
+                normalize_request(make_payload(seed=seed)) for seed in range(4)
+            ]
+            responses = await asyncio.gather(
+                *(batcher.submit(request) for request in requests)
+            )
+            return batcher.stats, responses
+
+        # A one-minute window would hang the test if the size trigger failed.
+        stats, responses = run(asyncio.wait_for(scenario(), timeout=10.0))
+        assert stats.flushes == 2
+        assert stats.max_group == 2
+        assert len(responses) == 4
+
+    def test_signature_grouping_keeps_incompatible_requests_apart(self):
+        async def scenario():
+            batcher = MicroBatcher(window=0.05)
+            requests = [
+                normalize_request(make_payload(seed=seed)) for seed in range(3)
+            ] + [
+                normalize_request(make_payload(tasks=12, seed=seed))
+                for seed in range(3)
+            ] + [
+                normalize_request(make_payload(heuristic="H2", seed=seed))
+                for seed in range(3)
+            ]
+            responses = await asyncio.gather(
+                *(batcher.submit(request) for request in requests)
+            )
+            return batcher.stats, requests, responses
+
+        stats, requests, responses = run(scenario())
+        assert stats.flushes == 3  # one per distinct signature
+        for request, response in zip(requests, responses):
+            reference = direct_response(request)
+            assert response["assignment"] == reference["assignment"]
+            assert response["period"] == reference["period"]
+
+    def test_sub_threshold_groups_fall_back_per_instance(self):
+        async def scenario():
+            batcher = MicroBatcher(window=0.02)
+            requests = [
+                normalize_request(make_payload(seed=seed))
+                for seed in range(BATCH_SOLVE_MIN_REPETITIONS - 1)
+            ]
+            return await asyncio.gather(
+                *(batcher.submit(request) for request in requests)
+            ), batcher.stats
+
+        responses, stats = run(scenario())
+        assert stats.batched_requests == 0
+        assert stats.fallback_requests == len(responses)
+        assert all(response["batched"] is False for response in responses)
+
+    def test_threshold_deep_groups_take_the_batch_kernel(self):
+        async def scenario():
+            batcher = MicroBatcher(window=0.05)
+            requests = [
+                normalize_request(make_payload(seed=seed))
+                for seed in range(BATCH_SOLVE_MIN_REPETITIONS)
+            ]
+            return await asyncio.gather(
+                *(batcher.submit(request) for request in requests)
+            ), batcher.stats
+
+        responses, stats = run(scenario())
+        assert stats.batched_requests == len(responses)
+        assert all(response["batched"] is True for response in responses)
+
+    def test_identical_requests_coalesce_into_one_solve(self):
+        async def scenario():
+            batcher = MicroBatcher(window=0.05)
+            request = normalize_request(make_payload(seed=3))
+            responses = await asyncio.gather(
+                *(batcher.submit(request) for _ in range(5))
+            )
+            return batcher.stats, responses
+
+        stats, responses = run(scenario())
+        assert stats.coalesced == 4
+        assert stats.max_group == 1  # one unique request actually solved
+        assert all(response == responses[0] for response in responses)
+
+    def test_identical_request_joins_a_solve_already_in_flight(self):
+        async def scenario():
+            # window=0: the first request's group flushes on the next
+            # loop tick, so by the time the duplicate arrives the solve
+            # is running on the executor — no pending group, no cache.
+            batcher = MicroBatcher(window=0.0, cache=None)
+            solving = threading.Event()
+            release = threading.Event()
+            inner_solve = batcher._solve
+
+            def gated_solve(requests):
+                solving.set()
+                assert release.wait(timeout=10.0)
+                return inner_solve(requests)
+
+            batcher._solve = gated_solve
+            request = normalize_request(make_payload(seed=3))
+            first = asyncio.create_task(batcher.submit(request))
+            while not solving.is_set():  # the solve is now mid-executor
+                await asyncio.sleep(0.001)
+            second = asyncio.create_task(batcher.submit(request))
+            await asyncio.sleep(0.01)
+            release.set()
+            return batcher.stats, await first, await second
+
+        stats, first, second = run(scenario())
+        assert stats.coalesced == 1
+        assert stats.flushes == 1  # the duplicate never formed a group
+        assert first == second
+
+    def test_cache_hits_skip_the_solver(self):
+        async def scenario():
+            batcher = MicroBatcher(window=0.0, cache=SolveCache(capacity=16))
+            request = normalize_request(make_payload(seed=1))
+            first = await batcher.submit(request)
+            second = await batcher.submit(request)
+            return batcher.stats, first, second
+
+        stats, first, second = run(scenario())
+        assert first["cached"] is False
+        assert second["cached"] == "memory"
+        assert stats.flushes == 1  # the second submit never reached a group
+        assert {k: v for k, v in second.items() if k != "cached"} == {
+            k: v for k, v in first.items() if k != "cached"
+        }
+
+    @pytest.mark.parametrize("heuristic", available_heuristics())
+    def test_batched_service_solves_match_direct_solves(self, heuristic):
+        """Bit-for-bit equivalence, batched and fallback, every heuristic."""
+
+        async def scenario():
+            batcher = MicroBatcher(window=0.05, batch=True)
+            requests = [
+                normalize_request(
+                    make_payload(heuristic=heuristic, seed=seed)
+                )
+                for seed in range(BATCH_SOLVE_MIN_REPETITIONS)
+            ]
+            responses = await asyncio.gather(
+                *(batcher.submit(request) for request in requests)
+            )
+            return requests, responses
+
+        requests, responses = run(scenario())
+        for request, response in zip(requests, responses):
+            reference = direct_response(request)
+            assert response["assignment"] == reference["assignment"]
+            assert response["period"] == reference["period"]
+            assert response["throughput"] == reference["throughput"]
+            assert response["key"] == reference["key"]
+
+
+class TestSolveService:
+    def request_in_executor(self, call):
+        return asyncio.get_running_loop().run_in_executor(None, call)
+
+    def test_http_solve_stats_health_roundtrip(self):
+        async def scenario():
+            service = SolveService(port=0, window=0.001)
+            await service.start()
+            url = service.url
+            payload = make_payload(seed=2)
+            try:
+                response = await self.request_in_executor(
+                    lambda: solve_remote(url, payload)
+                )
+                duplicate = await self.request_in_executor(
+                    lambda: solve_remote(url, payload)
+                )
+                stats = await self.request_in_executor(lambda: service_stats(url))
+                health = await self.request_in_executor(
+                    lambda: get_json(url + "/healthz")
+                )
+            finally:
+                await service.stop()
+            return payload, response, duplicate, stats, health
+
+        payload, response, duplicate, stats, health = run(scenario())
+        reference = direct_response(normalize_request(payload))
+        assert response["assignment"] == reference["assignment"]
+        assert response["period"] == reference["period"]
+        assert response["cached"] is False
+        assert duplicate["cached"] == "memory"
+        assert stats["service"]["solved"] == 2
+        assert stats["cache"]["hits"] == 1
+        assert health["status"] == "ok"
+
+    def test_http_errors_are_json_not_disconnects(self):
+        async def scenario():
+            service = SolveService(port=0, window=0.001)
+            await service.start()
+            url = service.url
+            try:
+                with pytest.raises(ExperimentError, match="unknown heuristic"):
+                    await self.request_in_executor(
+                        lambda: solve_remote(
+                            url, make_payload(heuristic="NoSuchHeuristic")
+                        )
+                    )
+                with pytest.raises(ExperimentError, match="no such endpoint"):
+                    await self.request_in_executor(
+                        lambda: get_json(url + "/nowhere")
+                    )
+                stats = await self.request_in_executor(lambda: service_stats(url))
+            finally:
+                await service.stop()
+            return stats
+
+        stats = run(scenario())
+        assert stats["service"]["errors"] == 2
+        assert stats["service"]["solved"] == 0
+
+    def test_malformed_content_length_does_not_kill_the_server(self):
+        async def scenario():
+            service = SolveService(port=0, window=0.001)
+            await service.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", service.port
+                )
+                writer.write(b"POST /solve HTTP/1.1\r\nContent-Length: abc\r\n\r\n")
+                await writer.drain()
+                await reader.read()  # the bad connection is dropped...
+                writer.close()
+                # ...but the server survives and keeps answering.
+                health = await self.request_in_executor(
+                    lambda: get_json(service.url + "/healthz")
+                )
+            finally:
+                await service.stop()
+            return health
+
+        assert run(scenario())["status"] == "ok"
+
+    def test_solver_crash_returns_500_json(self):
+        async def scenario():
+            service = SolveService(port=0, window=0.001)
+
+            async def boom(request):
+                raise RuntimeError("kernel exploded")
+
+            service.batcher.submit = boom
+            await service.start()
+            url = service.url
+            try:
+                with pytest.raises(ExperimentError, match="kernel exploded"):
+                    await self.request_in_executor(
+                        lambda: solve_remote(url, make_payload())
+                    )
+                stats = await self.request_in_executor(lambda: service_stats(url))
+            finally:
+                await service.stop()
+            return stats
+
+        stats = run(scenario())
+        assert stats["service"]["errors"] == 1
+        assert stats["service"]["solved"] == 0
+
+    def test_persistent_cache_warms_a_restarted_service(self, tmp_path):
+        cache_dir = str(tmp_path / "solve-cache")
+        payload = make_payload(seed=11)
+
+        async def round_one():
+            service = SolveService(port=0, window=0.001, cache_dir=cache_dir)
+            await service.start()
+            try:
+                return await self.request_in_executor(
+                    lambda: solve_remote(service.url, payload)
+                )
+            finally:
+                await service.stop()
+
+        async def round_two():
+            service = SolveService(port=0, window=0.001, cache_dir=cache_dir)
+            await service.start()
+            try:
+                return await self.request_in_executor(
+                    lambda: solve_remote(service.url, payload)
+                )
+            finally:
+                await service.stop()
+
+        first = run(round_one())
+        second = run(round_two())
+        assert first["cached"] is False
+        assert second["cached"] == "store"
+        assert {k: v for k, v in second.items() if k != "cached"} == {
+            k: v for k, v in first.items() if k != "cached"
+        }

@@ -114,6 +114,57 @@ class TestStoreRecovery:
         reopened = ResultStore(tmp_path / "s")
         assert len(reopened) == 1
 
+    def test_stale_index_offsets_trigger_a_rebuild(self, tmp_path):
+        # index.json parses fine but its offsets are wrong (e.g. copied
+        # from another store, or the records file was rewritten under
+        # it).  Lookups must rebuild from the JSONL instead of raising a
+        # parse error or returning garbage.
+        with ResultStore(tmp_path / "s") as store:
+            for sweep_value in (10, 20, 30):
+                store.put_cell(_record(sweep_value=sweep_value))
+        index_path = tmp_path / "s" / "index.json"
+        raw = json.loads(index_path.read_text(encoding="utf-8"))
+        raw["cells"] = {key: offset + 5 for key, offset in raw["cells"].items()}
+        index_path.write_text(json.dumps(raw), encoding="utf-8")
+
+        reopened = ResultStore(tmp_path / "s")
+        assert reopened.get_cell("figX", "abc123", 0, "H4w", 20) == _record(
+            sweep_value=20
+        )
+        assert sorted(cell.sweep_value for cell in reopened.cells()) == [10, 20, 30]
+        reopened.close()
+        # The rebuild is persisted: a fresh open needs no further repair.
+        repaired = json.loads(index_path.read_text(encoding="utf-8"))
+        assert repaired["cells"] != raw["cells"]
+        assert ResultStore(tmp_path / "s").get_cell(
+            "figX", "abc123", 0, "H4w", 30
+        ) == _record(sweep_value=30)
+
+    def test_foreign_index_is_rebuilt_not_trusted(self, tmp_path):
+        # An index whose offsets point at *valid but different* records
+        # (two stores' files mixed up) must also be detected: the key
+        # read back at the offset does not match the key looked up.
+        with ResultStore(tmp_path / "a") as store:
+            store.put_cell(_record(sweep_value=10))
+            store.put_cell(_record(sweep_value=20, values=[4.0, 5.0, 6.0]))
+        index_path = tmp_path / "a" / "index.json"
+        raw = json.loads(index_path.read_text(encoding="utf-8"))
+        # Swap the two cells' offsets: every entry points at a real,
+        # parseable record — just the wrong one.
+        (key_a, off_a), (key_b, off_b) = sorted(raw["cells"].items())
+        raw["cells"] = {key_a: off_b, key_b: off_a}
+        index_path.write_text(json.dumps(raw), encoding="utf-8")
+
+        reopened = ResultStore(tmp_path / "a")
+        assert reopened.get_cell("figX", "abc123", 0, "H4w", 20).values == [
+            4.0,
+            5.0,
+            6.0,
+        ]
+        assert reopened.get_cell("figX", "abc123", 0, "H4w", 10) == _record(
+            sweep_value=10
+        )
+
     def test_unindexed_tail_is_recovered(self, tmp_path):
         # Simulate a run killed after appending but before reindexing: the
         # index covers a prefix, extra lines follow.
