@@ -46,6 +46,7 @@ KEY_BENCHMARKS = (
     "benchmarks/test_engine_block_scheduler.py::test_bench_batch_solve_binary_search",
     "benchmarks/test_engine_block_scheduler.py::test_bench_batch_refine",
     "benchmarks/test_service_batching.py::test_bench_service_microbatch",
+    "benchmarks/test_service_batching.py::test_bench_service_sustained_mixed",
 )
 
 #: Default failure threshold: a key benchmark may be at most this much

@@ -11,7 +11,11 @@ normalisation and instance sampling costs are identical on both sides,
 and the responses are asserted bit-for-bit equal first.
 
 ``test_bench_service_microbatch`` additionally pins the batched path's
-wall-clock in the CI regression gate (``benchmarks/baseline.json``).
+wall-clock in the CI regression gate (``benchmarks/baseline.json``), and
+``test_bench_service_sustained_mixed`` pins a **sustained-throughput**
+round: 256 concurrent *mixed* requests (four signatures, four
+heuristics, batch-kernel and fallback paths together) through one
+batcher — the traffic shape the production-hardening PR optimizes for.
 """
 
 from __future__ import annotations
@@ -23,6 +27,21 @@ from repro.service import MicroBatcher, direct_response, normalize_request
 
 #: Concurrent compatible requests, per the acceptance criterion.
 CONCURRENCY = 32
+
+#: Concurrent mixed requests of the sustained-throughput benchmark.
+MIXED_CONCURRENCY = 256
+
+#: The mixed round's signatures: (heuristic, tasks, types, machines).
+#: Four heuristics across four platform shapes — H4w/H2/H3 take the
+#: lock-step batch kernels at this depth, H4f exercises whatever path
+#: its registration supports, so the round spans the service's code
+#: paths instead of one hot loop.
+MIXED_SPECS = (
+    ("H4w", 40, 3, 8),
+    ("H2", 25, 2, 6),
+    ("H3", 30, 3, 10),
+    ("H4f", 20, 2, 5),
+)
 
 
 def _requests():
@@ -101,3 +120,58 @@ def test_bench_service_per_request(benchmark):
     """Companion: the same 32 requests on the per-request path."""
     requests = _requests()
     benchmark(lambda: _serve_all(requests, batch=False))
+
+
+def _mixed_requests():
+    """256 mixed requests round-robined over the four signatures."""
+    requests = []
+    for index in range(MIXED_CONCURRENCY):
+        heuristic, tasks, types, machines = MIXED_SPECS[index % len(MIXED_SPECS)]
+        requests.append(
+            normalize_request(
+                {
+                    "heuristic": heuristic,
+                    "application": {"tasks": tasks, "types": types},
+                    "platform": {"machines": machines},
+                    "options": {"seed": index},
+                }
+            )
+        )
+    return requests
+
+
+def _serve_mixed(requests) -> list[dict]:
+    """One sustained round: every mixed request through one batcher.
+
+    Production knobs: the batch/fallback crossover decides per group
+    (``batch=None``) and no cache — a sustained-load benchmark must
+    measure solving under concurrency, not lookups.  64 requests per
+    signature means each group flushes on the ``max_batch`` size
+    trigger, not the window.
+    """
+
+    async def scenario():
+        batcher = MicroBatcher(window=0.05, batch=None, cache=None)
+        return await asyncio.gather(
+            *(batcher.submit(request) for request in requests)
+        )
+
+    return asyncio.run(scenario())
+
+
+def test_service_sustained_mixed_equivalence():
+    """256 mixed concurrent responses are bit-for-bit the direct solves."""
+    requests = _mixed_requests()
+    responses = _serve_mixed(requests)
+    for request, response in zip(requests, responses):
+        reference = direct_response(request)
+        assert response["assignment"] == reference["assignment"]
+        assert response["period"] == reference["period"]
+        assert response["throughput"] == reference["throughput"]
+        assert response["key"] == reference["key"]
+
+
+def test_bench_service_sustained_mixed(benchmark):
+    """Key benchmark: one 256-deep mixed concurrent service round."""
+    requests = _mixed_requests()
+    benchmark(lambda: _serve_mixed(requests))

@@ -1,16 +1,31 @@
 #!/usr/bin/env python
 """CI smoke check of the solve service, end to end over real HTTP.
 
-Starts ``microrepro serve`` as a subprocess on a free port, fires a mix
-of concurrent solve requests — several signatures, several heuristics,
-deliberate duplicates — through the stdlib client, and asserts:
+Two phases, each against a fresh ``microrepro serve`` subprocess on a
+free port:
+
+**Phase 1 — mixed traffic through the worker pool** (``--workers 2``):
+fires a mix of concurrent solve requests — several signatures, several
+heuristics, deliberate duplicates — through the stdlib client, and
+asserts:
 
 * every response is **bit-for-bit identical** to the direct (unbatched,
   uncached) reference solve of the same request;
 * the duplicates produced cache hits (``/stats`` cache counter > 0);
 * the service actually grouped compatible requests (at least one
   multi-request flush);
-* ``/stats`` accounting adds up (solved == requests fired, errors == 0).
+* ``/stats`` accounting adds up (solved == requests fired, errors == 0)
+  and reports latency percentiles (p50/p95/p99 > 0).
+
+**Phase 2 — overload** (``--max-pending 2`` and a long window): fires a
+burst of distinct concurrent requests, and asserts:
+
+* at least one request was load-shed with HTTP 429 carrying a
+  ``Retry-After`` hint (surfaced client-side as
+  :class:`~repro.exceptions.ServiceOverloadedError`);
+* every shed request, retried, eventually got the bit-for-bit correct
+  response;
+* shedding is accounted as ``shed``, never as ``errors``.
 
 Exit code 0 on success; any assertion or timeout kills the server and
 exits non-zero.  Runs from a source checkout::
@@ -33,6 +48,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.exceptions import ServiceOverloadedError  # noqa: E402 - path bootstrap
 from repro.service import (  # noqa: E402 - path bootstrap above
     direct_response,
     normalize_request,
@@ -41,6 +57,8 @@ from repro.service import (  # noqa: E402 - path bootstrap above
 )
 
 STARTUP_TIMEOUT = 30.0
+#: How long a shed request keeps retrying before the smoke gives up.
+RETRY_TIMEOUT = 60.0
 
 
 def request_mix() -> list[dict]:
@@ -79,12 +97,22 @@ def request_mix() -> list[dict]:
     return mix
 
 
-def start_server() -> tuple[subprocess.Popen, str]:
+def burst_requests() -> list[dict]:
+    """12 distinct same-signature requests for the overload phase."""
+    return [
+        {
+            "heuristic": "H4w",
+            "application": {"tasks": 25, "types": 3},
+            "platform": {"machines": 6},
+            "options": {"seed": seed},
+        }
+        for seed in range(12)
+    ]
+
+
+def start_server(*extra_args: str) -> tuple[subprocess.Popen, str]:
     process = subprocess.Popen(
-        # A generous batching window: the grouping assertion below must
-        # hold even when a loaded CI runner staggers the concurrent
-        # wave's arrivals by tens of milliseconds.
-        [sys.executable, "-m", "repro", "serve", "--port", "0", "--window-ms", "100"],
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
         cwd=REPO_ROOT,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -119,8 +147,44 @@ def start_server() -> tuple[subprocess.Popen, str]:
     )
 
 
-def main() -> int:
-    process, url = start_server()
+def stop_server(process: subprocess.Popen) -> None:
+    process.terminate()
+    try:
+        process.wait(timeout=10)
+    except subprocess.TimeoutExpired:
+        process.kill()
+
+
+def check_equivalence(requests: list[dict], responses: list[dict]) -> int:
+    """Count response fields diverging from the direct reference solves."""
+    failures = 0
+    for payload, response in zip(requests, responses):
+        reference = direct_response(normalize_request(payload))
+        for field in ("assignment", "period", "throughput", "key"):
+            if response[field] != reference[field]:
+                failures += 1
+                print(
+                    f"MISMATCH {payload}: {field} service={response[field]!r} "
+                    f"direct={reference[field]!r}"
+                )
+    return failures
+
+
+def report(checks: list[tuple[bool, str]]) -> bool:
+    ok = True
+    for passed, label in checks:
+        print(("PASS" if passed else "FAIL"), label)
+        ok = ok and passed
+    return ok
+
+
+def phase_mixed_traffic() -> bool:
+    """Phase 1: the request mix through a 2-process worker pool."""
+    print("== phase 1: mixed traffic, --workers 2 ==")
+    # A generous batching window: the grouping assertion below must hold
+    # even when a loaded CI runner staggers the concurrent wave's
+    # arrivals by tens of milliseconds.
+    process, url = start_server("--window-ms", "100", "--workers", "2")
     try:
         unique = request_mix()
         # Wave 1: fire every unique request concurrently so the batching
@@ -143,43 +207,106 @@ def main() -> int:
         ]
         if not_cached:
             print(f"FAIL: duplicate request(s) missed the cache: {not_cached}")
-            return 1
+            return False
 
-        failures = 0
-        for payload, response in zip(requests, responses):
-            reference = direct_response(normalize_request(payload))
-            for field in ("assignment", "period", "throughput", "key"):
-                if response[field] != reference[field]:
-                    failures += 1
-                    print(
-                        f"MISMATCH {payload}: {field} service={response[field]!r} "
-                        f"direct={reference[field]!r}"
-                    )
+        failures = check_equivalence(requests, responses)
         if failures:
             print(f"FAIL: {failures} response field(s) diverged from direct solves")
-            return 1
+            return False
         print(f"{len(responses)} service responses bit-for-bit match direct solves")
 
         stats = service_stats(url)
         print("stats:", stats)
         service, batcher, cache = stats["service"], stats["batcher"], stats["cache"]
-        checks = [
-            (service["errors"] == 0, "no request errors"),
-            (service["solved"] == len(requests), "every request accounted for"),
-            (cache["hits"] >= len(duplicates), "duplicates hit the cache"),
-            (batcher["max_group"] > 1, "compatible requests were grouped"),
-        ]
-        ok = True
-        for passed, label in checks:
-            print(("PASS" if passed else "FAIL"), label)
-            ok = ok and passed
-        return 0 if ok else 1
+        return report(
+            [
+                (service["errors"] == 0, "no request errors"),
+                (service["solved"] == len(requests), "every request accounted for"),
+                (cache["hits"] >= len(duplicates), "duplicates hit the cache"),
+                (batcher["max_group"] > 1, "compatible requests were grouped"),
+                (stats["workers"] == 2, "worker pool attached"),
+                (
+                    all(
+                        service[key] > 0
+                        for key in (
+                            "latency_p50_ms",
+                            "latency_p95_ms",
+                            "latency_p99_ms",
+                        )
+                    ),
+                    "latency percentiles reported",
+                ),
+            ]
+        )
     finally:
-        process.terminate()
-        try:
-            process.wait(timeout=10)
-        except subprocess.TimeoutExpired:
-            process.kill()
+        stop_server(process)
+
+
+def phase_overload() -> bool:
+    """Phase 2: shed a concurrent burst, retry it to completion."""
+    print("== phase 2: overload, --max-pending 2 ==")
+    # A long window holds each admitted group open, so the burst's
+    # arrivals reliably find the queue full and get shed.
+    process, url = start_server(
+        "--window-ms", "300", "--workers", "2", "--max-pending", "2"
+    )
+    try:
+        requests = burst_requests()
+        shed_hints: list[float] = []
+
+        def ask(payload: dict) -> dict:
+            deadline = time.time() + RETRY_TIMEOUT
+            while True:
+                try:
+                    return solve_remote(url, payload)
+                except ServiceOverloadedError as exc:
+                    if exc.retry_after_seconds is None or exc.retry_after_seconds < 1:
+                        raise RuntimeError(
+                            f"429 without a usable Retry-After hint: "
+                            f"{exc.retry_after_seconds!r}"
+                        )
+                    shed_hints.append(exc.retry_after_seconds)
+                    if time.time() > deadline:
+                        raise RuntimeError(
+                            f"request still shed after {RETRY_TIMEOUT}s: {payload}"
+                        )
+                    # Back off far less than the advertised hint so the
+                    # phase stays fast; correctness only needs the hint
+                    # to have been delivered.
+                    time.sleep(0.2)
+
+        with ThreadPoolExecutor(max_workers=len(requests)) as pool:
+            responses = list(pool.map(ask, requests))
+
+        failures = check_equivalence(requests, responses)
+        if failures:
+            print(f"FAIL: {failures} shed-then-retried field(s) diverged")
+            return False
+        print(
+            f"{len(responses)} burst responses bit-for-bit match direct solves "
+            f"({len(shed_hints)} shed-and-retried)"
+        )
+
+        stats = service_stats(url)
+        print("stats:", stats)
+        service = stats["service"]
+        return report(
+            [
+                (len(shed_hints) >= 1, "burst actually overloaded the queue"),
+                (service["shed"] >= 1, "shedding surfaced in /stats"),
+                (stats["batcher"]["shed"] >= 1, "batcher admission counted it"),
+                (service["errors"] == 0, "shed requests are not errors"),
+                (service["solved"] == len(requests), "every request eventually solved"),
+            ]
+        )
+    finally:
+        stop_server(process)
+
+
+def main() -> int:
+    ok = phase_mixed_traffic()
+    ok = phase_overload() and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

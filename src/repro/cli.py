@@ -449,6 +449,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=1024,
         help="in-memory LRU size (0 disables the memory tier)",
     )
+    serve_parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="bound the persistent cache's append log; exceeding it "
+        "compacts the log and evicts the oldest entries (needs "
+        "--cache-dir; omit for unbounded)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="solve in a pool of this many worker processes "
+        "(0 = in-process executor threads)",
+    )
+    serve_parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=0,
+        help="admission limit: shed new distinct requests with HTTP 429 "
+        "once this many solves are pending (0 = unlimited)",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
 
     request_parser = subparsers.add_parser(
@@ -717,6 +740,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         cache_dir=args.cache_dir,
         cache_capacity=args.cache_capacity,
+        cache_max_bytes=args.cache_max_bytes,
+        workers=args.workers,
+        max_pending=args.max_pending or None,
     )
     return 0
 

@@ -20,6 +20,7 @@ __all__ = [
     "SolverUnavailableError",
     "SimulationError",
     "ExperimentError",
+    "ServiceOverloadedError",
 ]
 
 
@@ -96,3 +97,17 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment definition or run is invalid (unknown id, bad config)."""
+
+
+class ServiceOverloadedError(ReproError):
+    """The solve service shed a request under load; retry later.
+
+    Raised server-side by the micro-batcher when its pending-request
+    queue is full (the request was never admitted, nothing was solved)
+    and client-side on an HTTP 429 response.  ``retry_after_seconds``
+    carries the server's ``Retry-After`` hint when one was given.
+    """
+
+    def __init__(self, message: str, *, retry_after_seconds: float | None = None):
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds

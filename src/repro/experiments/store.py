@@ -465,6 +465,79 @@ class JsonlStore:
         if self._unindexed >= _INDEX_EVERY:
             self.flush()
 
+    # -- compaction ---------------------------------------------------------------
+    def compact(self) -> int:
+        """Rewrite the records file keeping only the newest record per key.
+
+        Append-only logs grow without bound under re-puts (every re-put
+        of a key leaves its older lines dead on disk); long-lived users
+        — the solve service's persistent cache above all — call this to
+        reclaim them.  Live records are written to a temporary file in
+        their current offset order (so relative append recency is
+        preserved), then atomically swapped in with ``os.replace``; a
+        crash at any point leaves either the old file or the new one,
+        never a mix.  The in-memory index is rewritten to the new
+        offsets and persisted.  Returns the number of bytes reclaimed.
+        """
+        live = sorted(
+            (offset, kind, key)
+            for kind, index in self._index.items()
+            for key, offset in index.items()
+        )
+        try:
+            lines = self._live_lines(live)
+        except _PARSE_ERRORS:
+            # Stale index (same failure mode _get heals): rebuild from
+            # the records file and compact what is really there.
+            self._rebuild()
+            live = sorted(
+                (offset, kind, key)
+                for kind, index in self._index.items()
+                for key, offset in index.items()
+            )
+            lines = self._live_lines(live)
+        before = (
+            self._records_path.stat().st_size if self._records_path.exists() else 0
+        )
+        tmp = self._records_path.parent / (self._records_path.name + ".tmp")
+        offsets: list[tuple[str, str, int]] = []
+        position = 0
+        with open(tmp, "wb") as handle:
+            for (_, kind, key), line in zip(live, lines):
+                offsets.append((kind, key, position))
+                handle.write(line)
+                position += len(line)
+        os.replace(tmp, self._records_path)
+        # The per-kind dicts are aliased by subclasses; mutate in place.
+        for index in self._index.values():
+            index.clear()
+        for kind, key, offset in offsets:
+            self._index[kind][key] = offset
+        self._indexed_end = position
+        self._tail_torn = False
+        self._index_dirty = True
+        self.flush()
+        return before - position
+
+    def _live_lines(self, live: list[tuple[int, str, str]]) -> list[bytes]:
+        """The indexed records' raw lines, validated against their keys."""
+        if not live:
+            return []
+        lines = []
+        with open(self._records_path, "rb") as handle:
+            for offset, kind, key in live:
+                handle.seek(offset)
+                line = handle.readline()
+                record = json.loads(line)
+                if record["kind"] != kind or self._key_of(kind, record["data"]) != key:
+                    raise ExperimentError(
+                        f"stale index entry for {kind} record {key!r}"
+                    )
+                if not line.endswith(b"\n"):
+                    line += b"\n"  # close a torn-but-complete final record
+                lines.append(line)
+        return lines
+
     def flush(self) -> None:
         """Persist the in-memory index next to the records file.
 

@@ -17,8 +17,11 @@ Layers (one module each):
 * :mod:`~repro.service.requests` — request schema, normalisation,
   content-address hashing, the direct reference path;
 * :mod:`~repro.service.batcher` — window-based grouping, coalescing,
-  ``solve_stack`` routing;
-* :mod:`~repro.service.cache` — the two-tier response cache;
+  ``solve_stack`` routing, admission control;
+* :mod:`~repro.service.pool` — the multi-process solve-worker pool
+  (the picklable group-solve function + its executor);
+* :mod:`~repro.service.cache` — the two-tier response cache
+  (size-bounded persistent tier with compaction + eviction);
 * :mod:`~repro.service.server` — the asyncio HTTP front end
   (``/solve``, ``/stats``, ``/healthz``);
 * :mod:`~repro.service.client` — stdlib client helpers
@@ -29,16 +32,18 @@ matter how requests were grouped, cached or ordered — batching and
 caching are scheduling choices, never semantic ones.
 """
 
+from ..exceptions import ServiceOverloadedError
 from .batcher import BatcherStats, MicroBatcher
 from .cache import CacheStats, SolveCache, SolveCacheStore
 from .client import get_json, post_json, service_stats, solve_remote
+from .pool import SolveWorkerPool, solve_group
 from .requests import (
     SolveRequest,
     build_response,
     direct_response,
     normalize_request,
 )
-from .server import ServiceStats, SolveService, serve
+from .server import LatencyReservoir, ServiceStats, SolveService, serve
 
 __all__ = [
     "BatcherStats",
@@ -46,6 +51,9 @@ __all__ = [
     "CacheStats",
     "SolveCache",
     "SolveCacheStore",
+    "ServiceOverloadedError",
+    "SolveWorkerPool",
+    "solve_group",
     "get_json",
     "post_json",
     "service_stats",
@@ -54,6 +62,7 @@ __all__ = [
     "build_response",
     "direct_response",
     "normalize_request",
+    "LatencyReservoir",
     "ServiceStats",
     "SolveService",
     "serve",

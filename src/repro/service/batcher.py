@@ -8,10 +8,15 @@ batcher recreates that shape from independent requests:
 
 1. :meth:`MicroBatcher.submit` first consults the solve cache, then the
    in-flight table (an identical request already being solved joins its
-   group instead of re-solving — *coalescing*);
-2. a new request is appended to the pending group of its structural
-   :attr:`~repro.service.requests.SolveRequest.signature` (heuristic,
-   task count, platform size — what must match for instances to stack);
+   group instead of re-solving — *coalescing*); a genuinely new request
+   then passes **admission control**: when ``max_pending`` unresolved
+   requests are already queued or solving, the request is shed with
+   :class:`~repro.exceptions.ServiceOverloadedError` instead of joining
+   an unbounded backlog (the HTTP layer answers 429 + ``Retry-After``);
+2. an admitted request is appended to the pending group of its
+   structural :attr:`~repro.service.requests.SolveRequest.signature`
+   (heuristic, task count, platform size — what must match for
+   instances to stack);
 3. the group is **flushed** when its batching window (a few ms) expires
    or it reaches ``max_batch`` requests, whichever comes first;
 4. a flushed group of at least ``batch_min`` requests whose heuristic
@@ -22,8 +27,12 @@ batcher recreates that shape from independent requests:
    either way** — batching is a scheduling choice, never a semantic
    one.
 
-Solves run on a worker thread (``asyncio`` executor), so the event loop
-keeps accepting and grouping requests while a batch computes.
+Solves run off the event loop: on the asyncio thread executor by
+default, or — when a :class:`~repro.service.pool.SolveWorkerPool` is
+attached — in worker *processes*, so batch solves escape the GIL and
+one pathological request cannot stall the loop or other groups.  The
+solve itself is the pool-shareable :func:`~repro.service.pool.solve_group`
+on both paths, which is what keeps the responses identical.
 """
 
 from __future__ import annotations
@@ -32,10 +41,11 @@ import asyncio
 import time
 from dataclasses import dataclass, field
 
-from ..batch import InstanceStack
-from ..heuristics.base import BATCH_SOLVE_MIN_REPETITIONS, solve_stack, supports_batch
+from ..exceptions import ServiceOverloadedError
+from ..heuristics.base import BATCH_SOLVE_MIN_REPETITIONS
 from .cache import SolveCache
-from .requests import SolveRequest, build_response
+from .pool import SolveWorkerPool, solve_group
+from .requests import SolveRequest
 
 __all__ = ["BatcherStats", "MicroBatcher", "DEFAULT_WINDOW_SECONDS", "DEFAULT_MAX_BATCH"]
 
@@ -55,6 +65,7 @@ class BatcherStats:
     batched_requests: int = 0
     fallback_requests: int = 0
     coalesced: int = 0
+    shed: int = 0
     max_group: int = 0
     solve_seconds: float = 0.0
 
@@ -66,6 +77,7 @@ class BatcherStats:
             "batched_requests": self.batched_requests,
             "fallback_requests": self.fallback_requests,
             "coalesced": self.coalesced,
+            "shed": self.shed,
             "max_group": self.max_group,
             "solve_seconds": round(self.solve_seconds, 6),
         }
@@ -103,6 +115,17 @@ class MicroBatcher:
     cache:
         Optional :class:`~repro.service.cache.SolveCache` consulted
         before grouping and written through after solving.
+    pool:
+        Optional :class:`~repro.service.pool.SolveWorkerPool`; group
+        solves then run in worker processes instead of on the asyncio
+        thread executor.  Responses are identical on both executors.
+    max_pending:
+        Admission-control bound: the maximum number of admitted,
+        unresolved requests (queued or mid-solve, coalesced duplicates
+        counted once).  A new request beyond it is shed with
+        :class:`~repro.exceptions.ServiceOverloadedError`; cache hits
+        and coalesced joins are always admitted (they consume no solve
+        capacity).  ``None`` disables shedding.
     """
 
     def __init__(
@@ -113,26 +136,40 @@ class MicroBatcher:
         batch_min: int = BATCH_SOLVE_MIN_REPETITIONS,
         batch: bool | None = None,
         cache: SolveCache | None = None,
+        pool: SolveWorkerPool | None = None,
+        max_pending: int | None = None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.window = float(window)
         self.max_batch = int(max_batch)
         self.batch_min = int(batch_min)
         self.batch = batch
         self.cache = cache
+        self.pool = pool
+        self.max_pending = max_pending
         self.stats = BatcherStats()
         self._groups: dict[tuple, _Group] = {}
         #: request key -> unresolved future, covering both pending groups
         #: and groups whose solve is already running on the executor; an
-        #: identical request joins it instead of re-solving.
+        #: identical request joins it instead of re-solving.  Its size is
+        #: also the admission-control pending count.
         self._inflight: dict[str, asyncio.Future] = {}
+        #: Strong references to the in-flight solver tasks.  The event
+        #: loop only keeps weak references to tasks, so without this set
+        #: a flushed group's task could be garbage-collected mid-flight,
+        #: silently dropping the whole group (CPython asyncio pitfall).
+        self._tasks: set[asyncio.Task] = set()
 
     async def submit(self, request: SolveRequest) -> dict:
-        """Resolve one request: cache, coalesce, or enqueue and await.
+        """Resolve one request: cache, coalesce, or admit and await.
 
         Returns the JSON-ready response body with a ``"cached"`` field
-        (``False``, ``"memory"`` or ``"store"``).
+        (``False``, ``"memory"`` or ``"store"``).  Raises
+        :class:`~repro.exceptions.ServiceOverloadedError` when the
+        request would exceed ``max_pending`` (nothing was enqueued).
         """
         self.stats.requests += 1
         if self.cache is not None:
@@ -145,6 +182,12 @@ class MicroBatcher:
             # serves both.
             self.stats.coalesced += 1
             return dict(await asyncio.shield(inflight), cached=False)
+        if self.max_pending is not None and len(self._inflight) >= self.max_pending:
+            self.stats.shed += 1
+            raise ServiceOverloadedError(
+                f"solve queue is full ({self.max_pending} pending request(s)); "
+                "retry later"
+            )
         future = self._enqueue(request)
         return dict(await asyncio.shield(future), cached=False)
 
@@ -185,7 +228,13 @@ class MicroBatcher:
             return
         if group.timer is not None:
             group.timer.cancel()
-        asyncio.get_running_loop().create_task(self._solve_group(group))
+        task = asyncio.get_running_loop().create_task(self._solve_group(group))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    def _use_batch(self, depth: int) -> bool:
+        """Whether a ``depth``-deep flush takes the lock-step kernel path."""
+        return self.batch if self.batch is not None else depth >= self.batch_min
 
     async def _solve_group(self, group: _Group) -> None:
         self.stats.flushes += 1
@@ -193,14 +242,32 @@ class MicroBatcher:
         loop = asyncio.get_running_loop()
         start = time.perf_counter()
         try:
-            responses, batched = await loop.run_in_executor(
-                None, self._solve, tuple(group.requests)
-            )
+            if self.pool is not None:
+                responses, batched = await loop.run_in_executor(
+                    self.pool.executor,
+                    solve_group,
+                    tuple(group.requests),
+                    self._use_batch(len(group.requests)),
+                )
+            else:
+                responses, batched = await loop.run_in_executor(
+                    None, self._solve, tuple(group.requests)
+                )
         except BaseException as exc:  # noqa: BLE001 - fan the failure out
             for key, future in group.futures.items():
                 self._release(key, future)
-                if not future.done():
-                    future.set_exception(exc)
+                if future.done():
+                    # A waiter cancelled by its disconnecting client:
+                    # nothing to deliver, and set_exception would raise.
+                    continue
+                future.set_exception(exc)
+                # Mark the exception retrieved immediately: a waiter that
+                # disconnected *after* enqueueing (shielded future, not
+                # cancelled) never awaits it, and every such future would
+                # otherwise log "exception was never retrieved" at GC.
+                # Waiters that are still listening re-raise on await
+                # regardless.
+                future.exception()
             return
         finally:
             self.stats.solve_seconds += time.perf_counter() - start
@@ -238,34 +305,29 @@ class MicroBatcher:
     def _solve(
         self, requests: tuple[SolveRequest, ...]
     ) -> tuple[list[dict], bool]:
-        """Solve one flushed group (worker thread; pure, touches no state).
+        """In-process solve of one flushed group (worker thread).
 
-        Group members share a signature, so their instances stack; the
-        lock-step kernel runs when the group clears the crossover (or
-        ``batch=True`` forces it) and the heuristic supports it.
-        Returns ``(responses, batched)``.
+        Thin wrapper over the pool-shareable
+        :func:`~repro.service.pool.solve_group` so tests can gate or
+        fake the solve by patching one attribute.
         """
-        heuristic = requests[0].resolve_heuristic()
-        instances = [request.sample() for request in requests]
-        use_batch = (
-            self.batch
-            if self.batch is not None
-            else len(requests) >= self.batch_min
-        )
-        batched = use_batch and supports_batch(heuristic)
-        assignments = solve_stack(
-            heuristic,
-            instances,
-            lambda row: requests[row].rng() if heuristic.randomized else None,
-            batch=use_batch,
-        )
-        stack = InstanceStack.from_instances(instances, require_uniform_types=False)
-        periods = stack.periods(assignments)
-        responses = [
-            build_response(request, assignments[row], periods[row], batched=batched)
-            for row, request in enumerate(requests)
-        ]
-        return responses, batched
+        return solve_group(requests, self._use_batch(len(requests)))
+
+    async def aclose(self) -> None:
+        """Flush every pending group and wait for all in-flight solves.
+
+        The shutdown path (:meth:`SolveService.stop
+        <repro.service.server.SolveService.stop>` calls this): groups
+        still waiting out their window are flushed immediately, and the
+        coroutine returns only once every solver task has finished —
+        in-flight work is drained, never dropped.  Solver failures were
+        already fanned out to the request futures, so they are not
+        re-raised here.
+        """
+        for signature in list(self._groups):
+            self._flush(signature)
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
 
     async def drain(self) -> None:
         """Flush every pending group and wait for their futures (tests)."""

@@ -70,10 +70,33 @@ class SolveCacheStore(JsonlStore):
     Records are ``{"kind": "solve", "data": {"key": ..., "response":
     {...}}}``; last write per key wins, and a stale or corrupt index is
     rebuilt from the log on first use.
+
+    Parameters
+    ----------
+    max_bytes:
+        Size bound of the append log, or ``None`` for unbounded.  A put
+        growing the log past it triggers **compaction** (the base
+        class's atomic rewrite keeping only live records) and, when the
+        live records alone still exceed the budget, **eviction** of the
+        oldest-written entries down to :data:`LOW_WATER` of the budget —
+        hysteresis, so a near-full cache does not pay a full rewrite per
+        put.  Long-lived services stop growing disk unboundedly; a
+        restarted service still warms from everything that survived.
     """
 
     KINDS = ("solve",)
     RECORDS_FILE = "solves.jsonl"
+
+    #: Eviction drains the log to this fraction of ``max_bytes``.
+    LOW_WATER = 0.8
+
+    def __init__(self, path: str | os.PathLike, *, max_bytes: int | None = None):
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.compactions = 0
+        self.evictions = 0
+        super().__init__(path)
 
     def _key_of(self, kind: str, data: dict) -> str:
         key = data["key"]
@@ -91,6 +114,39 @@ class SolveCacheStore(JsonlStore):
     def put(self, key: str, response: dict) -> None:
         """Persist one response (last write wins on re-put)."""
         self._put("solve", key, {"key": key, "response": response})
+        self._enforce_size()
+
+    def size_bytes(self) -> int:
+        """Current size of the append log on disk."""
+        return (
+            self._records_path.stat().st_size if self._records_path.exists() else 0
+        )
+
+    def _enforce_size(self) -> None:
+        """Compact (and evict oldest entries) once the log outgrows its bound."""
+        if self.max_bytes is None or self.size_bytes() <= self.max_bytes:
+            return
+        index = self._index["solve"]
+        # Oldest-written first — the eviction order.  Offset order is the
+        # append order, and compaction preserves it, so "oldest offset"
+        # stays "least recently written" across rewrites.
+        live = sorted(index.items(), key=lambda item: item[1])
+        sizes: dict[str, int] = {}
+        with open(self._records_path, "rb") as handle:
+            for key, offset in live:
+                handle.seek(offset)
+                sizes[key] = len(handle.readline())
+        total = sum(sizes.values())
+        if total > self.max_bytes:
+            target = int(self.max_bytes * self.LOW_WATER)
+            for key, _ in live[:-1]:  # the newest record always survives
+                if total <= target:
+                    break
+                total -= sizes[key]
+                del index[key]
+                self.evictions += 1
+        self.compact()
+        self.compactions += 1
 
     def __len__(self) -> int:
         return len(self._index["solve"])
@@ -121,10 +177,22 @@ class SolveCache:
 
     @classmethod
     def open(
-        cls, cache_dir: str | os.PathLike | None, *, capacity: int = 1024
+        cls,
+        cache_dir: str | os.PathLike | None,
+        *,
+        capacity: int = 1024,
+        max_bytes: int | None = None,
     ) -> "SolveCache":
-        """A cache with a persistent tier at ``cache_dir`` (``None`` = memory only)."""
-        store = SolveCacheStore(cache_dir) if cache_dir is not None else None
+        """A cache with a persistent tier at ``cache_dir`` (``None`` = memory only).
+
+        ``max_bytes`` bounds the persistent tier's append log via
+        compaction + oldest-first eviction (ignored without a tier).
+        """
+        store = (
+            SolveCacheStore(cache_dir, max_bytes=max_bytes)
+            if cache_dir is not None
+            else None
+        )
         return cls(capacity=capacity, store=store)
 
     def get(self, key: str) -> tuple[dict | None, str | None]:
@@ -167,6 +235,24 @@ class SolveCache:
 
     def __len__(self) -> int:
         return len(self._memory)
+
+    def stats_payload(self) -> dict:
+        """JSON-ready counters for ``/stats``, both tiers.
+
+        Extends :meth:`CacheStats.as_dict` with the persistent tier's
+        footprint and maintenance counters when one is attached.
+        """
+        with self._lock:
+            payload = self.stats.as_dict()
+            if self.store is not None:
+                payload.update(
+                    store_entries=len(self.store),
+                    store_bytes=self.store.size_bytes(),
+                    store_max_bytes=self.store.max_bytes,
+                    store_evictions=self.store.evictions,
+                    compactions=self.store.compactions,
+                )
+            return payload
 
     def close(self) -> None:
         """Flush the persistent tier's index."""

@@ -3,7 +3,10 @@
 Shared by the ``microrepro request`` one-shot subcommand, the service
 tests and the CI smoke script, so they all speak to the server the same
 way.  Errors surface as :class:`~repro.exceptions.ExperimentError` with
-the server's ``{"error": ...}`` message when one is available.
+the server's ``{"error": ...}`` message when one is available; an HTTP
+429 (load shedding) raises the more specific
+:class:`~repro.exceptions.ServiceOverloadedError` carrying the server's
+``Retry-After`` hint so callers can back off and retry.
 """
 
 from __future__ import annotations
@@ -12,7 +15,7 @@ import json
 import urllib.error
 import urllib.request
 
-from ..exceptions import ExperimentError
+from ..exceptions import ExperimentError, ServiceOverloadedError
 
 __all__ = ["get_json", "post_json", "solve_remote", "service_stats"]
 
@@ -46,9 +49,14 @@ def _request(url: str, data: bytes | None, timeout: float) -> dict:
             return _decode(response.read(), url)
     except urllib.error.HTTPError as exc:
         payload = _decode(exc.read(), url)
-        raise ExperimentError(
-            payload.get("error", f"{url} failed with HTTP {exc.code}")
-        ) from exc
+        message = payload.get("error", f"{url} failed with HTTP {exc.code}")
+        if exc.code == 429:
+            header = exc.headers.get("Retry-After")
+            raise ServiceOverloadedError(
+                message,
+                retry_after_seconds=float(header) if header else None,
+            ) from exc
+        raise ExperimentError(message) from exc
     except urllib.error.URLError as exc:
         raise ExperimentError(f"cannot reach {url}: {exc.reason}") from exc
 

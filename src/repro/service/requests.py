@@ -115,6 +115,12 @@ class SolveRequest:
         The sweep value the instance is drawn at.
     seed, repetition:
         Root seed and repetition index of the draw.
+    deadline_ms:
+        Optional per-request deadline (milliseconds from arrival).  A
+        scheduling knob only — it never changes the response content, so
+        it is deliberately **excluded from** :attr:`key` (a request
+        answered late and re-asked with a longer deadline must hit the
+        cache of the first solve).
     """
 
     heuristic: str
@@ -122,6 +128,7 @@ class SolveRequest:
     num_tasks: int
     seed: int
     repetition: int
+    deadline_ms: float | None = None
 
     @cached_property
     def key(self) -> str:
@@ -220,6 +227,17 @@ def normalize_request(payload: dict) -> SolveRequest:
 
     seed = _take_int(options, "options", "seed", 0)
     repetition = _take_int(options, "options", "repetition", 0)
+    deadline_ms = options.pop("deadline_ms", None)
+    if deadline_ms is not None:
+        if (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, (int, float))
+            or not deadline_ms > 0
+        ):
+            raise ExperimentError(
+                f"options.deadline_ms must be a positive number, got {deadline_ms!r}"
+            )
+        deadline_ms = float(deadline_ms)
     _reject_unknown(options, "options")
 
     if num_tasks < 1 or num_types < 1 or num_machines < 1:
@@ -258,6 +276,7 @@ def normalize_request(payload: dict) -> SolveRequest:
         num_tasks=num_tasks,
         seed=seed,
         repetition=repetition,
+        deadline_ms=deadline_ms,
     )
 
 

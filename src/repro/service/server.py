@@ -8,9 +8,14 @@ and the service needs exactly three JSON endpoints):
     One solve request (see :mod:`repro.service.requests` for the
     schema).  The connection parks in the micro-batcher until its group
     flushes; the response body carries the mapping, its period and the
-    cache/batch markers.
+    cache/batch markers.  Under load the service answers **429** with a
+    ``Retry-After`` header instead of queueing without bound, and a
+    request carrying ``options.deadline_ms`` that cannot be answered in
+    time gets a **504** (the solve itself still completes and lands in
+    the cache, so the retry is cheap).
 ``GET /stats``
-    Live counters: request/cache/batcher stats plus latency aggregates.
+    Live counters: request/cache/batcher stats plus latency aggregates
+    and p50/p95/p99 percentiles over a fixed-size reservoir.
 ``GET /healthz``
     Liveness probe (also used by the CLI/smoke to await readiness).
 
@@ -23,47 +28,97 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import time
 from dataclasses import dataclass, field
 
 from .._version import __version__
-from ..exceptions import ReproError
+from ..exceptions import ReproError, ServiceOverloadedError
 from .batcher import DEFAULT_MAX_BATCH, DEFAULT_WINDOW_SECONDS, MicroBatcher
 from .cache import SolveCache
+from .pool import SolveWorkerPool
 from .requests import normalize_request
 
-__all__ = ["ServiceStats", "SolveService", "serve"]
+__all__ = ["LatencyReservoir", "ServiceStats", "SolveService", "serve"]
 
 #: Largest accepted request body (a solve request is a few hundred bytes;
 #: anything bigger is garbage or abuse).
 MAX_BODY_BYTES = 1 << 20
 #: Largest accepted request line + header section.
 MAX_HEADER_BYTES = 1 << 14
+#: Latency samples kept for the ``/stats`` percentiles.
+RESERVOIR_SIZE = 512
+
+
+@dataclass(slots=True)
+class LatencyReservoir:
+    """Fixed-size reservoir of the most recent request latencies.
+
+    A ring buffer over the last ``size`` samples: O(1) per record, fixed
+    memory forever, and the percentiles track *current* behaviour
+    instead of averaging this minute's overload away against last
+    hour's idle.
+    """
+
+    size: int = RESERVOIR_SIZE
+    _samples: list[float] = field(default_factory=list)
+    _next: int = 0
+
+    def add(self, value: float) -> None:
+        if len(self._samples) < self.size:
+            self._samples.append(value)
+        else:
+            self._samples[self._next] = value
+        self._next = (self._next + 1) % self.size
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``0 < q <= 1``); ``0.0`` when empty."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(q * len(ordered)))
+        return ordered[rank - 1]
 
 
 @dataclass(slots=True)
 class ServiceStats:
-    """Request-level counters of one service process."""
+    """Request-level counters of one service process.
 
-    started_at: float = field(default_factory=time.time)
+    Uptime is measured on the monotonic clock — ``time.time()`` would
+    make ``uptime_seconds`` jump (or go negative) across an NTP step —
+    while ``started_at_unix`` keeps the human-readable wall-clock start.
+    """
+
+    started_monotonic: float = field(default_factory=time.monotonic)
+    started_at_unix: float = field(default_factory=time.time)
     solved: int = 0
     errors: int = 0
+    shed: int = 0
+    deadline_exceeded: int = 0
     latency_seconds: float = 0.0
     latency_max_seconds: float = 0.0
+    reservoir: LatencyReservoir = field(default_factory=LatencyReservoir)
 
     def record(self, elapsed: float) -> None:
         self.solved += 1
         self.latency_seconds += elapsed
         self.latency_max_seconds = max(self.latency_max_seconds, elapsed)
+        self.reservoir.add(elapsed)
 
     def as_dict(self) -> dict:
         mean = self.latency_seconds / self.solved if self.solved else 0.0
         return {
-            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "uptime_seconds": round(time.monotonic() - self.started_monotonic, 3),
+            "started_at_unix": round(self.started_at_unix, 3),
             "solved": self.solved,
             "errors": self.errors,
+            "shed": self.shed,
+            "deadline_exceeded": self.deadline_exceeded,
             "latency_mean_ms": round(mean * 1000.0, 3),
             "latency_max_ms": round(self.latency_max_seconds * 1000.0, 3),
+            "latency_p50_ms": round(self.reservoir.percentile(0.50) * 1000.0, 3),
+            "latency_p95_ms": round(self.reservoir.percentile(0.95) * 1000.0, 3),
+            "latency_p99_ms": round(self.reservoir.percentile(0.99) * 1000.0, 3),
         }
 
 
@@ -84,6 +139,21 @@ class SolveService:
     cache_capacity:
         LRU size of the memory tier; ``<= 0`` together with
         ``cache_dir=None`` disables caching entirely.
+    cache_max_bytes:
+        Size bound of the persistent tier's append log; exceeding it
+        triggers compaction and LRU-ordered eviction
+        (see :class:`~repro.service.cache.SolveCacheStore`).
+    workers:
+        ``> 0`` solves groups in that many worker *processes*
+        (:class:`~repro.service.pool.SolveWorkerPool`), escaping the
+        GIL; ``0`` (default) keeps solves on the in-process thread
+        executor.
+    max_pending:
+        Admission-control bound on unresolved requests; beyond it new
+        requests are shed with HTTP 429 + ``Retry-After``.  ``None``
+        disables shedding.
+    retry_after:
+        Seconds advertised in the 429 ``Retry-After`` header.
     """
 
     def __init__(
@@ -96,16 +166,31 @@ class SolveService:
         batch: bool | None = None,
         cache_dir: str | None = None,
         cache_capacity: int = 1024,
+        cache_max_bytes: int | None = None,
+        workers: int = 0,
+        max_pending: int | None = None,
+        retry_after: float = 1.0,
     ):
         self.host = host
         self.port = port
+        self.retry_after = float(retry_after)
         self.cache: SolveCache | None = (
-            SolveCache.open(cache_dir, capacity=cache_capacity)
+            SolveCache.open(
+                cache_dir, capacity=cache_capacity, max_bytes=cache_max_bytes
+            )
             if cache_dir is not None or cache_capacity > 0
             else None
         )
+        self.pool: SolveWorkerPool | None = (
+            SolveWorkerPool(workers) if workers else None
+        )
         self.batcher = MicroBatcher(
-            window=window, max_batch=max_batch, batch=batch, cache=self.cache
+            window=window,
+            max_batch=max_batch,
+            batch=batch,
+            cache=self.cache,
+            pool=self.pool,
+            max_pending=max_pending,
         )
         self.stats = ServiceStats()
         self._server: asyncio.Server | None = None
@@ -132,11 +217,23 @@ class SolveService:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
-        """Stop accepting, close the cache."""
+        """Graceful shutdown: stop accepting, drain in-flight work, close.
+
+        In-flight groups are flushed and *waited for* (the batcher's
+        ``aclose``), so a solve that a client is still parked on
+        completes and is answered instead of being dropped mid-flight.
+        The drain runs before ``wait_closed`` because (since 3.12)
+        ``wait_closed`` itself waits for connection handlers — which are
+        exactly the coroutines parked on the batcher.
+        """
         if self._server is not None:
             self._server.close()
+        await self.batcher.aclose()
+        if self._server is not None:
             await self._server.wait_closed()
             self._server = None
+        if self.pool is not None:
+            self.pool.shutdown()
         if self.cache is not None:
             self.cache.close()
 
@@ -150,9 +247,17 @@ class SolveService:
                 if request is None:
                     break
                 method, target, headers, body = request
-                status, payload = await self._dispatch(method, target, body)
+                status, payload, extra_headers = await self._dispatch(
+                    method, target, body
+                )
                 keep_alive = headers.get("connection", "keep-alive") != "close"
-                await _write_response(writer, status, payload, keep_alive=keep_alive)
+                await _write_response(
+                    writer,
+                    status,
+                    payload,
+                    keep_alive=keep_alive,
+                    headers=extra_headers,
+                )
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
@@ -164,35 +269,64 @@ class SolveService:
             except (ConnectionError, BrokenPipeError):  # pragma: no cover - teardown race
                 pass
 
-    async def _dispatch(self, method: str, target: str, body: bytes) -> tuple[int, dict]:
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, dict, dict | None]:
         path = target.split("?", 1)[0]
         if method == "POST" and path == "/solve":
             return await self._solve(body)
         if method == "GET" and path == "/stats":
-            return 200, self.stats_payload()
+            return 200, self.stats_payload(), None
         if method == "GET" and path == "/healthz":
-            return 200, {"status": "ok", "version": __version__}
+            return 200, {"status": "ok", "version": __version__}, None
         self.stats.errors += 1
-        return 404, {"error": f"no such endpoint: {method} {path}"}
+        return 404, {"error": f"no such endpoint: {method} {path}"}, None
 
-    async def _solve(self, body: bytes) -> tuple[int, dict]:
+    async def _solve(self, body: bytes) -> tuple[int, dict, dict | None]:
         start = time.perf_counter()
         try:
             payload = json.loads(body.decode("utf-8")) if body else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             self.stats.errors += 1
-            return 400, {"error": f"request body is not valid JSON: {exc}"}
+            return 400, {"error": f"request body is not valid JSON: {exc}"}, None
         try:
             request = normalize_request(payload)
-            response = await self.batcher.submit(request)
+            submission = self.batcher.submit(request)
+            if request.deadline_ms is not None:
+                response = await asyncio.wait_for(
+                    submission, timeout=request.deadline_ms / 1000.0
+                )
+            else:
+                response = await submission
+        except ServiceOverloadedError as exc:
+            # Load shedding, not an error: the request was never admitted.
+            self.stats.shed += 1
+            retry_after = max(0, math.ceil(self.retry_after))
+            return (
+                429,
+                {"error": str(exc), "retry_after_seconds": retry_after},
+                {"Retry-After": str(retry_after)},
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            # The solve itself keeps running (shielded) and lands in the
+            # cache, so the client's retry after the deadline is cheap.
+            self.stats.deadline_exceeded += 1
+            return (
+                504,
+                {
+                    "error": f"deadline of {request.deadline_ms:g} ms exceeded "
+                    "before the solve completed"
+                },
+                None,
+            )
         except ReproError as exc:
             self.stats.errors += 1
-            return 400, {"error": str(exc)}
+            return 400, {"error": str(exc)}, None
         except Exception as exc:  # noqa: BLE001 - a solver bug must not kill the connection
             self.stats.errors += 1
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, None
         self.stats.record(time.perf_counter() - start)
-        return 200, response
+        return 200, response, None
 
     def stats_payload(self) -> dict:
         """The ``/stats`` body (also used by tests and the smoke check)."""
@@ -201,8 +335,9 @@ class SolveService:
             "batcher": self.batcher.stats.as_dict(),
         }
         payload["cache"] = (
-            self.cache.stats.as_dict() if self.cache is not None else None
+            self.cache.stats_payload() if self.cache is not None else None
         )
+        payload["workers"] = self.pool.workers if self.pool is not None else 0
         return payload
 
 
@@ -245,13 +380,25 @@ async def _write_response(
     payload: dict,
     *,
     keep_alive: bool,
+    headers: dict | None = None,
 ) -> None:
-    reasons = {200: "OK", 400: "Bad Request", 404: "Not Found", 500: "Internal Server Error"}
+    reasons = {
+        200: "OK",
+        400: "Bad Request",
+        404: "Not Found",
+        429: "Too Many Requests",
+        500: "Internal Server Error",
+        504: "Gateway Timeout",
+    }
     body = json.dumps(payload).encode("utf-8")
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
         "\r\n"
     ).encode("latin-1")
@@ -282,6 +429,9 @@ def serve(
     max_batch: int = DEFAULT_MAX_BATCH,
     cache_dir: str | None = None,
     cache_capacity: int = 1024,
+    cache_max_bytes: int | None = None,
+    workers: int = 0,
+    max_pending: int | None = None,
     announce=_announce,
 ) -> None:
     """Blocking entry point: run a solve service until interrupted.
@@ -297,6 +447,9 @@ def serve(
         max_batch=max_batch,
         cache_dir=cache_dir,
         cache_capacity=cache_capacity,
+        cache_max_bytes=cache_max_bytes,
+        workers=workers,
+        max_pending=max_pending,
     )
     try:
         asyncio.run(_serve_async(service, announce=announce))

@@ -5,17 +5,21 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 
 import pytest
 
-from repro.exceptions import ExperimentError
+from repro.exceptions import ExperimentError, ServiceOverloadedError
 from repro.heuristics import available_heuristics
 from repro.heuristics.base import BATCH_SOLVE_MIN_REPETITIONS
 from repro.service import (
+    LatencyReservoir,
     MicroBatcher,
+    ServiceStats,
     SolveCache,
     SolveCacheStore,
     SolveService,
+    SolveWorkerPool,
     direct_response,
     get_json,
     normalize_request,
@@ -36,7 +40,7 @@ def make_payload(**overrides) -> dict:
             payload["application"][key] = value
         elif key in ("machines", "w_range", "f_range", "task_dependent_failures"):
             payload["platform"][key] = value
-        elif key in ("seed", "repetition"):
+        elif key in ("seed", "repetition", "deadline_ms"):
             payload["options"][key] = value
         else:
             payload[key] = value
@@ -105,11 +109,24 @@ class TestNormalizeRequest:
             make_payload(repetition=-1),
             make_payload(seed=-1),
             make_payload(seed="zero"),
+            make_payload(deadline_ms=0),
+            make_payload(deadline_ms=-5),
+            make_payload(deadline_ms=True),
+            make_payload(deadline_ms="fast"),
         ],
     )
     def test_bad_payloads_are_rejected(self, payload):
         with pytest.raises(ExperimentError):
             normalize_request(payload)
+
+    def test_deadline_is_parsed_but_excluded_from_the_key(self):
+        plain = normalize_request(make_payload())
+        deadlined = normalize_request(make_payload(deadline_ms=250))
+        assert plain.deadline_ms is None
+        assert deadlined.deadline_ms == 250.0
+        # A scheduling knob only: a retry with a different deadline must
+        # hit the cache entry of the first solve.
+        assert deadlined.key == plain.key
 
     def test_request_must_be_an_object(self):
         with pytest.raises(ExperimentError):
@@ -482,3 +499,435 @@ class TestSolveService:
         assert {k: v for k, v in second.items() if k != "cached"} == {
             k: v for k, v in first.items() if k != "cached"
         }
+
+
+def strip_markers(response: dict) -> dict:
+    """A response body without its scheduling markers (cached/batched)."""
+    return {k: v for k, v in response.items() if k not in ("cached", "batched")}
+
+
+class TestSolveWorkerPool:
+    def test_pool_solves_match_direct_solves(self):
+        """Bit-for-bit equivalence through worker processes, both paths."""
+
+        async def scenario():
+            with SolveWorkerPool(2) as pool:
+                batcher = MicroBatcher(window=0.05, pool=pool)
+                requests = [
+                    normalize_request(make_payload(seed=seed))
+                    for seed in range(BATCH_SOLVE_MIN_REPETITIONS)
+                ] + [
+                    normalize_request(
+                        make_payload(heuristic="H1", tasks=8, seed=seed)
+                    )
+                    for seed in range(3)
+                ]
+                responses = await asyncio.gather(
+                    *(batcher.submit(request) for request in requests)
+                )
+                await batcher.aclose()
+            return batcher.stats, requests, responses
+
+        stats, requests, responses = run(scenario())
+        # The deep H4w group took the batch kernel inside a worker, the
+        # H1 group fell back per instance — both inside workers.
+        assert stats.batched_requests == BATCH_SOLVE_MIN_REPETITIONS
+        assert stats.fallback_requests == 3
+        for request, response in zip(requests, responses):
+            reference = direct_response(request)
+            assert strip_markers(response) == strip_markers(reference)
+
+    def test_pool_is_warmed_at_construction(self):
+        with SolveWorkerPool(2) as pool:
+            assert len(pool.worker_pids()) == 2
+
+    def test_pool_requires_at_least_one_worker(self):
+        with pytest.raises(ValueError, match=">= 1 workers"):
+            SolveWorkerPool(0)
+
+    def test_http_roundtrip_through_the_worker_pool(self):
+        async def scenario():
+            service = SolveService(port=0, window=0.001, workers=2)
+            await service.start()
+            url = service.url
+            payload = make_payload(seed=5)
+            loop = asyncio.get_running_loop()
+            try:
+                response = await loop.run_in_executor(
+                    None, lambda: solve_remote(url, payload)
+                )
+                stats = await loop.run_in_executor(
+                    None, lambda: service_stats(url)
+                )
+            finally:
+                await service.stop()
+            return payload, response, stats
+
+        payload, response, stats = run(scenario())
+        reference = direct_response(normalize_request(payload))
+        assert strip_markers(response) == strip_markers(reference)
+        assert stats["workers"] == 2
+        assert stats["service"]["solved"] == 1
+
+
+class TestAdmissionControl:
+    def test_distinct_requests_beyond_max_pending_are_shed(self):
+        async def scenario():
+            batcher = MicroBatcher(window=60.0, max_pending=2)
+            first = asyncio.create_task(
+                batcher.submit(normalize_request(make_payload(seed=41)))
+            )
+            second = asyncio.create_task(
+                batcher.submit(normalize_request(make_payload(seed=42)))
+            )
+            while len(batcher._inflight) < 2:
+                await asyncio.sleep(0.001)
+            with pytest.raises(ServiceOverloadedError, match="queue is full"):
+                await batcher.submit(normalize_request(make_payload(seed=43)))
+            # A coalesced duplicate consumes no solve capacity: admitted.
+            duplicate = asyncio.create_task(
+                batcher.submit(normalize_request(make_payload(seed=41)))
+            )
+            await asyncio.sleep(0.01)
+            assert not duplicate.done()
+            await batcher.aclose()  # flushes the one-minute window now
+            return batcher.stats, await first, await duplicate, await second
+
+        stats, first, duplicate, second = run(
+            asyncio.wait_for(scenario(), timeout=30.0)
+        )
+        assert stats.shed == 1
+        assert stats.coalesced == 1
+        assert first == duplicate
+        assert second["key"] != first["key"]
+
+    def test_cache_hits_are_admitted_even_when_full(self):
+        async def scenario():
+            cache = SolveCache(capacity=16)
+            warmed = await MicroBatcher(window=0.0, cache=cache).submit(
+                normalize_request(make_payload(seed=51))
+            )
+            batcher = MicroBatcher(window=60.0, cache=cache, max_pending=1)
+            blocker = asyncio.create_task(
+                batcher.submit(normalize_request(make_payload(seed=52)))
+            )
+            while not batcher._inflight:
+                await asyncio.sleep(0.001)
+            hit = await batcher.submit(normalize_request(make_payload(seed=51)))
+            await batcher.aclose()
+            await blocker
+            return warmed, hit, batcher.stats
+
+        warmed, hit, stats = run(asyncio.wait_for(scenario(), timeout=30.0))
+        assert hit["cached"] == "memory"
+        assert stats.shed == 0
+        assert strip_markers(hit) == strip_markers(warmed)
+
+    def test_http_load_shedding_answers_429_then_retries_succeed(self):
+        shed_hints = []
+
+        def ask(url, payload):
+            while True:
+                try:
+                    return solve_remote(url, payload)
+                except ServiceOverloadedError as exc:
+                    # The server's Retry-After header reached the client.
+                    assert exc.retry_after_seconds is not None
+                    assert exc.retry_after_seconds >= 1
+                    shed_hints.append(exc.retry_after_seconds)
+                    time.sleep(0.2)
+
+        async def scenario():
+            service = SolveService(port=0, window=0.3, max_pending=1)
+            await service.start()
+            url = service.url
+            payloads = [make_payload(seed=seed) for seed in range(60, 64)]
+            loop = asyncio.get_running_loop()
+            try:
+                responses = await asyncio.gather(
+                    *(
+                        loop.run_in_executor(None, ask, url, payload)
+                        for payload in payloads
+                    )
+                )
+                stats = await loop.run_in_executor(
+                    None, lambda: service_stats(url)
+                )
+            finally:
+                await service.stop()
+            return payloads, responses, stats
+
+        payloads, responses, stats = run(
+            asyncio.wait_for(scenario(), timeout=60.0)
+        )
+        # Four distinct concurrent requests against max_pending=1 with a
+        # 300 ms window: at least the simultaneous arrivals were shed.
+        assert len(shed_hints) >= 1
+        assert stats["service"]["shed"] >= 1
+        assert stats["batcher"]["shed"] >= 1
+        assert stats["service"]["errors"] == 0
+        # ...and every shed request, retried, got the bit-for-bit answer.
+        for payload, response in zip(payloads, responses):
+            reference = direct_response(normalize_request(payload))
+            assert strip_markers(response) == strip_markers(reference)
+
+
+class TestDeadlines:
+    def test_deadline_exceeded_answers_504_and_still_caches(self):
+        async def scenario():
+            service = SolveService(port=0, window=5.0)
+            await service.start()
+            url = service.url
+            payload = make_payload(seed=71, deadline_ms=100)
+            loop = asyncio.get_running_loop()
+            try:
+                with pytest.raises(ExperimentError, match="deadline of 100 ms"):
+                    await loop.run_in_executor(
+                        None, lambda: solve_remote(url, payload)
+                    )
+                stats = await loop.run_in_executor(
+                    None, lambda: service_stats(url)
+                )
+            finally:
+                # stop() drains the batcher: the group the 504'd request
+                # left behind still solves and lands in the cache.
+                await service.stop()
+            return service, payload, stats
+
+        service, payload, stats = run(asyncio.wait_for(scenario(), timeout=30.0))
+        assert stats["service"]["deadline_exceeded"] == 1
+        assert stats["service"]["solved"] == 0
+        assert stats["service"]["errors"] == 0
+        request = normalize_request(payload)
+        cached, tier = service.cache.get(request.key)
+        assert tier == "memory"
+        reference = direct_response(request)
+        assert strip_markers(cached) == strip_markers(reference)
+
+    def test_request_within_deadline_is_served_normally(self):
+        async def scenario():
+            service = SolveService(port=0, window=0.001)
+            await service.start()
+            payload = make_payload(seed=72, deadline_ms=20000)
+            loop = asyncio.get_running_loop()
+            try:
+                return payload, await loop.run_in_executor(
+                    None, lambda: solve_remote(service.url, payload)
+                )
+            finally:
+                await service.stop()
+
+        payload, response = run(asyncio.wait_for(scenario(), timeout=30.0))
+        reference = direct_response(normalize_request(payload))
+        assert strip_markers(response) == strip_markers(reference)
+
+
+class TestWaiterLifecycle:
+    def gate(self, batcher, result_exception=None):
+        """Patch ``batcher._solve`` so the test controls when it runs."""
+        solving = threading.Event()
+        release = threading.Event()
+        inner = batcher._solve
+
+        def gated(requests):
+            solving.set()
+            assert release.wait(timeout=10.0)
+            if result_exception is not None:
+                raise result_exception
+            return inner(requests)
+
+        batcher._solve = gated
+        return solving, release
+
+    def test_cancelled_waiter_does_not_lose_the_group(self):
+        """A client disconnect mid-solve: the group completes and caches."""
+
+        async def scenario():
+            cache = SolveCache(capacity=16)
+            batcher = MicroBatcher(window=0.02, cache=cache)
+            solving, release = self.gate(batcher)
+            r0 = normalize_request(make_payload(seed=21))
+            r1 = normalize_request(make_payload(seed=22))
+            w0 = asyncio.create_task(batcher.submit(r0))
+            w1 = asyncio.create_task(batcher.submit(r1))
+            while not solving.is_set():  # both grouped, solve mid-executor
+                await asyncio.sleep(0.001)
+            w0.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await w0
+            release.set()
+            survivor = await w1
+            await batcher.aclose()
+            return cache, r0, r1, survivor
+
+        cache, r0, r1, survivor = run(asyncio.wait_for(scenario(), timeout=30.0))
+        assert strip_markers(survivor) == strip_markers(direct_response(r1))
+        # The cancelled waiter's solve was not dropped: its response is
+        # cached, so the disconnected client's retry is a cache hit.
+        cached, tier = cache.get(r0.key)
+        assert tier == "memory"
+        assert strip_markers(cached) == strip_markers(direct_response(r0))
+
+    def test_solver_failure_fans_out_past_cancelled_waiters(self):
+        """A crash with one waiter gone still reaches the live waiters."""
+
+        async def scenario():
+            batcher = MicroBatcher(window=0.02)
+            solving, release = self.gate(
+                batcher, result_exception=RuntimeError("solver exploded")
+            )
+            w0 = asyncio.create_task(
+                batcher.submit(normalize_request(make_payload(seed=31)))
+            )
+            w1 = asyncio.create_task(
+                batcher.submit(normalize_request(make_payload(seed=32)))
+            )
+            while not solving.is_set():
+                await asyncio.sleep(0.001)
+            w0.cancel()
+            release.set()
+            results = await asyncio.gather(w0, w1, return_exceptions=True)
+            await batcher.aclose()
+            return batcher, results
+
+        batcher, (first, second) = run(asyncio.wait_for(scenario(), timeout=30.0))
+        assert isinstance(first, asyncio.CancelledError)
+        assert isinstance(second, RuntimeError)
+        assert str(second) == "solver exploded"
+        # The failed group fully released its in-flight slots: nothing
+        # leaks into admission control.
+        assert batcher._inflight == {}
+
+    def test_stop_drains_a_request_parked_in_the_window(self):
+        """stop() answers in-flight clients instead of dropping them."""
+
+        async def scenario():
+            service = SolveService(port=0, window=10.0)
+            await service.start()
+            payload = make_payload(seed=81)
+            url = service.url
+            pending = asyncio.get_running_loop().run_in_executor(
+                None, lambda: solve_remote(url, payload)
+            )
+            while not service.batcher._inflight:  # parked in the window
+                await asyncio.sleep(0.005)
+            await service.stop()
+            return payload, await pending
+
+        payload, response = run(asyncio.wait_for(scenario(), timeout=30.0))
+        reference = direct_response(normalize_request(payload))
+        assert strip_markers(response) == strip_markers(reference)
+
+
+class TestCacheCompaction:
+    def test_size_bound_evicts_oldest_and_compacts(self, tmp_path):
+        store = SolveCacheStore(tmp_path / "cache", max_bytes=4096)
+        blob = "x" * 80
+        for i in range(200):
+            store.put(f"key-{i:03d}", {"v": i, "blob": blob})
+        assert store.size_bytes() <= 4096
+        assert store.compactions > 0
+        assert store.evictions > 0
+        # Newest entry always survives; the oldest were evicted.
+        assert store.get("key-199") == {"v": 199, "blob": blob}
+        assert store.get("key-000") is None
+        survivors = len(store)
+        assert 0 < survivors < 200
+        store.close()
+
+        # The compacted log + index round-trip a reopen.
+        reopened = SolveCacheStore(tmp_path / "cache", max_bytes=4096)
+        assert len(reopened) == survivors
+        assert reopened.get("key-199") == {"v": 199, "blob": blob}
+        reopened.close()
+
+    def test_compaction_reclaims_superseded_records(self, tmp_path):
+        store = SolveCacheStore(tmp_path / "cache")
+        for i in range(10):
+            store.put("k", {"v": i})
+        before = store.size_bytes()
+        reclaimed = store.compact()
+        assert reclaimed > 0
+        assert store.size_bytes() == before - reclaimed
+        assert store.get("k") == {"v": 9}
+        assert len(store) == 1
+
+    def test_cache_hits_survive_compaction_and_reopen(self, tmp_path):
+        cache = SolveCache.open(tmp_path / "cache")
+        request = normalize_request(make_payload(seed=91))
+        response = direct_response(request)
+        cache.put(request.key, response)
+        cache.put(request.key, response)  # superseded duplicate record
+        assert cache.store.compact() > 0
+        cache.close()
+
+        reopened = SolveCache.open(tmp_path / "cache")
+        assert reopened.get(request.key) == (response, "store")
+        payload = reopened.stats_payload()
+        assert payload["store_entries"] == 1
+        assert payload["hits"] == 1
+        reopened.close()
+
+    def test_stale_index_after_compaction_is_rebuilt(self, tmp_path):
+        store = SolveCacheStore(tmp_path / "cache")
+        store.put("k1", {"v": 1})
+        store.put("k1", {"v": 11})
+        store.put("k2", {"v": 2})
+        store.compact()
+        store.close()
+        index_path = tmp_path / "cache" / "index.json"
+        raw = json.loads(index_path.read_text())
+        raw["solve"] = {key: offset + 3 for key, offset in raw["solve"].items()}
+        index_path.write_text(json.dumps(raw))
+
+        reopened = SolveCacheStore(tmp_path / "cache")
+        assert reopened.get("k1") == {"v": 11}
+        assert reopened.get("k2") == {"v": 2}
+
+    def test_stats_payload_reports_store_footprint(self, tmp_path):
+        cache = SolveCache.open(tmp_path / "cache", max_bytes=1 << 20)
+        cache.put("k", {"v": 1})
+        payload = cache.stats_payload()
+        assert payload["store_entries"] == 1
+        assert payload["store_bytes"] > 0
+        assert payload["store_max_bytes"] == 1 << 20
+        assert payload["store_evictions"] == 0
+        assert payload["compactions"] == 0
+        cache.close()
+
+
+class TestLatencyReservoir:
+    def test_nearest_rank_percentiles_are_exact(self):
+        reservoir = LatencyReservoir()
+        for ms in range(1, 101):
+            reservoir.add(ms / 1000.0)
+        assert reservoir.percentile(0.50) == pytest.approx(0.050)
+        assert reservoir.percentile(0.95) == pytest.approx(0.095)
+        assert reservoir.percentile(0.99) == pytest.approx(0.099)
+
+    def test_ring_buffer_keeps_only_the_most_recent_samples(self):
+        reservoir = LatencyReservoir(size=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0):
+            reservoir.add(value)
+        # 1.0 and 2.0 were overwritten: the window is {3, 4, 5, 6}.
+        assert reservoir.percentile(0.25) == 3.0
+        assert reservoir.percentile(1.0) == 6.0
+
+    def test_empty_reservoir_reports_zero(self):
+        assert LatencyReservoir().percentile(0.5) == 0.0
+
+
+class TestServiceStatsClock:
+    def test_uptime_is_monotonic_and_start_is_wall_clock(self):
+        stats = ServiceStats()
+        stats.record(0.010)
+        payload = stats.as_dict()
+        assert payload["uptime_seconds"] >= 0
+        assert abs(payload["started_at_unix"] - time.time()) < 60.0
+        assert payload["solved"] == 1
+        assert payload["latency_mean_ms"] == 10.0
+        assert payload["latency_p50_ms"] == 10.0
+        assert payload["latency_p95_ms"] == 10.0
+        assert payload["latency_p99_ms"] == 10.0
+        assert payload["shed"] == 0
+        assert payload["deadline_exceeded"] == 0
