@@ -20,6 +20,13 @@ Refresh the baseline after an intentional performance change::
 
     python benchmarks/compare_to_baseline.py bench-results.json --update
 
+A per-benchmark delta table is printed on every gate run (pass or fail);
+``--json`` emits the same comparison as a machine-readable document for
+dashboards/CI annotations.  Benchmarks listed in ``OPTIONAL_BENCHMARKS``
+(the numba-backend bench) gate only when present in both the baseline
+and the run, so numpy-only environments are never failed for lacking
+the optional JIT dependency.
+
 The module is also importable (``benchmarks.compare_to_baseline``) so the
 comparison logic itself is unit-tested in tier 1.
 """
@@ -47,6 +54,13 @@ KEY_BENCHMARKS = (
     "benchmarks/test_engine_block_scheduler.py::test_bench_batch_refine",
     "benchmarks/test_service_batching.py::test_bench_service_microbatch",
     "benchmarks/test_service_batching.py::test_bench_service_sustained_mixed",
+    "benchmarks/test_engine_block_scheduler.py::test_bench_block_pipeline_cross_point",
+)
+
+#: Benchmarks gated only when their dependency is installed: missing from
+#: a run (or from the baseline) is "skipped", never a failure.
+OPTIONAL_BENCHMARKS = (
+    "benchmarks/test_backends.py::test_bench_batch_refine_numba",
 )
 
 #: Default failure threshold: a key benchmark may be at most this much
@@ -70,28 +84,76 @@ def normalize(medians: dict[str, float], calibration: str) -> dict[str, float]:
     return {name: median / reference for name, median in medians.items()}
 
 
-def compare(results: dict, baseline: dict) -> list[str]:
-    """Failure messages for every key benchmark outside tolerance (empty = pass)."""
+def evaluate(results: dict, baseline: dict) -> tuple[list[dict], list[str]]:
+    """Per-benchmark delta rows plus the gate's failure messages.
+
+    Each row: ``{name, baseline, current, delta, status}`` with status
+    one of ``ok`` / ``regression`` / ``missing`` / ``skipped``
+    (optional benchmark absent from this run).  ``failures`` is empty
+    exactly when the gate passes.
+    """
     medians = load_medians(results)
     calibration = baseline["calibration"]
     tolerance = float(baseline.get("max_regression", DEFAULT_MAX_REGRESSION))
     if calibration not in medians:
-        return [f"calibration benchmark missing from results: {calibration}"]
+        return [], [f"calibration benchmark missing from results: {calibration}"]
     current = normalize(medians, calibration)
-    failures = []
+    rows: list[dict] = []
+    failures: list[str] = []
     for name, entry in baseline["benchmarks"].items():
-        if name not in current:
-            failures.append(f"key benchmark missing from results: {name}")
-            continue
         reference = float(entry["normalized"])
-        limit = reference * (1.0 + tolerance)
-        if current[name] > limit:
+        optional = bool(entry.get("optional")) or name in OPTIONAL_BENCHMARKS
+        if name not in current:
+            if optional:
+                rows.append(
+                    {"name": name, "baseline": reference, "current": None,
+                     "delta": None, "status": "skipped"}
+                )
+            else:
+                rows.append(
+                    {"name": name, "baseline": reference, "current": None,
+                     "delta": None, "status": "missing"}
+                )
+                failures.append(f"key benchmark missing from results: {name}")
+            continue
+        value = current[name]
+        delta = value / reference - 1.0
+        status = "ok"
+        if value > reference * (1.0 + tolerance):
+            status = "regression"
             failures.append(
-                f"{name}: normalized median {current[name]:.4f} is "
-                f"{current[name] / reference - 1.0:+.0%} vs baseline "
+                f"{name}: normalized median {value:.4f} is "
+                f"{delta:+.0%} vs baseline "
                 f"{reference:.4f} (allowed {tolerance:+.0%})"
             )
-    return failures
+        rows.append(
+            {"name": name, "baseline": reference, "current": value,
+             "delta": delta, "status": status}
+        )
+    return rows, failures
+
+
+def compare(results: dict, baseline: dict) -> list[str]:
+    """Failure messages for every key benchmark outside tolerance (empty = pass)."""
+    return evaluate(results, baseline)[1]
+
+
+def format_delta_table(rows: list[dict]) -> str:
+    """Fixed-width rendition of :func:`evaluate`'s rows."""
+    short = [row["name"].split("::")[-1] for row in rows]
+    width = max((len(name) for name in short), default=4)
+    lines = [
+        f"{'benchmark'.ljust(width)}  {'baseline':>9}  {'current':>9}  "
+        f"{'delta':>7}  status"
+    ]
+    for row, name in zip(rows, short):
+        current = "-" if row["current"] is None else f"{row['current']:9.4f}"
+        delta = "-" if row["delta"] is None else f"{row['delta']:+7.1%}"
+        lines.append(
+            f"{name.ljust(width)}  {row['baseline']:9.4f}  {current:>9}  "
+            f"{delta:>7}  {row['status']}"
+        )
+    return "\n".join(lines)
 
 
 def make_baseline(
@@ -99,24 +161,39 @@ def make_baseline(
     *,
     calibration: str = CALIBRATION,
     keys: tuple[str, ...] = KEY_BENCHMARKS,
+    optional: tuple[str, ...] = OPTIONAL_BENCHMARKS,
     max_regression: float = DEFAULT_MAX_REGRESSION,
 ) -> dict:
-    """Build a baseline document from one benchmark run."""
+    """Build a baseline document from one benchmark run.
+
+    Every ``keys`` benchmark must be in the run; ``optional`` ones are
+    recorded (and tagged) only when present, so a numpy-only machine can
+    refresh the baseline without dropping the numba gate from machines
+    that do run it.
+    """
     medians = load_medians(results)
     missing = [name for name in (calibration, *keys) if name not in medians]
     if missing:
         raise KeyError(f"benchmarks missing from results: {missing}")
     normalized = normalize(medians, calibration)
+    benchmarks = {
+        name: {
+            "median_seconds": medians[name],
+            "normalized": normalized[name],
+        }
+        for name in keys
+    }
+    for name in optional:
+        if name in medians:
+            benchmarks[name] = {
+                "median_seconds": medians[name],
+                "normalized": normalized[name],
+                "optional": True,
+            }
     return {
         "calibration": calibration,
         "max_regression": max_regression,
-        "benchmarks": {
-            name: {
-                "median_seconds": medians[name],
-                "normalized": normalized[name],
-            }
-            for name in keys
-        },
+        "benchmarks": benchmarks,
     }
 
 
@@ -131,6 +208,10 @@ def main(argv: list[str] | None = None) -> int:
         "--update", action="store_true",
         help="rewrite the baseline from this run instead of gating",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the comparison as JSON (exit code still signals the gate)",
+    )
     args = parser.parse_args(argv)
 
     results = json.loads(args.results.read_text())
@@ -141,7 +222,24 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     baseline = json.loads(args.baseline.read_text())
-    failures = compare(results, baseline)
+    rows, failures = evaluate(results, baseline)
+    tolerance = float(baseline.get("max_regression", DEFAULT_MAX_REGRESSION))
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "status": "fail" if failures else "pass",
+                    "calibration": baseline["calibration"],
+                    "max_regression": tolerance,
+                    "benchmarks": rows,
+                    "failures": failures,
+                },
+                indent=2,
+            )
+        )
+        return 1 if failures else 0
+    if rows:
+        print(format_delta_table(rows))
     if failures:
         print("benchmark regression gate FAILED:")
         for failure in failures:
@@ -149,8 +247,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(
         f"benchmark regression gate passed "
-        f"({len(baseline['benchmarks'])} key benchmarks within "
-        f"{baseline.get('max_regression', DEFAULT_MAX_REGRESSION):.0%})"
+        f"({len(rows)} key benchmarks within {tolerance:.0%})"
     )
     return 0
 

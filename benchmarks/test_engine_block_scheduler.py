@@ -228,3 +228,71 @@ def test_bench_batch_refine(benchmark, block):
     refined, moves = benchmark(refine_specialized_batch, block.instances, seeds)
     assert refined.shape == (R, block.stack.num_tasks)
     assert int(moves.sum()) > 0
+
+
+# -- cross-point stacking (PR 7) ---------------------------------------------------
+
+#: A types sweep shares the task chain across sweep points, so all eight
+#: blocks stack into one kernel pass (480 rows at n=50, m=40).
+CROSS_POINT_SCENARIO = ScenarioConfig(
+    name="bench-cross-point",
+    num_machines=40,
+    num_types=None,
+    num_tasks=50,
+    sweep="types",
+    sweep_values=tuple(range(4, 36, 4)),
+    repetitions=6,
+    heuristics=("H2",),
+)
+
+
+@pytest.fixture(scope="module")
+def cross_point_blocks() -> list[CellBlock]:
+    streams = RandomStreamFactory(17)
+    return [
+        CellBlock.sample(CROSS_POINT_SCENARIO, value, streams)
+        for value in CROSS_POINT_SCENARIO.sweep_values
+    ]
+
+
+def test_cross_point_stacking_speedup(cross_point_blocks):
+    """Acceptance: stacking aligned sweep points >= 1.3x over per-block.
+
+    A types sweep keeps (n, m) fixed, so every point of the figure shares
+    the block structure; ``evaluate_blocks`` solves all points x R rows in
+    one solve_stack entry instead of one per point.  Results stay
+    bit-for-bit identical (measured ~2.5-4x for the binary-search family).
+    """
+    provider = HeuristicProvider("H2")
+
+    def per_block():
+        return [provider.evaluate_block(block) for block in cross_point_blocks]
+
+    def stacked():
+        return provider.evaluate_blocks(cross_point_blocks)
+
+    for loop_result, stacked_result in zip(per_block(), stacked()):
+        assert (loop_result.periods == stacked_result.periods).all()  # bit-for-bit
+
+    loop_time = _time(per_block)
+    stacked_time = _time(stacked)
+    speedup = loop_time / stacked_time
+    rows = sum(block.repetitions for block in cross_point_blocks)
+    print(
+        f"\ncross-point H2, {len(cross_point_blocks)} points x R="
+        f"{CROSS_POINT_SCENARIO.repetitions} ({rows} rows): per-block "
+        f"{loop_time * 1e3:.0f} ms, stacked {stacked_time * 1e3:.0f} ms, "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup >= 1.3
+
+
+def test_bench_block_pipeline_cross_point(benchmark, cross_point_blocks):
+    """One stacked solve+score pass over a whole aligned types sweep."""
+    provider = HeuristicProvider("H2")
+    results = benchmark(provider.evaluate_blocks, cross_point_blocks)
+    assert len(results) == len(cross_point_blocks)
+    assert all(
+        result.periods.shape == (CROSS_POINT_SCENARIO.repetitions,)
+        for result in results
+    )

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..backend import get_backend
 from ..core.application import Application
 from ..core.failure import FailureModel
 from ..core.instance import ProblemInstance
@@ -85,22 +86,33 @@ def as_assignment_array(
     return arr
 
 
+def _graph_arrays(application: Application) -> tuple[np.ndarray, np.ndarray]:
+    """``(order, succ)`` arrays driving the backend's ``x`` propagation.
+
+    ``order`` is the reverse topological task order; ``succ[t]`` is the
+    successor of task ``t`` or -1 at a sink — the array form of the
+    graph walk every kernel backend consumes.
+    """
+    order = np.asarray(application.reverse_topological_order(), dtype=np.int64)
+    succ = np.full(application.num_tasks, -1, dtype=np.int64)
+    for task in range(application.num_tasks):
+        s = application.successor(task)
+        if s is not None:
+            succ[task] = s
+    return order, succ
+
+
 def _propagate_expected_products(
     application: Application, f_used: np.ndarray
 ) -> np.ndarray:
     """Backward ``x`` recursion vectorized over rows.
 
     ``f_used[r, i]`` is the failure rate of task ``i`` under row ``r``'s
-    assignment; returns ``x`` of the same shape.
+    assignment; returns ``x`` of the same shape.  The walk itself runs in
+    the active kernel backend (see :mod:`repro.backend`).
     """
-    x = np.ones_like(f_used)
-    for task in application.reverse_topological_order():
-        succ = application.successor(task)
-        if succ is None:
-            x[:, task] = 1.0 / (1.0 - f_used[:, task])
-        else:
-            x[:, task] = x[:, succ] / (1.0 - f_used[:, task])
-    return x
+    order, succ = _graph_arrays(application)
+    return get_backend().propagate_x(order, succ, f_used)
 
 
 def _expected_products_core(instance: ProblemInstance, assignments: np.ndarray) -> np.ndarray:
@@ -129,14 +141,11 @@ def _scatter_periods(
 ) -> np.ndarray:
     """Row-wise segment sum of task contributions into machine periods.
 
-    ``np.add.at`` visits the tasks of each row in ascending order — the
+    Every backend visits the tasks of each row in ascending order — the
     same accumulation order as the scalar kernel, keeping results
     bit-for-bit identical.
     """
-    rows = np.arange(assignments.shape[0])[:, np.newaxis]
-    periods = np.zeros((assignments.shape[0], num_machines), dtype=np.float64)
-    np.add.at(periods, (rows, assignments), contributions)
-    return periods
+    return get_backend().scatter_periods(assignments, contributions, num_machines)
 
 
 def _machine_periods_core(
@@ -176,8 +185,7 @@ def batch_throughputs(instance: ProblemInstance, assignments: np.ndarray) -> np.
 
 def _critical_mask(machine_periods: np.ndarray) -> np.ndarray:
     """Boolean ``(R, m)`` mask of machines attaining each row's maximum."""
-    top = machine_periods.max(axis=1, keepdims=True)
-    return (machine_periods >= top * (1.0 - CRITICAL_REL_TOL)) & (top > 0.0)
+    return get_backend().critical_mask(machine_periods, CRITICAL_REL_TOL)
 
 
 def batch_critical_machines(

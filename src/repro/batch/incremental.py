@@ -25,10 +25,12 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from ..backend import get_backend
 from ..core.instance import ProblemInstance, shared_successor_table
 from ..core.mapping import Mapping
 from ..core.period import MappingEvaluation
 from ..exceptions import InvalidMappingError
+from .evaluation import _graph_arrays
 
 __all__ = ["MappingEvaluator", "StackMappingEvaluator"]
 
@@ -100,20 +102,25 @@ class MappingEvaluator:
 
     # -- state ------------------------------------------------------------------
     def refresh(self) -> None:
-        """Recompute ``x``, contributions and periods from scratch."""
-        app = self.instance.application
+        """Recompute ``x``, contributions and periods from scratch.
+
+        Runs as a depth-1 stack through the active kernel backend — the
+        same kernels the batched evaluators use, so the scalar and
+        stacked states stay bit-for-bit interchangeable.
+        """
+        backend = get_backend()
+        order, succ = _graph_arrays(self.instance.application)
         n = self.instance.num_tasks
-        x = np.ones(n, dtype=np.float64)
-        for task in app.reverse_topological_order():
-            succ = app.successor(task)
-            x_down = 1.0 if succ is None else x[succ]
-            x[task] = x_down / (1.0 - self._f[task, self._assignment[task]])
-        self._x = x
         tasks = np.arange(n)
+        f_used = self._f[tasks, self._assignment]
+        x = backend.propagate_x(order, succ, f_used[np.newaxis, :])[0]
+        self._x = x
         self._contrib = x * self._w[tasks, self._assignment]
-        periods = np.zeros(self.instance.num_machines, dtype=np.float64)
-        np.add.at(periods, self._assignment, self._contrib)
-        self._periods = periods
+        self._periods = backend.scatter_periods(
+            self._assignment[np.newaxis, :],
+            self._contrib[np.newaxis, :],
+            self.instance.num_machines,
+        )[0]
 
     @property
     def assignment(self) -> np.ndarray:
@@ -201,21 +208,29 @@ class MappingEvaluator:
         far cheaper than ``m`` full evaluations.
         """
         self._check_move(task, 0)
+        backend = get_backend()
         m = self.instance.num_machines
         old_machine = int(self._assignment[task])
         ups = self._upstream[task]
         old_c = self._contrib[ups]
-        removed = np.zeros(m, dtype=np.float64)
-        np.add.at(removed, self._assignment[ups], old_c)
-        base = self._periods - removed
+        removed = np.zeros((1, m), dtype=np.float64)
+        backend.scatter_add_rows(
+            removed, self._assignment[ups][np.newaxis, :], old_c[np.newaxis, :]
+        )
+        base = self._periods[np.newaxis, :] - removed
         # Unscaled re-add pattern for the unmoved upstream tasks.
-        rest = np.zeros(m, dtype=np.float64)
-        np.add.at(rest, self._assignment[ups[1:]], old_c[1:])
+        rest = np.zeros((1, m), dtype=np.float64)
+        backend.scatter_add_rows(
+            rest, self._assignment[ups[1:]][np.newaxis, :], old_c[1:][np.newaxis, :]
+        )
         ratios = (1.0 - self._f[task, old_machine]) / (1.0 - self._f[task, :])
-        candidates = base[np.newaxis, :] + rest[np.newaxis, :] * ratios[:, np.newaxis]
-        diag = np.arange(m)
-        candidates[diag, diag] += self._x[task] * ratios * self._w[task, :]
-        return candidates.max(axis=1)
+        return backend.probe_candidates(
+            base,
+            rest,
+            ratios[np.newaxis, :],
+            self._x[task : task + 1],
+            self._w[task][np.newaxis, :],
+        )[0]
 
     def best_move(
         self,
@@ -369,23 +384,18 @@ class StackMappingEvaluator:
 
     def refresh(self) -> None:
         """Recompute every row's ``x``, contributions and periods."""
-        app = self.instances[0].application
-        R, n = self._assignment.shape
+        backend = get_backend()
+        order, succ = _graph_arrays(self.instances[0].application)
+        n = self._assignment.shape[1]
         tasks = np.arange(n)
         f_used = self._f[self._rows[:, np.newaxis], tasks[np.newaxis, :], self._assignment]
-        x = np.ones((R, n), dtype=np.float64)
-        for task in app.reverse_topological_order():
-            succ = app.successor(task)
-            if succ is None:
-                x[:, task] = 1.0 / (1.0 - f_used[:, task])
-            else:
-                x[:, task] = x[:, succ] / (1.0 - f_used[:, task])
+        x = backend.propagate_x(order, succ, f_used)
         self._x = x
         w_used = self._w[self._rows[:, np.newaxis], tasks[np.newaxis, :], self._assignment]
         self._contrib = x * w_used
-        periods = np.zeros((R, self.num_machines), dtype=np.float64)
-        np.add.at(periods, (self._rows[:, np.newaxis], self._assignment), self._contrib)
-        self._periods = periods
+        self._periods = backend.scatter_periods(
+            self._assignment, self._contrib, self.num_machines
+        )
 
     def subset(self, rows: np.ndarray) -> "StackMappingEvaluator":
         """A new evaluator holding only ``rows``, state carried over as is.
@@ -428,28 +438,25 @@ class StackMappingEvaluator:
         """
         if not 0 <= task < self._assignment.shape[1]:
             raise InvalidMappingError(f"unknown task index {task}")
+        backend = get_backend()
         m = self.num_machines
-        rows2d = self._rows[:, np.newaxis]
         old_machine = self._assignment[:, task]
         ups = self._upstream[task]
         old_c = self._contrib[:, ups]
         removed = np.zeros((self.num_rows, m), dtype=np.float64)
-        np.add.at(removed, (rows2d, self._assignment[:, ups]), old_c)
+        backend.scatter_add_rows(removed, self._assignment[:, ups], old_c)
         base = self._periods - removed
         # Unscaled re-add pattern for the unmoved upstream tasks.
         rest = np.zeros((self.num_rows, m), dtype=np.float64)
-        np.add.at(rest, (rows2d, self._assignment[:, ups[1:]]), old_c[:, 1:])
+        backend.scatter_add_rows(rest, self._assignment[:, ups[1:]], old_c[:, 1:])
         ratios = (1.0 - self._f[self._rows, task, old_machine])[:, np.newaxis] / (
             1.0 - self._f[:, task, :]
         )
-        candidates = (
-            base[:, np.newaxis, :] + rest[:, np.newaxis, :] * ratios[:, :, np.newaxis]
+        # Fused probe: max over destinations without materialising the
+        # (R, m, m) candidate tensor on compiled backends.
+        return backend.probe_candidates(
+            base, rest, ratios, self._x[:, task], self._w[:, task, :]
         )
-        diag = np.arange(m)
-        candidates[:, diag, diag] += (
-            self._x[:, task][:, np.newaxis] * ratios * self._w[:, task, :]
-        )
-        return candidates.max(axis=2)
 
     def best_moves(
         self,

@@ -26,6 +26,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from ..backend import get_backend
 from ..experiments.providers import resolve_provider
 from ..experiments.runner import execute_blocks
 from ..experiments.store import CellRecord, ResultStore, RunMeta
@@ -171,6 +172,7 @@ def run_shard(
                 curves=list(manifest.curves_for(figure_id)),
                 normalize_to=spec.normalize_to,
                 elapsed_seconds=time.perf_counter() - run_start,
+                backend=get_backend().name,
             )
         )
         report.runs.append((figure_id, seed))

@@ -44,7 +44,7 @@ from ..exact.one_to_one import optimal_one_to_one
 from ..exceptions import ExperimentError, ReproError, SolverError
 from ..generators.scenarios import ScenarioConfig, sample_instance
 from ..heuristics import get_heuristic
-from ..heuristics.base import BATCH_SOLVE_MIN_REPETITIONS, solve_stack
+from ..heuristics.base import batch_solve_min_repetitions, solve_stack
 from ..heuristics.local_search import refine_specialized, refine_specialized_batch
 from ..simulation.rng import RandomStreamFactory
 
@@ -52,8 +52,10 @@ __all__ = [
     "MIP_LABEL",
     "OTO_LABEL",
     "LOCAL_SEARCH_SUFFIX",
+    "CROSS_POINT_MAX_ROWS",
     "CellBlock",
     "BlockResult",
+    "block_signature",
     "CurveProvider",
     "HeuristicProvider",
     "LocalSearchProvider",
@@ -73,8 +75,67 @@ OTO_LABEL = "OtO"
 LOCAL_SEARCH_SUFFIX = "+ls"
 # The batch/per-instance crossover moved to repro.heuristics.base when the
 # routing became provider-agnostic (the solve service's micro-batcher uses
-# the same solve_stack entry); BATCH_SOLVE_MIN_REPETITIONS stays importable
-# from here.
+# the same solve_stack entry and the crossover is now calibrated per
+# heuristic; see repro.heuristics.base.batch_solve_min_repetitions).
+
+#: Row cap for one cross-point stacked solve.  Signature-aligned blocks
+#: are concatenated up to this many repetitions per kernel pass; beyond
+#: it the intermediate (rows, n, m) probe tensors start to crowd cache
+#: for no extra amortization.
+CROSS_POINT_MAX_ROWS = 512
+
+
+def block_signature(block: "CellBlock") -> tuple:
+    """Structural identity of a block's instances.
+
+    Two blocks with equal signatures (same precedence edges, task count
+    and platform size) can be stacked into one
+    :class:`~repro.batch.InstanceStack` — the same check
+    ``InstanceStack.from_instances`` enforces, exposed here so the
+    engine can group sweep points *across* blocks before solving.  Type
+    vectors are deliberately excluded: period evaluation ignores them
+    and the batch solvers carry them per row.
+    """
+    first = block.instances[0]
+    return (
+        tuple(sorted(first.application.graph.edges)),
+        first.num_tasks,
+        first.num_machines,
+    )
+
+
+def _aligned_chunks(
+    blocks: Sequence["CellBlock"], max_rows: int | None = None
+) -> list[list["CellBlock"]]:
+    """Group blocks by signature, then cap each chunk's total rows.
+
+    Order-preserving within a signature; a single block deeper than the
+    cap still forms its own (oversized) chunk.
+    """
+    cap = CROSS_POINT_MAX_ROWS if max_rows is None else max_rows
+    groups: dict[tuple, list[CellBlock]] = {}
+    for block in blocks:
+        groups.setdefault(block_signature(block), []).append(block)
+    chunks: list[list[CellBlock]] = []
+    for group in groups.values():
+        chunk: list[CellBlock] = []
+        rows = 0
+        for block in group:
+            if chunk and rows + block.repetitions > cap:
+                chunks.append(chunk)
+                chunk, rows = [], 0
+            chunk.append(block)
+            rows += block.repetitions
+        chunks.append(chunk)
+    return chunks
+
+
+def _split_periods(chunk, periods):
+    """Slice a chunk's concatenated ``(rows,)`` periods back per block."""
+    offset = 0
+    for block in chunk:
+        yield block, periods[offset : offset + block.repetitions]
+        offset += block.repetitions
 
 
 @dataclass(frozen=True, slots=True)
@@ -174,6 +235,17 @@ class CurveProvider(abc.ABC):
     def evaluate_block(self, block: CellBlock) -> BlockResult:
         """Score every repetition of ``block`` for this curve."""
 
+    def evaluate_blocks(self, blocks: Sequence[CellBlock]) -> list[BlockResult]:
+        """Score several blocks; results in input order.
+
+        The default is a plain per-block loop.  Providers whose kernels
+        are row-independent (the heuristic family) override this to
+        stack signature-aligned blocks into one solve + one evaluation
+        pass — bit-for-bit identical, one kernel entry instead of one
+        per sweep point.
+        """
+        return [self.evaluate_block(block) for block in blocks]
+
     def configure(self, *, milp_time_limit: float | None = None) -> "CurveProvider":
         """Apply engine-level options; the default ignores them all."""
         return self
@@ -214,10 +286,15 @@ class HeuristicProvider(CurveProvider):
         # scenario's declared name.
         self.label = name
 
-    def _use_batch(self, block: CellBlock) -> bool:
+    def _use_batch_rows(self, rows: int) -> bool:
         if self._batch is not None:
             return self._batch
-        return block.repetitions >= BATCH_SOLVE_MIN_REPETITIONS
+        return rows >= batch_solve_min_repetitions(
+            getattr(self._heuristic, "name", None)
+        )
+
+    def _use_batch(self, block: CellBlock) -> bool:
+        return self._use_batch_rows(block.repetitions)
 
     def solve_block(self, block: CellBlock) -> np.ndarray:
         """The ``(R, n)`` assignment array of the heuristic over the block.
@@ -237,9 +314,56 @@ class HeuristicProvider(CurveProvider):
             batch=self._use_batch(block),
         )
 
+    def solve_blocks(self, chunk: Sequence[CellBlock]) -> np.ndarray:
+        """Concatenated assignments over signature-aligned blocks.
+
+        One ``solve_stack`` entry for ``sum(R)`` rows; the batch/loop
+        crossover is decided on the *total* depth, so shallow sweep
+        points that would each fall below the per-heuristic threshold
+        still ride the lock-step kernels together.  Every row keeps its
+        own block's RNG stream label, so results are bit-for-bit the
+        per-block ones.
+        """
+        instances = [inst for block in chunk for inst in block.instances]
+        sources = [
+            (block, repetition)
+            for block in chunk
+            for repetition in range(block.repetitions)
+        ]
+
+        def stream(row: int):
+            block, repetition = sources[row]
+            return block.streams.stream(
+                f"heuristic/{self.label}/{block.sweep_value}", repetition
+            )
+
+        return solve_stack(
+            self._heuristic,
+            instances,
+            stream,
+            batch=self._use_batch_rows(len(instances)),
+        )
+
     def evaluate_block(self, block: CellBlock) -> BlockResult:
         periods = block.stack.periods(self.solve_block(block))
         return BlockResult(label=self.label, periods=periods)
+
+    def evaluate_blocks(self, blocks: Sequence[CellBlock]) -> list[BlockResult]:
+        out: dict[int, BlockResult] = {}
+        for chunk in _aligned_chunks(blocks):
+            if len(chunk) == 1:
+                out[id(chunk[0])] = self.evaluate_block(chunk[0])
+                continue
+            instances = [inst for block in chunk for inst in block.instances]
+            stack = InstanceStack.from_instances(
+                instances, require_uniform_types=False
+            )
+            periods = stack.periods(self.solve_blocks(chunk))
+            for block, block_periods in _split_periods(chunk, periods):
+                out[id(block)] = BlockResult(
+                    label=self.label, periods=block_periods
+                )
+        return [out[id(block)] for block in blocks]
 
 
 class LocalSearchProvider(CurveProvider):
@@ -278,6 +402,31 @@ class LocalSearchProvider(CurveProvider):
             block.stack.periods(refined), block.stack.periods(seeds)
         )
         return BlockResult(label=self.label, periods=periods)
+
+    def evaluate_blocks(self, blocks: Sequence[CellBlock]) -> list[BlockResult]:
+        out: dict[int, BlockResult] = {}
+        for chunk in _aligned_chunks(blocks):
+            if len(chunk) == 1:
+                out[id(chunk[0])] = self.evaluate_block(chunk[0])
+                continue
+            instances = [inst for block in chunk for inst in block.instances]
+            seeds = self._base.solve_blocks(chunk)
+            if self._base._use_batch_rows(len(instances)):
+                refined, _ = refine_specialized_batch(instances, seeds)
+            else:
+                refined = np.empty_like(seeds)
+                for row, instance in enumerate(instances):
+                    mapping, _ = refine_specialized(instance, seeds[row])
+                    refined[row] = mapping.as_array
+            stack = InstanceStack.from_instances(
+                instances, require_uniform_types=False
+            )
+            periods = np.minimum(stack.periods(refined), stack.periods(seeds))
+            for block, block_periods in _split_periods(chunk, periods):
+                out[id(block)] = BlockResult(
+                    label=self.label, periods=block_periods
+                )
+        return [out[id(block)] for block in blocks]
 
 
 class MilpProvider(CurveProvider):

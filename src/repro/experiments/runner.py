@@ -55,6 +55,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..analysis.normalize import NormalizationReport, normalize_series
+from ..backend import get_backend
 from ..analysis.stats import Series
 from ..analysis.tables import series_table, series_to_csv
 from ..exact.milp import solve_specialized_milp
@@ -65,6 +66,7 @@ from ..heuristics import get_heuristic
 from ..simulation.rng import RandomStreamFactory
 from .figures import FIGURES, FigureSpec
 from .providers import (
+    CROSS_POINT_MAX_ROWS,
     MIP_LABEL,
     OTO_LABEL,
     CellBlock,
@@ -361,6 +363,7 @@ def run_scenario(
                 curves=list(series),
                 normalize_to=normalize_to,
                 elapsed_seconds=result.elapsed_seconds,
+                backend=get_backend().name,
             )
         )
         store.flush()
@@ -418,12 +421,52 @@ def execute_blocks(
         for sweep_value, label in pending:
             by_point.setdefault(sweep_value, []).append(label)
         streams = RandomStreamFactory(np.random.SeedSequence(entropy))
-        for sweep_value, point_labels in by_point.items():
-            # One sampling pass serves every curve of the point.
-            block = CellBlock.sample(scenario, sweep_value, streams, memoize=memoize)
-            for label in point_labels:
-                result = provider_by_label[label].evaluate_block(block)
-                record(sweep_value, label, result.values(), result.failures)
+        # Chunk consecutive points with the same predicted (n, m) so a
+        # provider can stack them across sweep points into one kernel
+        # pass (types sweeps share the chain across points; tasks sweeps
+        # chunk per point).  Sampling is label-keyed in the stream
+        # factory, so sampling a chunk up front draws exactly the blocks
+        # the per-point loop would.  Providers re-verify the true
+        # structural signature before stacking, so the prediction only
+        # affects grouping efficiency, never results.
+        chunks: list[list[int]] = []
+        current: list[int] = []
+        current_key: tuple[int, int] | None = None
+        rows = 0
+        for sweep_value in by_point:
+            n, _, m = scenario.dimensions_at(sweep_value)
+            key = (n, m)
+            if current and (
+                key != current_key
+                or rows + scenario.repetitions > CROSS_POINT_MAX_ROWS
+            ):
+                chunks.append(current)
+                current, rows = [], 0
+            current_key = key
+            current.append(sweep_value)
+            rows += scenario.repetitions
+        if current:
+            chunks.append(current)
+        for chunk in chunks:
+            # One sampling pass serves every curve of every chunked point.
+            blocks = {
+                sweep_value: CellBlock.sample(
+                    scenario, sweep_value, streams, memoize=memoize
+                )
+                for sweep_value in chunk
+            }
+            chunk_labels: list[str] = []
+            for sweep_value in chunk:
+                for label in by_point[sweep_value]:
+                    if label not in chunk_labels:
+                        chunk_labels.append(label)
+            for label in chunk_labels:
+                points = [v for v in chunk if label in by_point[v]]
+                results = provider_by_label[label].evaluate_blocks(
+                    [blocks[v] for v in points]
+                )
+                for sweep_value, result in zip(points, results):
+                    record(sweep_value, label, result.values(), result.failures)
 
 
 def _run_blocks(

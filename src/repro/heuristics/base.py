@@ -33,8 +33,10 @@ exists (``m >= p``).
 from __future__ import annotations
 
 import abc
+import json
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -51,6 +53,8 @@ __all__ = [
     "BatchAssignmentState",
     "BatchHeuristic",
     "BATCH_SOLVE_MIN_REPETITIONS",
+    "BATCH_SOLVE_THRESHOLDS",
+    "batch_solve_min_repetitions",
     "supports_batch",
     "solve_one",
     "solve_stack",
@@ -61,11 +65,48 @@ __all__ = [
     "backward_task_order",
 ]
 
-#: Smallest stack depth at which the lock-step batch solvers beat the
-#: per-instance loop (measured crossover ~R=6; both paths are bit-for-bit
-#: identical, so this is purely a scheduling choice).  Shared by the block
-#: engine's curve providers and the solve service's micro-batcher.
+#: Default smallest stack depth at which the lock-step batch solvers beat
+#: the per-instance loop (both paths are bit-for-bit identical, so this is
+#: purely a scheduling choice).  Shared by the block engine's curve
+#: providers and the solve service's micro-batcher; heuristics with an
+#: empirically measured crossover override it through
+#: :data:`BATCH_SOLVE_THRESHOLDS` / :func:`batch_solve_min_repetitions`.
 BATCH_SOLVE_MIN_REPETITIONS = 8
+
+
+def _load_batch_thresholds() -> dict[str, int]:
+    """Per-heuristic crossovers calibrated by ``scripts/tune_thresholds.py``.
+
+    The calibration lives in ``thresholds.json`` next to this module; a
+    missing or unreadable file degrades to the shared default so numpy-only
+    source checkouts keep working.
+    """
+    path = Path(__file__).with_name("thresholds.json")
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return {}
+    thresholds = data.get("thresholds", {})
+    return {
+        str(name): max(2, int(value))
+        for name, value in thresholds.items()
+        if isinstance(value, (int, float))
+    }
+
+
+#: ``{heuristic name: measured batch/per-instance crossover depth}``.
+BATCH_SOLVE_THRESHOLDS: dict[str, int] = _load_batch_thresholds()
+
+
+def batch_solve_min_repetitions(heuristic: str | None = None) -> int:
+    """The batch-solve crossover depth for one heuristic.
+
+    Falls back to :data:`BATCH_SOLVE_MIN_REPETITIONS` for heuristics
+    without a calibrated entry (and for ``None``).
+    """
+    if heuristic is None:
+        return BATCH_SOLVE_MIN_REPETITIONS
+    return BATCH_SOLVE_THRESHOLDS.get(heuristic, BATCH_SOLVE_MIN_REPETITIONS)
 
 
 @dataclass(frozen=True, slots=True)
@@ -603,8 +644,8 @@ def solve_stack(
     The provider-agnostic routing entry shared by the experiment engine's
     :class:`~repro.experiments.providers.HeuristicProvider` and the solve
     service's micro-batcher: when ``heuristic`` implements
-    :class:`BatchHeuristic` and the stack is at least
-    :data:`BATCH_SOLVE_MIN_REPETITIONS` deep (or ``batch=True`` forces
+    :class:`BatchHeuristic` and the stack is at least the heuristic's
+    :func:`batch_solve_min_repetitions` deep (or ``batch=True`` forces
     it), the whole stack is solved in one lock-step ``solve_batch`` call;
     otherwise each instance is solved through :func:`solve_one`.  Row
     ``r`` is bit-for-bit identical either way.
@@ -629,7 +670,8 @@ def solve_stack(
     use_batch = (
         batch
         if batch is not None
-        else len(instances) >= BATCH_SOLVE_MIN_REPETITIONS
+        else len(instances)
+        >= batch_solve_min_repetitions(getattr(heuristic, "name", None))
     )
     if use_batch and supports_batch(heuristic):
         for instance in instances:

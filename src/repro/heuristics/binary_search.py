@@ -35,6 +35,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from ..backend import get_backend
 from ..core.instance import ProblemInstance
 from ..core.mapping import Mapping
 from ..exceptions import ReproError
@@ -191,6 +192,7 @@ class BinarySearchHeuristic(Heuristic):
         ``ok[k]`` says whether row ``k`` placed every task.
         """
         state = template.subset(rows)
+        backend = get_backend()
         alive = np.ones(rows.size, dtype=bool)
         targets_col = targets[:, np.newaxis]
         for task in state.order:
@@ -202,10 +204,9 @@ class BinarySearchHeuristic(Heuristic):
                 break
             order = self.machine_order_batch(state, task, rows)
             # First machine of each row's preference order that satisfies
-            # both masks — the batched form of order[ranked[0]].
-            feasible_ordered = np.take_along_axis(feasible, order, axis=1)
-            first = np.argmax(feasible_ordered, axis=1)
-            chosen = np.take_along_axis(order, first[:, np.newaxis], axis=1)[:, 0]
+            # both masks — the batched form of order[ranked[0]], selected
+            # by the active kernel backend.
+            chosen = backend.first_feasible(order, feasible)
             active = np.flatnonzero(alive)
             state.assign(task, chosen[active], active)
         return alive, state.assignment

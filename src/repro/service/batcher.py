@@ -39,10 +39,11 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from ..exceptions import ServiceOverloadedError
-from ..heuristics.base import BATCH_SOLVE_MIN_REPETITIONS
+from ..heuristics.base import batch_solve_min_repetitions
 from .cache import SolveCache
 from .pool import SolveWorkerPool, solve_group
 from .requests import SolveRequest
@@ -105,9 +106,11 @@ class MicroBatcher:
         Group depth that triggers an immediate flush.
     batch_min:
         Smallest flushed group routed through the lock-step batch
-        kernels; defaults to the engine-wide
-        :data:`~repro.heuristics.base.BATCH_SOLVE_MIN_REPETITIONS`
-        crossover.
+        kernels; ``None`` (default) applies the per-heuristic crossover
+        :func:`~repro.heuristics.base.batch_solve_min_repetitions`
+        (calibrated by ``scripts/tune_thresholds.py``, falling back to
+        the engine-wide
+        :data:`~repro.heuristics.base.BATCH_SOLVE_MIN_REPETITIONS`).
     batch:
         ``None`` applies the ``batch_min`` crossover per flush;
         ``True``/``False`` force one path (benchmarks, tests).  Results
@@ -133,7 +136,7 @@ class MicroBatcher:
         *,
         window: float = DEFAULT_WINDOW_SECONDS,
         max_batch: int = DEFAULT_MAX_BATCH,
-        batch_min: int = BATCH_SOLVE_MIN_REPETITIONS,
+        batch_min: int | None = None,
         batch: bool | None = None,
         cache: SolveCache | None = None,
         pool: SolveWorkerPool | None = None,
@@ -145,7 +148,7 @@ class MicroBatcher:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.window = float(window)
         self.max_batch = int(max_batch)
-        self.batch_min = int(batch_min)
+        self.batch_min = None if batch_min is None else int(batch_min)
         self.batch = batch
         self.cache = cache
         self.pool = pool
@@ -232,9 +235,17 @@ class MicroBatcher:
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
 
-    def _use_batch(self, depth: int) -> bool:
-        """Whether a ``depth``-deep flush takes the lock-step kernel path."""
-        return self.batch if self.batch is not None else depth >= self.batch_min
+    def _use_batch(self, requests: Sequence[SolveRequest]) -> bool:
+        """Whether a flushed group takes the lock-step kernel path.
+
+        The crossover depth is the group heuristic's calibrated one
+        unless the constructor pinned an explicit ``batch_min``.
+        """
+        if self.batch is not None:
+            return self.batch
+        if self.batch_min is not None:
+            return len(requests) >= self.batch_min
+        return len(requests) >= batch_solve_min_repetitions(requests[0].heuristic)
 
     async def _solve_group(self, group: _Group) -> None:
         self.stats.flushes += 1
@@ -247,7 +258,7 @@ class MicroBatcher:
                     self.pool.executor,
                     solve_group,
                     tuple(group.requests),
-                    self._use_batch(len(group.requests)),
+                    self._use_batch(group.requests),
                 )
             else:
                 responses, batched = await loop.run_in_executor(
@@ -311,7 +322,7 @@ class MicroBatcher:
         :func:`~repro.service.pool.solve_group` so tests can gate or
         fake the solve by patching one attribute.
         """
-        return solve_group(requests, self._use_batch(len(requests)))
+        return solve_group(requests, self._use_batch(requests))
 
     async def aclose(self) -> None:
         """Flush every pending group and wait for all in-flight solves.

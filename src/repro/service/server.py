@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass, field
 
 from .._version import __version__
+from ..backend import backend_info
 from ..exceptions import ReproError, ServiceOverloadedError
 from .batcher import DEFAULT_MAX_BATCH, DEFAULT_WINDOW_SECONDS, MicroBatcher
 from .cache import SolveCache
@@ -333,6 +334,10 @@ class SolveService:
         payload = {
             "service": self.stats.as_dict(),
             "batcher": self.batcher.stats.as_dict(),
+            # Which kernel backend this process solves on (and whether the
+            # optional numba one could be used at all) — operational
+            # visibility for mixed fleets; results are backend-independent.
+            "backend": backend_info(),
         }
         payload["cache"] = (
             self.cache.stats_payload() if self.cache is not None else None

@@ -24,6 +24,7 @@ from repro.experiments.figures import FIGURES
 from repro.experiments.providers import CellBlock, HeuristicProvider
 from repro.generators import ScenarioConfig
 from repro.heuristics import get_heuristic, supports_batch
+from repro.heuristics.base import batch_solve_min_repetitions
 from repro.simulation.rng import RandomStreamFactory
 
 
@@ -194,7 +195,10 @@ class TestBatchSolveEquivalence:
         and still matches the per-cell reference engine bit for bit."""
         calls = []
         scenario = _small_scenario(
-            repetitions=providers_module.BATCH_SOLVE_MIN_REPETITIONS,
+            repetitions=max(
+                batch_solve_min_repetitions("H2"),
+                batch_solve_min_repetitions("H4w"),
+            ),
             heuristics=("H2", "H4w"),
         )
         for name in scenario.heuristics:
@@ -212,6 +216,96 @@ class TestBatchSolveEquivalence:
         _assert_identical(cells, block)
 
 
+class TestCrossPointStacking:
+    """Signature-aligned sweep points stacked into one kernel pass.
+
+    A types sweep keeps (n, m) fixed across points, so the serial block
+    engine chunks the whole figure into one solve per curve; results
+    must stay bit-for-bit identical to the per-cell reference, and the
+    lock-step kernel must actually be entered once with every point's
+    rows."""
+
+    def _types_scenario(self, **overrides) -> ScenarioConfig:
+        defaults = dict(
+            name="cross-point-test",
+            num_machines=12,
+            num_types=None,
+            num_tasks=12,
+            sweep="types",
+            sweep_values=(3, 4, 5, 6),
+            repetitions=6,
+            heuristics=("H2", "H4w", "H4ls", "H1"),
+        )
+        defaults.update(overrides)
+        return ScenarioConfig(**defaults)
+
+    def test_types_sweep_identical_to_cells(self):
+        scenario = self._types_scenario()
+        _assert_identical(
+            run_scenario(scenario, seed=7, engine="cells"),
+            run_scenario(scenario, seed=7, engine="block"),
+        )
+
+    def test_aligned_points_solve_in_one_batch_call(self, monkeypatch):
+        calls = []
+        scenario = self._types_scenario(heuristics=("H2", "H4w"))
+        for name in scenario.heuristics:
+            cls = type(get_heuristic(name))
+            original = cls.solve_batch
+
+            def counting(self, instances, _original=original):
+                calls.append((type(self).name, len(instances)))
+                return _original(self, instances)
+
+            monkeypatch.setattr(cls, "solve_batch", counting)
+        run_scenario(scenario, seed=7, engine="block")
+        rows = len(scenario.sweep_values) * scenario.repetitions
+        assert sorted(calls) == [("H2", rows), ("H4w", rows)]
+
+    def test_provider_stacking_matches_per_block(self):
+        scenario = self._types_scenario(heuristics=("H2",))
+        streams = RandomStreamFactory(19)
+        blocks = [
+            CellBlock.sample(scenario, value, streams)
+            for value in scenario.sweep_values
+        ]
+        for name in ("H2", "H4w", "H4ls"):
+            provider = providers_module.resolve_provider(name)
+            stacked = provider.evaluate_blocks(blocks)
+            per_block = [provider.evaluate_block(block) for block in blocks]
+            for one, many in zip(per_block, stacked):
+                assert (one.periods == many.periods).all(), name
+
+    def test_misaligned_points_fall_back_per_block(self):
+        # A tasks sweep changes n between points: nothing may stack.
+        scenario = _small_scenario(heuristics=("H4w",), repetitions=6)
+        streams = RandomStreamFactory(19)
+        blocks = [
+            CellBlock.sample(scenario, value, streams)
+            for value in scenario.sweep_values
+        ]
+        chunks = providers_module._aligned_chunks(blocks)
+        assert [len(chunk) for chunk in chunks] == [1, 1]
+        provider = HeuristicProvider("H4w")
+        stacked = provider.evaluate_blocks(blocks)
+        for block, result in zip(blocks, stacked):
+            reference = provider.evaluate_block(block)
+            assert (result.periods == reference.periods).all()
+
+    def test_row_cap_splits_chunks(self):
+        scenario = self._types_scenario(heuristics=("H4w",), repetitions=4)
+        streams = RandomStreamFactory(19)
+        blocks = [
+            CellBlock.sample(scenario, value, streams)
+            for value in scenario.sweep_values
+        ]
+        chunks = providers_module._aligned_chunks(blocks, max_rows=8)
+        assert [len(chunk) for chunk in chunks] == [2, 2]
+        # An oversized single block still forms its own chunk.
+        chunks = providers_module._aligned_chunks(blocks, max_rows=2)
+        assert [len(chunk) for chunk in chunks] == [1, 1, 1, 1]
+
+
 class TestBatchFallback:
     """Providers whose heuristic lacks ``solve_batch`` must keep working
     under the block engine — serially and on a process pool."""
@@ -221,7 +315,7 @@ class TestBatchFallback:
 
     def test_fallback_block_run_matches_cells_with_workers(self):
         scenario = _small_scenario(
-            repetitions=providers_module.BATCH_SOLVE_MIN_REPETITIONS,
+            repetitions=batch_solve_min_repetitions("H4w"),
             heuristics=("H1", "RoundRobin", "H4w"),
         )
         cells = run_scenario(scenario, seed=31, engine="cells")

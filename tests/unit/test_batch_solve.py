@@ -18,7 +18,7 @@ import pytest
 from repro.batch.incremental import MappingEvaluator, StackMappingEvaluator
 from repro.exceptions import InvalidMappingError, MappingRuleViolation, ReproError
 from repro.experiments.providers import (
-    BATCH_SOLVE_MIN_REPETITIONS,
+    batch_solve_min_repetitions,
     CellBlock,
     HeuristicProvider,
     LocalSearchProvider,
@@ -326,15 +326,15 @@ class TestProviderWiring:
             return original(self, instances)
 
         monkeypatch.setattr(type(heuristic), "solve_batch", counting)
-        small = make_block(repetitions=BATCH_SOLVE_MIN_REPETITIONS - 1)
+        small = make_block(repetitions=batch_solve_min_repetitions("H4w") - 1)
         HeuristicProvider("H4w").solve_block(small)
         assert calls == []
-        big = make_block(repetitions=BATCH_SOLVE_MIN_REPETITIONS)
+        big = make_block(repetitions=batch_solve_min_repetitions("H4w"))
         HeuristicProvider("H4w").solve_block(big)
-        assert calls == [BATCH_SOLVE_MIN_REPETITIONS]
+        assert calls == [batch_solve_min_repetitions("H4w")]
 
     def test_fallback_for_heuristic_without_solve_batch(self):
-        block = make_block(repetitions=BATCH_SOLVE_MIN_REPETITIONS)
+        block = make_block(repetitions=batch_solve_min_repetitions("H4w"))
         provider = HeuristicProvider("H1")
         result = provider.evaluate_block(block)
         assert result.periods.shape == (block.repetitions,)

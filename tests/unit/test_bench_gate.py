@@ -21,7 +21,10 @@ from benchmarks.compare_to_baseline import (
     CALIBRATION,
     DEFAULT_BASELINE_PATH,
     KEY_BENCHMARKS,
+    OPTIONAL_BENCHMARKS,
     compare,
+    evaluate,
+    format_delta_table,
     load_medians,
     main,
     make_baseline,
@@ -103,13 +106,56 @@ class TestBaselineDocument:
     def test_committed_baseline_covers_the_key_benchmarks(self):
         committed = json.loads(DEFAULT_BASELINE_PATH.read_text())
         assert committed["calibration"] == CALIBRATION
-        assert set(committed["benchmarks"]) == set(KEY_BENCHMARKS)
+        recorded = set(committed["benchmarks"])
+        assert recorded >= set(KEY_BENCHMARKS)
+        # Anything beyond the required keys must be a declared optional.
+        assert recorded - set(KEY_BENCHMARKS) <= set(OPTIONAL_BENCHMARKS)
         for entry in committed["benchmarks"].values():
             assert entry["normalized"] > 0.0
+
+    def test_optional_benchmark_recorded_only_when_present(self):
+        results = synthetic_results()
+        assert OPTIONAL_BENCHMARKS[0] not in make_baseline(results)["benchmarks"]
+        with_numba = synthetic_results(**{OPTIONAL_BENCHMARKS[0]: 0.001})
+        entry = make_baseline(with_numba)["benchmarks"][OPTIONAL_BENCHMARKS[0]]
+        assert entry["optional"] is True
 
     def test_load_medians(self):
         medians = load_medians(synthetic_results())
         assert medians[CALIBRATION] == 0.010
+
+
+class TestDeltaRows:
+    def test_rows_cover_every_baselined_benchmark(self):
+        results = synthetic_results()
+        rows, failures = evaluate(results, make_baseline(results))
+        assert failures == []
+        assert [row["name"] for row in rows] == list(KEY_BENCHMARKS)
+        assert all(row["status"] == "ok" for row in rows)
+        assert all(row["delta"] == 0.0 for row in rows)
+
+    def test_missing_optional_is_skipped_not_failed(self):
+        with_numba = synthetic_results(**{OPTIONAL_BENCHMARKS[0]: 0.001})
+        baseline = make_baseline(with_numba)
+        rows, failures = evaluate(synthetic_results(), baseline)
+        assert failures == []
+        by_name = {row["name"]: row for row in rows}
+        assert by_name[OPTIONAL_BENCHMARKS[0]]["status"] == "skipped"
+
+    def test_present_optional_gates_like_any_key(self):
+        with_numba = synthetic_results(**{OPTIONAL_BENCHMARKS[0]: 0.001})
+        baseline = make_baseline(with_numba)
+        slow = synthetic_results(**{OPTIONAL_BENCHMARKS[0]: 0.002})  # +100%
+        rows, failures = evaluate(slow, baseline)
+        assert len(failures) == 1 and OPTIONAL_BENCHMARKS[0] in failures[0]
+
+    def test_format_delta_table_lists_every_row(self):
+        results = synthetic_results()
+        rows, _ = evaluate(results, make_baseline(results))
+        table = format_delta_table(rows)
+        assert len(table.splitlines()) == len(rows) + 1
+        for name in KEY_BENCHMARKS:
+            assert name.split("::")[-1] in table
 
 
 class TestCli:
@@ -132,3 +178,23 @@ class TestCli:
             synthetic_results(**{KEY_BENCHMARKS[2]: 10.0}),
         )
         assert main([str(slow), "--baseline", str(baseline)]) == 1
+
+    def test_json_output_reports_status_and_rows(self, tmp_path, capsys):
+        results = self.write(tmp_path / "run.json", synthetic_results())
+        baseline = tmp_path / "baseline.json"
+        main([str(results), "--baseline", str(baseline), "--update"])
+        capsys.readouterr()
+        assert main([str(results), "--baseline", str(baseline), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "pass"
+        assert payload["failures"] == []
+        assert {row["name"] for row in payload["benchmarks"]} == set(KEY_BENCHMARKS)
+
+    def test_gate_prints_delta_table_on_success(self, tmp_path, capsys):
+        results = self.write(tmp_path / "run.json", synthetic_results())
+        baseline = tmp_path / "baseline.json"
+        main([str(results), "--baseline", str(baseline), "--update"])
+        capsys.readouterr()
+        assert main([str(results), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "delta" in out and "passed" in out

@@ -11,7 +11,10 @@ import pytest
 
 from repro.exceptions import ExperimentError, ServiceOverloadedError
 from repro.heuristics import available_heuristics
-from repro.heuristics.base import BATCH_SOLVE_MIN_REPETITIONS
+from repro.heuristics.base import batch_solve_min_repetitions
+
+# The micro-batcher's crossover for the heuristic used by make_payload.
+BATCH_THRESHOLD = batch_solve_min_repetitions("H4w")
 from repro.service import (
     LatencyReservoir,
     MicroBatcher,
@@ -250,7 +253,7 @@ class TestMicroBatcher:
             batcher = MicroBatcher(window=0.02)
             requests = [
                 normalize_request(make_payload(seed=seed))
-                for seed in range(BATCH_SOLVE_MIN_REPETITIONS - 1)
+                for seed in range(BATCH_THRESHOLD - 1)
             ]
             return await asyncio.gather(
                 *(batcher.submit(request) for request in requests)
@@ -266,7 +269,7 @@ class TestMicroBatcher:
             batcher = MicroBatcher(window=0.05)
             requests = [
                 normalize_request(make_payload(seed=seed))
-                for seed in range(BATCH_SOLVE_MIN_REPETITIONS)
+                for seed in range(BATCH_THRESHOLD)
             ]
             return await asyncio.gather(
                 *(batcher.submit(request) for request in requests)
@@ -346,7 +349,7 @@ class TestMicroBatcher:
                 normalize_request(
                     make_payload(heuristic=heuristic, seed=seed)
                 )
-                for seed in range(BATCH_SOLVE_MIN_REPETITIONS)
+                for seed in range(BATCH_THRESHOLD)
             ]
             responses = await asyncio.gather(
                 *(batcher.submit(request) for request in requests)
@@ -515,7 +518,7 @@ class TestSolveWorkerPool:
                 batcher = MicroBatcher(window=0.05, pool=pool)
                 requests = [
                     normalize_request(make_payload(seed=seed))
-                    for seed in range(BATCH_SOLVE_MIN_REPETITIONS)
+                    for seed in range(BATCH_THRESHOLD)
                 ] + [
                     normalize_request(
                         make_payload(heuristic="H1", tasks=8, seed=seed)
@@ -531,7 +534,7 @@ class TestSolveWorkerPool:
         stats, requests, responses = run(scenario())
         # The deep H4w group took the batch kernel inside a worker, the
         # H1 group fell back per instance — both inside workers.
-        assert stats.batched_requests == BATCH_SOLVE_MIN_REPETITIONS
+        assert stats.batched_requests == BATCH_THRESHOLD
         assert stats.fallback_requests == 3
         for request, response in zip(requests, responses):
             reference = direct_response(request)
