@@ -35,6 +35,23 @@ from .evaluation import _graph_arrays
 __all__ = ["MappingEvaluator", "StackMappingEvaluator"]
 
 
+def _coerce_assignment(
+    instance: ProblemInstance, mapping: Mapping | np.ndarray
+) -> np.ndarray:
+    """Validated ``(n,)`` int64 copy of an allocation vector."""
+    arr = mapping.as_array if isinstance(mapping, Mapping) else np.asarray(mapping)
+    arr = arr.astype(np.int64, copy=True)
+    if arr.shape != (instance.num_tasks,):
+        raise InvalidMappingError(
+            f"assignment must have shape ({instance.num_tasks},), got {arr.shape}"
+        )
+    if arr.size and (arr.min() < 0 or arr.max() >= instance.num_machines):
+        raise InvalidMappingError(
+            f"assignment uses machine indices outside 0..{instance.num_machines - 1}"
+        )
+    return arr
+
+
 def _upstream_sets(instance: ProblemInstance) -> list[np.ndarray]:
     """For each task, the array of tasks whose sink path passes through it.
 
@@ -84,17 +101,7 @@ class MappingEvaluator:
 
     def __init__(self, instance: ProblemInstance, mapping: Mapping | np.ndarray):
         self.instance = instance
-        arr = mapping.as_array if isinstance(mapping, Mapping) else np.asarray(mapping)
-        arr = arr.astype(np.int64, copy=True)
-        if arr.shape != (instance.num_tasks,):
-            raise InvalidMappingError(
-                f"assignment must have shape ({instance.num_tasks},), got {arr.shape}"
-            )
-        if arr.size and (arr.min() < 0 or arr.max() >= instance.num_machines):
-            raise InvalidMappingError(
-                f"assignment uses machine indices outside 0..{instance.num_machines - 1}"
-            )
-        self._assignment = arr
+        self._assignment = _coerce_assignment(instance, mapping)
         self._f = instance.failure_rates
         self._w = instance.processing_times
         self._upstream = _upstream_sets(instance)
@@ -121,6 +128,22 @@ class MappingEvaluator:
             self._contrib[np.newaxis, :],
             self.instance.num_machines,
         )[0]
+
+    def reassign(self, mapping: Mapping | np.ndarray) -> None:
+        """Replace the whole allocation and resync state from scratch.
+
+        The per-task ``move`` path is the right tool for *one* changed
+        task; when a caller swaps in an unrelated mapping (the live
+        replanner deploying a cached or cold plan), a validated
+        assignment swap plus one :meth:`refresh` is cheaper and — unlike
+        a chain of moves — lands in exactly the numeric state a freshly
+        constructed evaluator would hold, because :meth:`refresh`
+        recomputes everything from the assignment alone.  Only the
+        upstream sets (fixed by the precedence graph, O(n²) to rebuild)
+        are carried over.
+        """
+        self._assignment = _coerce_assignment(self.instance, mapping)
+        self.refresh()
 
     @property
     def assignment(self) -> np.ndarray:

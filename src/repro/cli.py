@@ -43,6 +43,13 @@ and fire one request at a running service::
     microrepro request --url http://127.0.0.1:8000 --heuristic H4w \
         --tasks 10 --types 3 --machines 5 --seed 7
 
+Replay a seeded failure/recovery timeline through the live replanner —
+in process or against a running service's ``/v1/session`` API — and
+verify warm-started replans against the cold re-solve reference::
+
+    microrepro live --machines 8 --duration 200 --verify
+    microrepro live --url http://127.0.0.1:8000 --verify --json
+
 Solve one random instance with every heuristic and the exact MIP::
 
     microrepro solve --tasks 10 --types 3 --machines 5 --seed 7 --milp
@@ -96,9 +103,11 @@ from .experiments.store import ResultStore
 from .generators.applications import random_chain_application
 from .generators.platforms import random_failure_rates, random_processing_times
 from .heuristics import PAPER_HEURISTICS, get_heuristic
+from .live import LiveConfig, compare_reports, run_timeline, run_timeline_remote
 from .service.batcher import DEFAULT_MAX_BATCH, DEFAULT_WINDOW_SECONDS
-from .service.client import solve_remote
+from .service.client import ServiceClient, solve_remote
 from .service.server import serve as serve_service
+from .service.sessions import DEFAULT_MAX_SESSIONS, DEFAULT_SESSION_TTL
 
 __all__ = ["main", "build_parser"]
 
@@ -484,6 +493,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission limit: shed new distinct requests with HTTP 429 "
         "once this many solves are pending (0 = unlimited)",
     )
+    serve_parser.add_argument(
+        "--session-ttl",
+        type=float,
+        default=DEFAULT_SESSION_TTL,
+        help="idle expiry of live replanning sessions (seconds)",
+    )
+    serve_parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=DEFAULT_MAX_SESSIONS,
+        help="bound on concurrently open sessions (new ones shed with 429)",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
 
     request_parser = subparsers.add_parser(
@@ -504,6 +525,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--repetition", type=int, default=0, help="repetition index of the draw"
     )
     request_parser.set_defaults(func=_cmd_request)
+
+    live_parser = subparsers.add_parser(
+        "live",
+        help=(
+            "run a seeded fail/recover timeline through the live replanner "
+            "(in process, or against a running service's session API)"
+        ),
+    )
+    live_parser.add_argument("--tasks", type=int, default=12, help="number of tasks n")
+    live_parser.add_argument("--types", type=int, default=3, help="number of task types p")
+    live_parser.add_argument("--machines", type=int, default=6, help="number of machines m")
+    live_parser.add_argument(
+        "--heuristic",
+        default="H4ls",
+        help="deterministic heuristic for the initial solve and cold replans",
+    )
+    live_parser.add_argument("--seed", type=int, default=0, help="instance draw seed")
+    live_parser.add_argument(
+        "--repetition", type=int, default=0, help="repetition index of the draw"
+    )
+    live_parser.add_argument(
+        "--duration", type=float, default=100.0, help="timeline horizon (seconds)"
+    )
+    live_parser.add_argument(
+        "--mtbf", type=float, default=60.0, help="mean time between failures per machine"
+    )
+    live_parser.add_argument(
+        "--mttr", type=float, default=15.0, help="mean time to recovery per machine"
+    )
+    live_parser.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=0.1,
+        help="Poisson rate of solve-request probe events (per second)",
+    )
+    live_parser.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="run the timeline against a running service's /v1/session API "
+        "instead of in process",
+    )
+    live_parser.add_argument(
+        "--cold",
+        action="store_true",
+        help="replan without warm starts (the cold re-solve reference)",
+    )
+    live_parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run the other mode(s) and require bit-for-bit agreement "
+        "(warm == cold re-solve; with --url, remote == local too)",
+    )
+    live_parser.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    live_parser.set_defaults(func=_cmd_live)
 
     return parser
 
@@ -755,6 +833,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_max_bytes=args.cache_max_bytes,
         workers=args.workers,
         max_pending=args.max_pending or None,
+        session_ttl=args.session_ttl,
+        max_sessions=args.max_sessions,
     )
     return 0
 
@@ -770,6 +850,50 @@ def _cmd_request(args: argparse.Namespace) -> int:
         },
     )
     print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_live(args: argparse.Namespace) -> int:
+    config = LiveConfig(
+        tasks=args.tasks,
+        types=args.types,
+        machines=args.machines,
+        heuristic=args.heuristic,
+        seed=args.seed,
+        repetition=args.repetition,
+        duration=args.duration,
+        mtbf=args.mtbf,
+        mttr=args.mttr,
+        arrival_rate=args.arrival_rate,
+    )
+    if args.url is not None:
+        with ServiceClient(args.url) as client:
+            report = run_timeline_remote(config, client)
+    else:
+        report = run_timeline(config, warm=not args.cold)
+    verified = False
+    if args.verify:
+        # The cold re-solve run is the ground truth; a warm (or remote)
+        # run must match it bit for bit on every event.
+        local = args.url is None
+        cold = report if local and args.cold else run_timeline(config, warm=False)
+        warm = report if local and not args.cold else run_timeline(config, warm=True)
+        compare_reports(cold, warm)
+        if not local:
+            compare_reports(warm, report)
+        verified = True
+    if args.json:
+        payload = report.to_dict()
+        payload["verified"] = verified
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for line in report.summary_lines():
+            print(line)
+        if verified:
+            print(
+                "verified: warm == cold re-solve bit for bit"
+                + ("" if args.url is None else " == remote session")
+            )
     return 0
 
 

@@ -22,9 +22,14 @@ Layers (one module each):
   (the picklable group-solve function + its executor);
 * :mod:`~repro.service.cache` — the two-tier response cache
   (size-bounded persistent tier with compaction + eviction);
+* :mod:`~repro.service.metrics` — shared latency reservoir;
+* :mod:`~repro.service.sessions` — live replanning sessions
+  (:class:`SessionManager`: table, counters, idle expiry);
 * :mod:`~repro.service.server` — the asyncio HTTP front end
-  (``/solve``, ``/stats``, ``/healthz``);
-* :mod:`~repro.service.client` — stdlib client helpers
+  (versioned ``/v1`` routes — solve, stats, healthz, session — plus
+  deprecated unversioned aliases);
+* :mod:`~repro.service.client` — :class:`ServiceClient` (keep-alive,
+  429 retry, sessions) plus the deprecated one-shot helpers
   (``microrepro request``, tests, CI smoke).
 
 Responses are **bit-for-bit identical** to per-request direct solves no
@@ -35,15 +40,27 @@ caching are scheduling choices, never semantic ones.
 from ..exceptions import ServiceOverloadedError
 from .batcher import BatcherStats, MicroBatcher
 from .cache import CacheStats, SolveCache, SolveCacheStore
-from .client import get_json, post_json, service_stats, solve_remote
+from .client import (
+    ServiceClient,
+    ServiceSession,
+    get_json,
+    post_json,
+    service_stats,
+    solve_remote,
+)
+from .metrics import LatencyReservoir
 from .pool import SolveWorkerPool, solve_group
 from .requests import (
+    SessionRequest,
     SolveRequest,
     build_response,
     direct_response,
+    normalize_event,
     normalize_request,
+    normalize_session_request,
 )
-from .server import LatencyReservoir, ServiceStats, SolveService, serve
+from .server import ServiceStats, SolveService, serve
+from .sessions import LiveSession, SessionManager
 
 __all__ = [
     "BatcherStats",
@@ -54,15 +71,22 @@ __all__ = [
     "ServiceOverloadedError",
     "SolveWorkerPool",
     "solve_group",
+    "ServiceClient",
+    "ServiceSession",
     "get_json",
     "post_json",
     "service_stats",
     "solve_remote",
+    "SessionRequest",
     "SolveRequest",
     "build_response",
     "direct_response",
+    "normalize_event",
     "normalize_request",
+    "normalize_session_request",
     "LatencyReservoir",
+    "LiveSession",
+    "SessionManager",
     "ServiceStats",
     "SolveService",
     "serve",

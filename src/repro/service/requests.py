@@ -50,8 +50,11 @@ from ..simulation.rng import RandomStreamFactory
 
 __all__ = [
     "SERVICE_SCENARIO_NAME",
+    "SessionRequest",
     "SolveRequest",
+    "normalize_event",
     "normalize_request",
+    "normalize_session_request",
     "build_response",
     "direct_response",
 ]
@@ -278,6 +281,99 @@ def normalize_request(payload: dict) -> SolveRequest:
         repetition=repetition,
         deadline_ms=deadline_ms,
     )
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """One normalized ``POST /v1/session`` payload.
+
+    ``request`` is the underlying content-addressed solve request — the
+    session replans exactly the instance ``POST /v1/solve`` would draw
+    for the same fields.  ``ttl_seconds`` overrides the service's idle
+    expiry for this session (``None`` = server default).
+    """
+
+    request: SolveRequest
+    ttl_seconds: float | None = None
+
+
+def normalize_session_request(payload: dict) -> SessionRequest:
+    """Validate a session-creation payload.
+
+    The schema is the solve-request schema with two session-specific
+    twists: ``options.ttl_seconds`` (idle expiry override) is accepted,
+    while ``options.deadline_ms`` (a per-solve scheduling knob) and
+    randomized heuristics (H1 — a live session must be replayable) are
+    rejected.  Unknown keys are rejected at every level, listing the
+    offending names, exactly like :func:`normalize_request`.
+    """
+    if not isinstance(payload, dict):
+        raise ExperimentError("session request must be a JSON object")
+    payload = dict(payload)
+    options = _expect_mapping(payload, "options")
+    ttl_seconds = options.pop("ttl_seconds", None)
+    if ttl_seconds is not None:
+        if (
+            isinstance(ttl_seconds, bool)
+            or not isinstance(ttl_seconds, (int, float))
+            or not ttl_seconds > 0
+        ):
+            raise ExperimentError(
+                f"options.ttl_seconds must be a positive number, got {ttl_seconds!r}"
+            )
+        ttl_seconds = float(ttl_seconds)
+    if "deadline_ms" in options:
+        raise ExperimentError(
+            "options.deadline_ms does not apply to sessions (deadlines are "
+            "per solve request)"
+        )
+    payload["options"] = options
+    request = normalize_request(payload)
+    if request.resolve_heuristic().randomized:
+        raise ExperimentError(
+            f"live sessions require a deterministic heuristic; "
+            f"{request.heuristic} is randomized"
+        )
+    return SessionRequest(request=request, ttl_seconds=ttl_seconds)
+
+
+def normalize_event(payload: dict) -> tuple[str, int | None, float]:
+    """Validate a session event payload into ``(kind, machine, time)``.
+
+    ``fail`` / ``recover`` events need a ``machine`` index; ``request``
+    events must not carry one.  ``time`` is the event's timeline
+    timestamp (sessions require non-decreasing times — availability is
+    integrated from these, never from the wall clock).  Unknown keys are
+    rejected with a listing, like every other payload.
+    """
+    if not isinstance(payload, dict):
+        raise ExperimentError("session event must be a JSON object")
+    payload = dict(payload)
+    kind = payload.pop("kind", None)
+    if kind not in ("fail", "recover", "request"):
+        raise ExperimentError(
+            f"event.kind must be 'fail', 'recover' or 'request', got {kind!r}"
+        )
+    event_time = payload.pop("time", None)
+    if (
+        isinstance(event_time, bool)
+        or not isinstance(event_time, (int, float))
+        or not event_time >= 0
+    ):
+        raise ExperimentError(
+            f"event.time must be a number >= 0, got {event_time!r}"
+        )
+    machine = payload.pop("machine", None)
+    if kind == "request":
+        if machine is not None:
+            raise ExperimentError("'request' events take no machine index")
+    else:
+        if isinstance(machine, bool) or not isinstance(machine, int) or machine < 0:
+            raise ExperimentError(
+                f"event.machine must be an integer >= 0, got {machine!r}"
+            )
+    _reject_unknown(payload, "event")
+    return kind, machine, float(event_time)
 
 
 def build_response(

@@ -1,10 +1,12 @@
 """Asyncio HTTP front end of the solve service.
 
 A deliberately small, dependency-free HTTP/1.1 server on
-``asyncio.start_server`` (the container ships no async HTTP framework,
-and the service needs exactly three JSON endpoints):
+``asyncio.start_server`` (the container ships no async HTTP framework).
+All routes live under the **versioned** ``/v1/`` prefix; the original
+unversioned paths (``/solve``, ``/stats``, ``/healthz``) survive as
+aliases that answer identically plus a ``Deprecation: true`` header:
 
-``POST /solve``
+``POST /v1/solve``
     One solve request (see :mod:`repro.service.requests` for the
     schema).  The connection parks in the micro-batcher until its group
     flushes; the response body carries the mapping, its period and the
@@ -13,32 +15,49 @@ and the service needs exactly three JSON endpoints):
     request carrying ``options.deadline_ms`` that cannot be answered in
     time gets a **504** (the solve itself still completes and lands in
     the cache, so the retry is cheap).
-``GET /stats``
-    Live counters: request/cache/batcher stats plus latency aggregates
-    and p50/p95/p99 percentiles over a fixed-size reservoir.
-``GET /healthz``
+``POST /v1/session`` / ``POST /v1/session/{id}/event`` /
+``GET /v1/session/{id}`` / ``DELETE /v1/session/{id}``
+    Long-lived replanning sessions (see :mod:`repro.service.sessions`):
+    create one over a solve-request payload, apply platform deltas
+    (machine failed / recovered) and get the incrementally replanned
+    mapping back, read state, close.  Idle sessions expire.
+``GET /v1/stats``
+    Live counters: request/cache/batcher/session stats plus latency
+    aggregates and p50/p95/p99 percentiles over fixed-size reservoirs.
+``GET /v1/healthz``
     Liveness probe (also used by the CLI/smoke to await readiness).
 
 Keep-alive is supported, so a client can stream many requests over one
-connection; malformed requests get a 400 with an ``{"error": ...}``
-body instead of tearing the connection down.
+connection.  Every error status (400/404/429/500/504) carries one
+uniform envelope — ``{"error": {"code", "message"[,
+"retry_after_seconds"]}}`` — instead of tearing the connection down.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import math
+import re
 import time
 from dataclasses import dataclass, field
 
 from .._version import __version__
 from ..backend import backend_info
 from ..exceptions import ReproError, ServiceOverloadedError
+from ..live.replanner import Replanner
 from .batcher import DEFAULT_MAX_BATCH, DEFAULT_WINDOW_SECONDS, MicroBatcher
 from .cache import SolveCache
+from .metrics import LatencyReservoir
 from .pool import SolveWorkerPool
-from .requests import normalize_request
+from .requests import (
+    SessionRequest,
+    normalize_event,
+    normalize_request,
+    normalize_session_request,
+)
+from .sessions import DEFAULT_MAX_SESSIONS, DEFAULT_SESSION_TTL, SessionManager
 
 __all__ = ["LatencyReservoir", "ServiceStats", "SolveService", "serve"]
 
@@ -47,38 +66,13 @@ __all__ = ["LatencyReservoir", "ServiceStats", "SolveService", "serve"]
 MAX_BODY_BYTES = 1 << 20
 #: Largest accepted request line + header section.
 MAX_HEADER_BYTES = 1 << 14
-#: Latency samples kept for the ``/stats`` percentiles.
-RESERVOIR_SIZE = 512
 
+#: Unversioned routes kept as deprecated aliases of their /v1 versions.
+LEGACY_ALIASES = ("/solve", "/stats", "/healthz")
 
-@dataclass(slots=True)
-class LatencyReservoir:
-    """Fixed-size reservoir of the most recent request latencies.
-
-    A ring buffer over the last ``size`` samples: O(1) per record, fixed
-    memory forever, and the percentiles track *current* behaviour
-    instead of averaging this minute's overload away against last
-    hour's idle.
-    """
-
-    size: int = RESERVOIR_SIZE
-    _samples: list[float] = field(default_factory=list)
-    _next: int = 0
-
-    def add(self, value: float) -> None:
-        if len(self._samples) < self.size:
-            self._samples.append(value)
-        else:
-            self._samples[self._next] = value
-        self._next = (self._next + 1) % self.size
-
-    def percentile(self, q: float) -> float:
-        """Nearest-rank percentile (``0 < q <= 1``); ``0.0`` when empty."""
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        rank = max(1, math.ceil(q * len(ordered)))
-        return ordered[rank - 1]
+#: ``/v1/session/{id}`` and ``/v1/session/{id}/event`` (already stripped
+#: of the version prefix when matched).
+_SESSION_ROUTE = re.compile(r"/session/([A-Za-z0-9_-]+)(/event)?")
 
 
 @dataclass(slots=True)
@@ -155,6 +149,11 @@ class SolveService:
         disables shedding.
     retry_after:
         Seconds advertised in the 429 ``Retry-After`` header.
+    session_ttl:
+        Idle expiry of live replanning sessions, in seconds.
+    max_sessions:
+        Bound on concurrently open sessions; creating one beyond it is
+        shed with HTTP 429.
     """
 
     def __init__(
@@ -171,6 +170,8 @@ class SolveService:
         workers: int = 0,
         max_pending: int | None = None,
         retry_after: float = 1.0,
+        session_ttl: float = DEFAULT_SESSION_TTL,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
     ):
         self.host = host
         self.port = port
@@ -194,7 +195,9 @@ class SolveService:
             max_pending=max_pending,
         )
         self.stats = ServiceStats()
+        self.sessions = SessionManager(ttl=session_ttl, max_sessions=max_sessions)
         self._server: asyncio.Server | None = None
+        self._sweeper: asyncio.Task | None = None
 
     # -- lifecycle ---------------------------------------------------------------
     @property
@@ -209,6 +212,9 @@ class SolveService:
         )
         # With port=0 the kernel picked one; expose the effective port.
         self.port = self._server.sockets[0].getsockname()[1]
+        self._sweeper = asyncio.get_running_loop().create_task(
+            self.sessions.run_sweeper()
+        )
 
     async def serve_forever(self) -> None:
         """Run until cancelled (the CLI entry point)."""
@@ -227,6 +233,11 @@ class SolveService:
         ``wait_closed`` itself waits for connection handlers — which are
         exactly the coroutines parked on the batcher.
         """
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._sweeper
+            self._sweeper = None
         if self._server is not None:
             self._server.close()
         await self.batcher.aclose()
@@ -274,23 +285,59 @@ class SolveService:
         self, method: str, target: str, body: bytes
     ) -> tuple[int, dict, dict | None]:
         path = target.split("?", 1)[0]
-        if method == "POST" and path == "/solve":
-            return await self._solve(body)
-        if method == "GET" and path == "/stats":
-            return 200, self.stats_payload(), None
-        if method == "GET" and path == "/healthz":
-            return 200, {"status": "ok", "version": __version__}, None
+        if path in LEGACY_ALIASES:
+            # Unversioned alias of the /v1 route: same answer, flagged
+            # deprecated so callers can migrate on their own schedule.
+            status, payload, headers = await self._route(method, path, path, body)
+            headers = dict(headers or {})
+            headers["Deprecation"] = "true"
+            return status, payload, headers
+        if path == "/v1" or path.startswith("/v1/"):
+            return await self._route(method, path[3:] or "/", path, body)
         self.stats.errors += 1
-        return 404, {"error": f"no such endpoint: {method} {path}"}, None
+        return _error(404, "not_found", f"no such endpoint: {method} {path}")
+
+    async def _route(
+        self, method: str, route: str, path: str, body: bytes
+    ) -> tuple[int, dict, dict | None]:
+        """Answer one version-stripped route (``path`` only for messages)."""
+        if route == "/solve" and method == "POST":
+            return await self._solve(body)
+        if route == "/stats" and method == "GET":
+            return 200, self.stats_payload(), None
+        if route == "/healthz" and method == "GET":
+            return 200, {"status": "ok", "version": __version__, "api": "v1"}, None
+        if route == "/session" and method == "POST":
+            return await self._session_create(body)
+        match = _SESSION_ROUTE.fullmatch(route)
+        if match is not None:
+            session_id, is_event = match.group(1), match.group(2) is not None
+            if is_event and method == "POST":
+                return await self._session_event(session_id, body)
+            if not is_event and method == "GET":
+                return self._session_state(session_id)
+            if not is_event and method == "DELETE":
+                return self._session_close(session_id)
+        self.stats.errors += 1
+        return _error(404, "not_found", f"no such endpoint: {method} {path}")
+
+    def _shed(self, exc: ServiceOverloadedError) -> tuple[int, dict, dict | None]:
+        # Load shedding, not an error: the request was never admitted.
+        self.stats.shed += 1
+        seconds = getattr(exc, "retry_after_seconds", None)
+        retry_after = max(0, math.ceil(self.retry_after if seconds is None else seconds))
+        return _error(
+            429,
+            "overloaded",
+            str(exc),
+            retry_after=retry_after,
+            headers={"Retry-After": str(retry_after)},
+        )
 
     async def _solve(self, body: bytes) -> tuple[int, dict, dict | None]:
         start = time.perf_counter()
         try:
-            payload = json.loads(body.decode("utf-8")) if body else {}
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            self.stats.errors += 1
-            return 400, {"error": f"request body is not valid JSON: {exc}"}, None
-        try:
+            payload = _parse_json(body)
             request = normalize_request(payload)
             submission = self.batcher.submit(request)
             if request.deadline_ms is not None:
@@ -300,40 +347,106 @@ class SolveService:
             else:
                 response = await submission
         except ServiceOverloadedError as exc:
-            # Load shedding, not an error: the request was never admitted.
-            self.stats.shed += 1
-            retry_after = max(0, math.ceil(self.retry_after))
-            return (
-                429,
-                {"error": str(exc), "retry_after_seconds": retry_after},
-                {"Retry-After": str(retry_after)},
-            )
+            return self._shed(exc)
         except (asyncio.TimeoutError, TimeoutError):
             # The solve itself keeps running (shielded) and lands in the
             # cache, so the client's retry after the deadline is cheap.
             self.stats.deadline_exceeded += 1
-            return (
+            return _error(
                 504,
-                {
-                    "error": f"deadline of {request.deadline_ms:g} ms exceeded "
-                    "before the solve completed"
-                },
-                None,
+                "deadline_exceeded",
+                f"deadline of {request.deadline_ms:g} ms exceeded "
+                "before the solve completed",
             )
         except ReproError as exc:
             self.stats.errors += 1
-            return 400, {"error": str(exc)}, None
+            return _error(400, "bad_request", str(exc))
         except Exception as exc:  # noqa: BLE001 - a solver bug must not kill the connection
             self.stats.errors += 1
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}, None
+            return _error(500, "internal", f"{type(exc).__name__}: {exc}")
         self.stats.record(time.perf_counter() - start)
         return 200, response, None
 
+    # -- sessions ------------------------------------------------------------------
+    @staticmethod
+    def _build_replanner(spec: SessionRequest) -> Replanner:
+        """CPU-bound session setup (instance draw + initial solve)."""
+        return Replanner(spec.request.sample(), spec.request.heuristic)
+
+    async def _session_create(self, body: bytes) -> tuple[int, dict, dict | None]:
+        try:
+            spec = normalize_session_request(_parse_json(body))
+            replanner = await asyncio.get_running_loop().run_in_executor(
+                None, self._build_replanner, spec
+            )
+            session = self.sessions.add(spec, replanner)
+        except ServiceOverloadedError as exc:
+            return self._shed(exc)
+        except ReproError as exc:
+            self.stats.errors += 1
+            return _error(400, "bad_request", str(exc))
+        except Exception as exc:  # noqa: BLE001 - keep the connection alive
+            self.stats.errors += 1
+            return _error(500, "internal", f"{type(exc).__name__}: {exc}")
+        return 200, session.created_payload(), None
+
+    async def _session_event(
+        self, session_id: str, body: bytes
+    ) -> tuple[int, dict, dict | None]:
+        try:
+            payload = _parse_json(body)
+            kind, machine, event_time = normalize_event(payload)
+            session = self.sessions.get(session_id)
+        except ReproError as exc:
+            return self._session_error(exc)
+        try:
+            # The lock serializes concurrent events on one session: the
+            # replanner sees a single, time-ordered stream.  The replan
+            # itself runs on the executor so other sessions (and plain
+            # solves) keep flowing while this one computes.
+            async with session.lock:
+                session.touch()
+                record = await asyncio.get_running_loop().run_in_executor(
+                    None, session.replanner.apply, event_time, kind, machine
+                )
+                session.touch()
+        except ReproError as exc:
+            self.stats.errors += 1
+            return _error(400, "bad_request", str(exc))
+        except Exception as exc:  # noqa: BLE001 - keep the connection alive
+            self.stats.errors += 1
+            return _error(500, "internal", f"{type(exc).__name__}: {exc}")
+        self.sessions.note_record(record)
+        return 200, {"session": session.id, **record.to_dict()}, None
+
+    def _session_state(self, session_id: str) -> tuple[int, dict, dict | None]:
+        try:
+            session = self.sessions.get(session_id)
+        except ReproError as exc:
+            return self._session_error(exc)
+        session.touch()
+        return 200, session.state_payload(), None
+
+    def _session_close(self, session_id: str) -> tuple[int, dict, dict | None]:
+        try:
+            session = self.sessions.close(session_id)
+        except ReproError as exc:
+            return self._session_error(exc)
+        return 200, session.closed_payload(), None
+
+    def _session_error(self, exc: ReproError) -> tuple[int, dict, dict | None]:
+        """400 for malformed payloads, 404 for unknown/expired sessions."""
+        self.stats.errors += 1
+        if str(exc).startswith("no such session"):
+            return _error(404, "session_not_found", str(exc))
+        return _error(400, "bad_request", str(exc))
+
     def stats_payload(self) -> dict:
-        """The ``/stats`` body (also used by tests and the smoke check)."""
+        """The ``/v1/stats`` body (also used by tests and the smoke check)."""
         payload = {
             "service": self.stats.as_dict(),
             "batcher": self.batcher.stats.as_dict(),
+            "sessions": self.sessions.stats_payload(),
             # Which kernel backend this process solves on (and whether the
             # optional numba one could be used at all) — operational
             # visibility for mixed fleets; results are backend-independent.
@@ -344,6 +457,29 @@ class SolveService:
         )
         payload["workers"] = self.pool.workers if self.pool is not None else 0
         return payload
+
+
+def _parse_json(body: bytes) -> dict:
+    """Decode a request body, mapping JSON noise to a clean 400."""
+    try:
+        return json.loads(body.decode("utf-8")) if body else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ReproError(f"request body is not valid JSON: {exc}") from exc
+
+
+def _error(
+    status: int,
+    code: str,
+    message: str,
+    *,
+    retry_after: int | None = None,
+    headers: dict | None = None,
+) -> tuple[int, dict, dict | None]:
+    """The uniform error envelope every non-2xx response carries."""
+    envelope: dict = {"code": code, "message": message}
+    if retry_after is not None:
+        envelope["retry_after_seconds"] = retry_after
+    return status, {"error": envelope}, headers
 
 
 async def _read_request(
@@ -419,7 +555,10 @@ def _announce(line: str) -> None:
 
 async def _serve_async(service: SolveService, *, announce=_announce) -> None:
     await service.start()
-    announce(f"solve service listening on {service.url} (POST /solve, GET /stats)")
+    announce(
+        f"solve service listening on {service.url} "
+        "(POST /v1/solve, POST /v1/session, GET /v1/stats)"
+    )
     try:
         await service.serve_forever()
     finally:
@@ -437,6 +576,8 @@ def serve(
     cache_max_bytes: int | None = None,
     workers: int = 0,
     max_pending: int | None = None,
+    session_ttl: float = DEFAULT_SESSION_TTL,
+    max_sessions: int = DEFAULT_MAX_SESSIONS,
     announce=_announce,
 ) -> None:
     """Blocking entry point: run a solve service until interrupted.
@@ -455,6 +596,8 @@ def serve(
         cache_max_bytes=cache_max_bytes,
         workers=workers,
         max_pending=max_pending,
+        session_ttl=session_ttl,
+        max_sessions=max_sessions,
     )
     try:
         asyncio.run(_serve_async(service, announce=announce))

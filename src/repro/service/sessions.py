@@ -1,0 +1,241 @@
+"""Long-lived replanning sessions hosted in the service's event loop.
+
+A *session* wraps one :class:`~repro.live.replanner.Replanner` behind
+the ``/v1/session`` endpoints: create it with a solve-request payload
+(the instance is the same content-addressed draw ``/v1/solve`` would
+make), feed it platform deltas, read its state, close it.  The
+:class:`SessionManager` owns the id → session table and the idle-expiry
+sweep; the HTTP handlers in :mod:`repro.service.server` call into it
+from the event loop and off-load the CPU-bound replans to the default
+executor.
+
+Concurrency model
+-----------------
+Sessions are mutable state in an async server, so each one carries an
+``asyncio.Lock``: concurrent events on the same session serialize (the
+replanner sees one deterministic, time-ordered stream), while events on
+*different* sessions overlap freely.  The expiry sweep skips sessions
+whose lock is held — a session cannot expire mid-event, only idle ones
+go.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import uuid
+
+from ..exceptions import ExperimentError, ServiceOverloadedError
+from ..live.replanner import Replanner
+from .metrics import LatencyReservoir
+from .requests import SessionRequest
+
+__all__ = ["LiveSession", "SessionManager"]
+
+#: Default idle expiry (seconds since the last touch).
+DEFAULT_SESSION_TTL = 300.0
+#: Default bound on concurrently open sessions (each holds an instance,
+#: a plan cache and an evaluator).
+DEFAULT_MAX_SESSIONS = 64
+
+
+class LiveSession:
+    """One open replanning session."""
+
+    __slots__ = ("id", "spec", "replanner", "ttl", "lock", "created", "last_used")
+
+    def __init__(self, spec: SessionRequest, replanner: Replanner, ttl: float):
+        self.id = "s" + uuid.uuid4().hex[:12]
+        self.spec = spec
+        self.replanner = replanner
+        self.ttl = float(ttl)
+        self.lock = asyncio.Lock()
+        self.created = time.monotonic()
+        self.last_used = self.created
+
+    def touch(self) -> None:
+        """Reset the idle-expiry clock."""
+        self.last_used = time.monotonic()
+
+    def created_payload(self) -> dict:
+        """The ``POST /v1/session`` response body (initial solve inside)."""
+        return {
+            "session": self.id,
+            "ttl_seconds": self.ttl,
+            **self.replanner.initial.to_dict(),
+        }
+
+    def state_payload(self) -> dict:
+        """The ``GET /v1/session/{id}`` response body."""
+        replanner = self.replanner
+        request = self.spec.request
+        mapping = replanner.mapping
+        return {
+            "session": self.id,
+            "heuristic": replanner.heuristic,
+            "tasks": request.num_tasks,
+            "machines": request.scenario.num_machines,
+            "seed": request.seed,
+            "repetition": request.repetition,
+            "ttl_seconds": self.ttl,
+            "idle_seconds": round(time.monotonic() - self.last_used, 3),
+            "events": len(replanner.records),
+            "clock": replanner.clock,
+            "up": [int(u) for u in replanner.up.nonzero()[0]],
+            "up_count": replanner.up_count,
+            "feasible": replanner.feasible,
+            "mapping": None if mapping is None else [int(u) for u in mapping],
+            "period": replanner.period,
+            "availability": replanner.availability,
+            "replans": replanner.counters.as_dict(),
+        }
+
+    def closed_payload(self) -> dict:
+        """The ``DELETE /v1/session/{id}`` response body (run summary)."""
+        replanner = self.replanner
+        return {
+            "session": self.id,
+            "closed": True,
+            "events": len(replanner.records),
+            "availability": replanner.availability,
+            "replans": replanner.counters.as_dict(),
+        }
+
+
+class SessionManager:
+    """Id → session table with counters and idle expiry.
+
+    All methods run on the event loop; only the replan itself (the
+    caller's responsibility, under the session's lock) leaves it.
+    """
+
+    def __init__(
+        self,
+        *,
+        ttl: float = DEFAULT_SESSION_TTL,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+    ):
+        if ttl <= 0:
+            raise ExperimentError(f"session ttl must be > 0, got {ttl}")
+        self.ttl = float(ttl)
+        self.max_sessions = int(max_sessions)
+        self._sessions: dict[str, LiveSession] = {}
+        self.created = 0
+        self.closed = 0
+        self.expired = 0
+        self.events = 0
+        self.replans = {"cache": 0, "warm": 0, "cold": 0, "infeasible": 0}
+        self.served = 0
+        self.missed = 0
+        self.reservoir = LatencyReservoir()
+        # Availability mass of departed sessions, so the aggregate in
+        # /v1/stats keeps accounting for closed/expired timelines.
+        self._gone_available = 0.0
+        self._gone_unavailable = 0.0
+
+    # -- table -------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    def add(self, spec: SessionRequest, replanner: Replanner) -> LiveSession:
+        """Register a freshly created session (initial solve already done)."""
+        if len(self._sessions) >= self.max_sessions:
+            raise ServiceOverloadedError(
+                f"session table is full ({self.max_sessions} open); "
+                "close or let idle sessions expire",
+                retry_after_seconds=self.ttl,
+            )
+        session = LiveSession(
+            spec, replanner, self.ttl if spec.ttl_seconds is None else spec.ttl_seconds
+        )
+        self._sessions[session.id] = session
+        self.created += 1
+        self.note_record(replanner.initial)
+        return session
+
+    def get(self, session_id: str) -> LiveSession:
+        """The open session with this id, or an :class:`ExperimentError`."""
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise ExperimentError(
+                f"no such session: {session_id!r} (closed, expired or never created)"
+            )
+        return session
+
+    def close(self, session_id: str) -> LiveSession:
+        """Remove and return a session (``DELETE`` handler)."""
+        session = self.get(session_id)
+        self._drop(session)
+        self.closed += 1
+        return session
+
+    def _drop(self, session: LiveSession) -> None:
+        self._sessions.pop(session.id, None)
+        self._gone_available += session.replanner.available_seconds
+        self._gone_unavailable += session.replanner.unavailable_seconds
+
+    # -- accounting ----------------------------------------------------------------
+    def note_record(self, record) -> None:
+        """Fold one applied event into the aggregate counters."""
+        self.events += 1
+        if record.via in self.replans:
+            self.replans[record.via] += 1
+            self.reservoir.add(record.latency_seconds)
+        elif record.via == "serve":
+            self.served += 1
+        elif record.via == "miss":
+            self.missed += 1
+
+    # -- expiry --------------------------------------------------------------------
+    def sweep(self, now: float | None = None) -> int:
+        """Expire idle sessions; returns how many went.
+
+        A held lock means an event is mid-flight — the session is busy,
+        not idle, and is skipped no matter how old its last touch is.
+        """
+        now = time.monotonic() if now is None else now
+        expired = [
+            session
+            for session in self._sessions.values()
+            if not session.lock.locked() and now - session.last_used > session.ttl
+        ]
+        for session in expired:
+            self._drop(session)
+            self.expired += 1
+        return len(expired)
+
+    async def run_sweeper(self, interval: float | None = None) -> None:
+        """Periodic :meth:`sweep` loop (cancelled by the server's stop)."""
+        interval = (
+            max(0.05, min(self.ttl / 4.0, 5.0)) if interval is None else interval
+        )
+        while True:
+            await asyncio.sleep(interval)
+            self.sweep()
+
+    # -- stats ---------------------------------------------------------------------
+    def stats_payload(self) -> dict:
+        """The ``sessions`` section of ``/v1/stats``."""
+        available = self._gone_available
+        unavailable = self._gone_unavailable
+        for session in self._sessions.values():
+            available += session.replanner.available_seconds
+            unavailable += session.replanner.unavailable_seconds
+        total = available + unavailable
+        return {
+            "active": len(self._sessions),
+            "created": self.created,
+            "closed": self.closed,
+            "expired": self.expired,
+            "events": self.events,
+            "replans": dict(self.replans),
+            "served": self.served,
+            "missed": self.missed,
+            "availability": 1.0 if total == 0.0 else available / total,
+            "replan_p50_ms": round(self.reservoir.percentile(0.50) * 1000.0, 3),
+            "replan_p95_ms": round(self.reservoir.percentile(0.95) * 1000.0, 3),
+            "replan_p99_ms": round(self.reservoir.percentile(0.99) * 1000.0, 3),
+        }
