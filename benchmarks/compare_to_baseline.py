@@ -56,6 +56,7 @@ KEY_BENCHMARKS = (
     "benchmarks/test_service_batching.py::test_bench_service_sustained_mixed",
     "benchmarks/test_engine_block_scheduler.py::test_bench_block_pipeline_cross_point",
     "benchmarks/test_live_replan.py::test_bench_live_replan",
+    "benchmarks/test_dag_scheduler.py::test_bench_dag_pipeline",
 )
 
 #: Benchmarks gated only when their dependency is installed: missing from

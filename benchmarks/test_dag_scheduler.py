@@ -1,0 +1,137 @@
+"""Benchmarks for the campaign DAG: stealing speedup and cache overhead.
+
+Two claims are protected here:
+
+* **Cost-balanced scheduling + work stealing beats naive round-robin**
+  on a mixed MIP+heuristic plan.  The dispatch layer is benchmarked in
+  isolation with sleeps proportional to the cost model's estimates (so
+  the comparison measures *scheduling*, not solver noise) and the
+  speedup is asserted — this runs in the blocking ``-m bench`` CI job.
+  Sleep-based timings are machine-independent, so this test must NOT
+  join the normalized baseline gate.
+
+* **The DAG's cache overhead stays negligible**: re-running a fully
+  cached campaign does zero solves, and ``test_bench_dag_pipeline``
+  (pytest-benchmark, real compute) pins the cost of that cached re-run
+  — key hashing, artifact loads, aggregate/render folds — in the
+  normalized regression gate (``benchmarks/baseline.json``).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.campaign import CampaignManifest, expand_units, plan
+from repro.dag import build_pipeline, run_pipeline, steal_dispatch, unit_cost
+from repro.experiments import ResultStore
+
+#: Executor slots for the dispatch comparison (one per simulated host).
+SLOTS = 3
+#: Total simulated solve seconds across the whole plan (split over SLOTS).
+SIMULATED_TOTAL_SECONDS = 2.4
+
+
+def _mixed_manifest() -> CampaignManifest:
+    """A mixed MIP+heuristic plan: fig10 carries the exact MIP curve."""
+    return CampaignManifest(
+        figures=("fig10",), seeds=(0, 1), repetitions=2, max_points=2, no_milp=False
+    )
+
+
+def _dispatch_seconds(queues: list[list[float]], *, steal: bool) -> tuple[float, int]:
+    """Wall-clock of draining sleep-priced queues through ``SLOTS`` workers."""
+    with ThreadPoolExecutor(max_workers=SLOTS) as pool:
+        start = time.perf_counter()
+        report = steal_dispatch(
+            pool,
+            time.sleep,
+            queues,
+            [list(queue) for queue in queues],
+            slots=SLOTS,
+            steal=steal,
+        )
+        elapsed = time.perf_counter() - start
+    total = sum(len(queue) for queue in queues)
+    assert report.executed == total
+    return elapsed, report.stolen
+
+
+def test_cost_balance_and_stealing_beat_naive_round_robin():
+    """The DAG scheduler's makespan vs count-based round-robin, no stealing.
+
+    Each work unit sleeps for a duration proportional to its cost-model
+    estimate (MIP blocks ~100x heuristic blocks), so queue shape is the
+    only variable.  The naive baseline assigns blocks round-robin and
+    never steals — its makespan is the unluckiest queue; the DAG way
+    (LPT over cost estimates + tail stealing) must beat it.
+    """
+    manifest = _mixed_manifest()
+    units = expand_units(manifest)
+    scale = SIMULATED_TOTAL_SECONDS / sum(unit_cost(manifest, u) for u in units)
+
+    def sleep_queues(shards):
+        return [
+            [unit_cost(manifest, unit) * scale for unit in shard.units]
+            for shard in shards
+        ]
+
+    naive_queues = sleep_queues(
+        plan(manifest, shards=SLOTS, by="block", balance="round_robin")
+    )
+    balanced_queues = sleep_queues(
+        plan(manifest, shards=SLOTS, by="block", balance="cost")
+    )
+    naive_seconds, _ = _dispatch_seconds(naive_queues, steal=False)
+    balanced_seconds, stolen = _dispatch_seconds(balanced_queues, steal=True)
+
+    speedup = naive_seconds / balanced_seconds
+    ideal = SIMULATED_TOTAL_SECONDS / SLOTS
+    print(
+        f"\nnaive round-robin {naive_seconds:.2f} s, cost-LPT + stealing "
+        f"{balanced_seconds:.2f} s ({stolen} stolen), speedup {speedup:.2f}x "
+        f"(ideal makespan {ideal:.2f} s)"
+    )
+    assert speedup >= 1.2
+    # Stealing + LPT must land near the perfect-balance makespan.
+    assert balanced_seconds <= ideal * 1.35
+
+
+def test_stealing_rescues_a_straggler_queue():
+    """An all-in-one-queue worst case: stealing must spread it out."""
+    sleeps = [0.02] * 30
+    alone, _ = _dispatch_seconds([list(sleeps), [], []], steal=False)
+    spread, stolen = _dispatch_seconds([list(sleeps), [], []], steal=True)
+    print(
+        f"\nstraggler queue serial {alone:.2f} s, stolen across {SLOTS} slots "
+        f"{spread:.2f} s ({stolen} stolen), speedup {alone / spread:.2f}x"
+    )
+    assert stolen > 0
+    assert alone / spread >= 1.8  # three slots, modest thread overhead
+
+
+def test_bench_dag_pipeline(benchmark, tmp_path):
+    """Cached re-run of a campaign DAG: pure subsystem overhead.
+
+    The first run computes and caches every stage; the benchmarked
+    function replays the identical campaign, which must do *zero*
+    solves — the measured time is content-key hashing, artifact-log
+    lookups and the aggregate/render folds.  This is the DAG's overhead
+    floor, gated against ``baseline.json``.
+    """
+    manifest = CampaignManifest(
+        figures=("fig5",), seeds=(0, 1), repetitions=2, max_points=3
+    )
+    store = ResultStore(tmp_path / "store")
+    first = run_pipeline(build_pipeline(manifest), store)
+    assert first.report.computed["solve"] > 0
+
+    def cached_rerun():
+        run = run_pipeline(build_pipeline(manifest), store)
+        assert run.report.computed["solve"] == 0
+        assert run.report.hit_rate() == 1.0
+        return run
+
+    run = benchmark(cached_rerun)
+    assert run.renders == first.renders
+    store.close()

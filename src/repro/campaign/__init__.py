@@ -26,6 +26,7 @@ store independent of how the work was partitioned.
 from .merge import merge_stores
 from .plan import (
     PLAN_AXES,
+    PLAN_BALANCES,
     CampaignManifest,
     ShardPlan,
     WorkUnit,
@@ -35,11 +36,18 @@ from .plan import (
     plan,
     write_plans,
 )
-from .status import ShardStatus, load_shard_plans, shard_status, status_rows
+from .status import (
+    ShardStatus,
+    load_shard_plans,
+    shard_status,
+    status_payload,
+    status_rows,
+)
 from .worker import ShardReport, run_shard
 
 __all__ = [
     "PLAN_AXES",
+    "PLAN_BALANCES",
     "CampaignManifest",
     "ShardPlan",
     "WorkUnit",
@@ -53,6 +61,7 @@ __all__ = [
     "ShardStatus",
     "load_shard_plans",
     "shard_status",
+    "status_payload",
     "status_rows",
     "merge_stores",
 ]

@@ -30,7 +30,12 @@ The ``by`` axis controls what stays together on one shard:
     campaigns.
 
 Units are assigned round-robin over the grouping keys in first-
-appearance order, so shard loads stay within one group of each other.
+appearance order, so shard *counts* stay within one group of each
+other.  Counts are not costs: a MIP block runs ~100x a heuristic block
+(see :mod:`repro.dag.cost`), so ``balance="cost"`` instead assigns
+groups longest-processing-time-first to the least-loaded shard, keeping
+estimated shard *durations* level.  Both policies are pure functions of
+their inputs — re-planning anywhere reproduces the same partition.
 """
 
 from __future__ import annotations
@@ -55,10 +60,14 @@ __all__ = [
     "write_plans",
     "load_plan",
     "PLAN_AXES",
+    "PLAN_BALANCES",
 ]
 
 #: Valid shard-partition axes.
 PLAN_AXES = ("seed", "curve", "block")
+
+#: Valid shard-balancing policies.
+PLAN_BALANCES = ("round_robin", "cost")
 
 #: File name of the campaign-level manifest written next to shard plans.
 CAMPAIGN_FILE = "campaign.json"
@@ -255,6 +264,7 @@ class ShardPlan:
     shards: int
     by: str
     units: tuple[WorkUnit, ...] = field(default_factory=tuple)
+    balance: str = "round_robin"
 
     @property
     def name(self) -> str:
@@ -267,6 +277,7 @@ class ShardPlan:
             "shard": self.index,
             "shards": self.shards,
             "by": self.by,
+            "balance": self.balance,
             "units": [unit.as_list() for unit in self.units],
         }
 
@@ -278,32 +289,87 @@ class ShardPlan:
             shards=int(data["shards"]),
             by=str(data["by"]),
             units=tuple(WorkUnit.from_list(unit) for unit in data["units"]),
+            balance=str(data.get("balance", "round_robin")),
         )
 
 
+def _assign_by_cost(
+    manifest: CampaignManifest, units: list[WorkUnit], by: str, shards: int
+) -> dict[tuple, int]:
+    """LPT assignment of group keys to shards by estimated cost.
+
+    Groups (in first-appearance order) are priced with the
+    :mod:`repro.dag.cost` model, sorted longest first, and each assigned
+    to the currently least-loaded shard.  Ties break on first-appearance
+    order then shard index, so the partition is deterministic.
+    """
+    from ..dag.cost import unit_cost
+
+    order: list[tuple] = []
+    group_cost: dict[tuple, float] = {}
+    for unit in units:
+        key = unit.group_key(by)
+        if key not in group_cost:
+            group_cost[key] = 0.0
+            order.append(key)
+        group_cost[key] += unit_cost(manifest, unit)
+    rank = {key: position for position, key in enumerate(order)}
+    loads = [0.0] * shards
+    assignment: dict[tuple, int] = {}
+    for key in sorted(order, key=lambda key: (-group_cost[key], rank[key])):
+        shard = min(range(shards), key=lambda index: (loads[index], index))
+        assignment[key] = shard
+        loads[shard] += group_cost[key]
+    return assignment
+
+
 def plan(
-    manifest: CampaignManifest, *, shards: int, by: str = "seed"
+    manifest: CampaignManifest,
+    *,
+    shards: int,
+    by: str = "seed",
+    balance: str = "round_robin",
 ) -> list[ShardPlan]:
     """Partition a campaign into ``shards`` disjoint, covering shard plans.
 
-    Group keys along the ``by`` axis are assigned round-robin in first-
-    appearance order over the canonical unit expansion; two calls with
-    the same arguments produce identical plans on any host.  Every unit
-    lands on exactly one shard (some shards may be empty when there are
-    fewer groups than shards).
+    With ``balance="round_robin"``, group keys along the ``by`` axis are
+    assigned round-robin in first-appearance order over the canonical
+    unit expansion; with ``balance="cost"``, longest-processing-time-
+    first by the calibrated cost model (see module docstring).  Either
+    way two calls with the same arguments produce identical plans on any
+    host, every unit lands on exactly one shard, and units keep their
+    canonical order within each shard (some shards may be empty when
+    there are fewer groups than shards).
     """
     if shards < 1:
         raise ExperimentError(f"shards must be >= 1, got {shards}")
     if by not in PLAN_AXES:
         raise ExperimentError(f"unknown plan axis {by!r}; use one of {PLAN_AXES}")
-    assignment: dict[tuple, int] = {}
+    if balance not in PLAN_BALANCES:
+        raise ExperimentError(
+            f"unknown balance policy {balance!r}; use one of {PLAN_BALANCES}"
+        )
+    units = expand_units(manifest)
     per_shard: list[list[WorkUnit]] = [[] for _ in range(shards)]
-    for unit in expand_units(manifest):
-        key = unit.group_key(by)
-        shard = assignment.setdefault(key, len(assignment) % shards)
-        per_shard[shard].append(unit)
+    if balance == "cost":
+        assignment = _assign_by_cost(manifest, units, by, shards)
+        for unit in units:
+            per_shard[assignment[unit.group_key(by)]].append(unit)
+    else:
+        rr_assignment: dict[tuple, int] = {}
+        for unit in units:
+            key = unit.group_key(by)
+            shard = rr_assignment.setdefault(key, len(rr_assignment) % shards)
+            per_shard[shard].append(unit)
     return [
-        ShardPlan(manifest=manifest, index=index, shards=shards, by=by, units=tuple(units))
+        ShardPlan(
+            manifest=manifest,
+            index=index,
+            shards=shards,
+            by=by,
+            units=tuple(units),
+            balance=balance,
+        )
         for index, units in enumerate(per_shard)
     ]
 
@@ -314,6 +380,7 @@ def write_plans(
     *,
     shards: int,
     by: str = "seed",
+    balance: str = "round_robin",
 ) -> list[tuple[Path, ShardPlan]]:
     """Write ``campaign.json`` plus one ``shard_<k>.json`` per shard.
 
@@ -323,8 +390,8 @@ def write_plans(
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
-    shard_plans = plan(manifest, shards=shards, by=by)
-    campaign_doc = dict(manifest.to_dict(), shards=shards, by=by)
+    shard_plans = plan(manifest, shards=shards, by=by, balance=balance)
+    campaign_doc = dict(manifest.to_dict(), shards=shards, by=by, balance=balance)
     (out / CAMPAIGN_FILE).write_text(
         json.dumps(campaign_doc, indent=2) + "\n", encoding="utf-8"
     )
@@ -337,7 +404,11 @@ def write_plans(
 
 
 def load_plan(
-    path: str | os.PathLike, *, shard: tuple[int, int] | None = None, by: str | None = None
+    path: str | os.PathLike,
+    *,
+    shard: tuple[int, int] | None = None,
+    by: str | None = None,
+    balance: str | None = None,
 ) -> ShardPlan:
     """Load a shard plan from a planner file.
 
@@ -363,9 +434,15 @@ def load_plan(
                 f"{path} was planned by {raw['by']!r}; it cannot be re-partitioned "
                 f"by {by!r} (re-run 'shard plan', or pass the campaign manifest)"
             )
+        if balance is not None and balance != raw.get("balance", "round_robin"):
+            raise ExperimentError(
+                f"{path} was balanced by {raw.get('balance', 'round_robin')!r}, not "
+                f"{balance!r}; re-run 'shard plan' to change the balancing policy"
+            )
         return ShardPlan.from_dict(raw)
     count = raw.pop("shards", None)
     recorded_by = raw.pop("by", None)
+    recorded_balance = raw.pop("balance", None)
     if by is not None and recorded_by is not None and by != recorded_by:
         # Same hazard as a mismatched shard count: two hosts partitioning
         # the one campaign along different axes don't tile its units.
@@ -373,7 +450,13 @@ def load_plan(
             f"{path} was planned by {recorded_by!r}, not {by!r}; "
             "re-run 'shard plan' to change the partition axis"
         )
+    if balance is not None and recorded_balance is not None and balance != recorded_balance:
+        raise ExperimentError(
+            f"{path} was balanced by {recorded_balance!r}, not {balance!r}; "
+            "re-run 'shard plan' to change the balancing policy"
+        )
     axis = by or recorded_by or "seed"
+    policy = balance or recorded_balance or "round_robin"
     manifest = CampaignManifest.from_dict(raw)
     if shard is None:
         if count in (None, 1):
@@ -394,4 +477,4 @@ def load_plan(
     index, total = shard
     if not 0 <= index < total:
         raise ExperimentError(f"shard index {index} outside 0..{total - 1}")
-    return plan(manifest, shards=total, by=axis)[index]
+    return plan(manifest, shards=total, by=axis, balance=policy)[index]

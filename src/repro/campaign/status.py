@@ -28,7 +28,13 @@ from ..exceptions import ExperimentError
 from ..experiments.store import ResultStore
 from .plan import CAMPAIGN_FILE, CampaignManifest, ShardPlan, load_plan, plan
 
-__all__ = ["ShardStatus", "shard_status", "load_shard_plans", "status_rows"]
+__all__ = [
+    "ShardStatus",
+    "shard_status",
+    "load_shard_plans",
+    "status_rows",
+    "status_payload",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -124,8 +130,26 @@ def load_shard_plans(path: str | os.PathLike) -> list[ShardPlan]:
     # load_plan calls would redo the full unit expansion per shard.
     shards = int(raw.pop("shards", None) or 1)
     by = str(raw.pop("by", None) or "seed")
+    balance = str(raw.pop("balance", None) or "round_robin")
     manifest = CampaignManifest.from_dict(raw)
-    return plan(manifest, shards=shards, by=by)
+    return plan(manifest, shards=shards, by=by, balance=balance)
+
+
+def status_payload(rows: list[ShardStatus]) -> dict:
+    """Machine-readable status document (``shard status --json``).
+
+    One format shared by ``shard status --json`` and ``dag status
+    --json`` so CI tooling parses both: per-shard rows plus campaign-
+    level totals and a single ``complete`` verdict.
+    """
+    return {
+        "shards": [row.as_row() for row in rows],
+        "units": sum(row.units for row in rows),
+        "done": sum(row.done for row in rows),
+        "partial": sum(row.partial for row in rows),
+        "missing": sum(row.missing for row in rows),
+        "complete": all(row.complete for row in rows),
+    }
 
 
 def status_rows(

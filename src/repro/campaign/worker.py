@@ -19,6 +19,13 @@ flight.  Per ``(figure, seed)`` run the worker also records a
 curve list of the run — not just this shard's — so the merged store can
 rebuild :class:`~repro.experiments.runner.ExperimentResult` objects as
 soon as every shard landed.
+
+Since the campaign DAG landed, this module is a thin wrapper: the
+shard's units map to their :class:`~repro.dag.stage.SolveStage` s and
+run through :func:`repro.dag.scheduler.execute_solves`, which adds
+content-addressed artifact caching (``artifacts/`` inside the shard
+store) and cost-aware work stealing on parallel runs while preserving
+the store layout, resume semantics and progress lines above.
 """
 
 from __future__ import annotations
@@ -26,11 +33,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from ..backend import get_backend
-from ..experiments.providers import resolve_provider
-from ..experiments.runner import execute_blocks
-from ..experiments.store import CellRecord, ResultStore, RunMeta
-from ..simulation.rng import RandomStreamFactory
+from ..experiments.store import ResultStore
 from .plan import ShardPlan, WorkUnit
 
 __all__ = ["ShardReport", "run_shard"]
@@ -104,83 +107,31 @@ def run_shard(
     log:
         Optional callable for per-run progress lines.
     """
+    # Imported lazily: repro.dag.pipeline itself imports campaign.plan,
+    # so a module-level import here would make `import repro.dag` (which
+    # triggers this package's __init__) a circular-import error.
+    from ..dag.artifacts import artifact_store_for
+    from ..dag.pipeline import build_pipeline
+    from ..dag.scheduler import execute_solves
+
     manifest = shard.manifest
-    pool = workers if workers is not None else manifest.workers
     report = ShardReport(shard=shard.index, shards=shard.shards)
     start = time.perf_counter()
-    for (figure_id, seed), units in _group_units(shard.units).items():
-        spec = manifest.spec_for(figure_id)
-        scenario = manifest.scenario_for(figure_id)
-        scenario_hash = scenario.stable_hash()
-        repetitions = scenario.repetitions
-        entropy = RandomStreamFactory(seed).entropy
-        providers = {
-            unit.curve: resolve_provider(
-                unit.curve, milp_time_limit=manifest.milp_time_limit
-            )
-            for unit in units
-        }
-
-        pending: list[tuple[int, str]] = []
-        for unit in units:
-            record = (
-                store.get_cell(figure_id, scenario_hash, seed, unit.curve, unit.sweep_value)
-                if resume
-                else None
-            )
-            if record is not None and record.repetitions >= repetitions:
-                report.skipped += 1
-            else:
-                pending.append((unit.sweep_value, unit.curve))
-
-        run_start = time.perf_counter()
-
-        def record_block(sweep_value: int, label: str, values, failures: int) -> None:
-            store.put_cell(
-                CellRecord(
-                    figure_id=figure_id,
-                    scenario_hash=scenario_hash,
-                    seed=seed,
-                    curve=label,
-                    sweep_value=int(sweep_value),
-                    repetitions=repetitions,
-                    values=values,
-                    failures=failures,
-                )
-            )
-            report.computed += 1
-
-        execute_blocks(
-            scenario,
-            entropy,
-            pending,
-            providers,
-            record_block,
-            milp_time_limit=manifest.milp_time_limit,
-            workers=pool,
-            memoize=manifest.memoize_instances,
-        )
-        store.put_meta(
-            RunMeta(
-                figure_id=figure_id,
-                scenario_hash=scenario_hash,
-                seed=seed,
-                scenario=scenario.to_dict(),
-                # The run's *full* curve order (this shard may hold only a
-                # slice): after the merge the header must describe the
-                # whole run so load_result/export work on the union.
-                curves=list(manifest.curves_for(figure_id)),
-                normalize_to=spec.normalize_to,
-                elapsed_seconds=time.perf_counter() - run_start,
-                backend=get_backend().name,
-            )
-        )
-        report.runs.append((figure_id, seed))
-        if log is not None:
-            log(
-                f"{figure_id} seed={seed}: {len(pending)} block(s) computed, "
-                f"{len(units) - len(pending)} stored"
-            )
+    pipeline = build_pipeline(manifest)
+    artifacts = artifact_store_for(store.path)
+    pipeline_report = execute_solves(
+        pipeline,
+        pipeline.solves_for(shard.units),
+        store,
+        artifacts,
+        workers=workers,
+        resume=resume,
+        log=log,
+    )
+    report.computed = pipeline_report.computed["solve"]
+    report.skipped = pipeline_report.hits["solve"]
+    report.runs = list(_group_units(shard.units))
+    artifacts.flush()
     store.flush()
     report.elapsed_seconds = time.perf_counter() - start
     return report

@@ -67,6 +67,7 @@ import json
 import os
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 import numpy as np
 
@@ -75,18 +76,27 @@ from .analysis.tables import catalog_table
 from .backend import BACKEND_ENV_VAR, set_backend
 from .campaign import (
     PLAN_AXES,
+    PLAN_BALANCES,
     CampaignManifest,
     load_plan,
     load_shard_plans,
     merge_stores,
     parse_seed_spec,
+    plan,
     run_shard,
+    status_payload,
     status_rows,
     write_plans,
 )
 from .core.failure import FailureModel
 from .core.instance import ProblemInstance
 from .core.platform import Platform
+from .dag import (
+    artifact_store_for,
+    build_pipeline,
+    run_pipeline,
+    unit_cost,
+)
 from .exact.milp import solve_specialized_milp
 from .exceptions import ExperimentError, ReproError
 from .experiments.figures import FIGURES, figure_ids
@@ -105,7 +115,7 @@ from .generators.platforms import random_failure_rates, random_processing_times
 from .heuristics import PAPER_HEURISTICS, get_heuristic
 from .live import LiveConfig, compare_reports, run_timeline, run_timeline_remote
 from .service.batcher import DEFAULT_MAX_BATCH, DEFAULT_WINDOW_SECONDS
-from .service.client import ServiceClient, solve_remote
+from .service.client import ServiceClient
 from .service.server import serve as serve_service
 from .service.sessions import DEFAULT_MAX_SESSIONS, DEFAULT_SESSION_TTL
 
@@ -331,6 +341,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition axis: whole seeds, (figure, seed, curve) groups, or blocks",
     )
     plan_parser.add_argument(
+        "--balance",
+        choices=PLAN_BALANCES,
+        default="round_robin",
+        help=(
+            "shard balancing: 'round_robin' levels unit counts, 'cost' levels "
+            "estimated durations (MIP blocks ~100x heuristic blocks, see "
+            "repro.dag.cost)"
+        ),
+    )
+    plan_parser.add_argument(
         "--out", required=True, metavar="DIR", help="directory for the plan files"
     )
     plan_parser.add_argument(
@@ -372,6 +392,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="partition axis override when re-planning from a campaign manifest",
     )
+    shard_run_parser.add_argument(
+        "--balance",
+        choices=PLAN_BALANCES,
+        default=None,
+        help="balancing override when re-planning from a campaign manifest",
+    )
     _add_store_argument(shard_run_parser, required_hint=True)
     shard_run_parser.add_argument(
         "--workers", type=int, default=None, help="block process-pool size on this host"
@@ -401,6 +427,14 @@ def build_parser() -> argparse.ArgumentParser:
             "checked against every shard"
         ),
     )
+    status_parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "machine-readable output: per-shard done/partial/missing rows plus "
+            "campaign totals (same document 'dag status --json' prints)"
+        ),
+    )
     status_parser.set_defaults(func=_cmd_shard_status)
 
     store_parser = subparsers.add_parser(
@@ -420,6 +454,124 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_argument(merge_parser, required_hint=True)
     merge_parser.set_defaults(func=_cmd_store_merge)
+
+    dag_parser = subparsers.add_parser(
+        "dag",
+        help=(
+            "content-addressed campaign pipeline: plan/run/status of the "
+            "generate -> solve -> aggregate -> render stage DAG"
+        ),
+    )
+    dag_sub = dag_parser.add_subparsers(dest="dag_command", required=True)
+
+    def _add_manifest_arguments(target, *, run_knobs: bool) -> None:
+        target.add_argument(
+            "figures", nargs="+", choices=figure_ids(), help="figures to run"
+        )
+        target.add_argument(
+            "--seeds",
+            default="0",
+            metavar="SPEC",
+            help="seed axis, e.g. '0..9' or '0,5,9'",
+        )
+        target.add_argument(
+            "--repetitions", type=int, default=None, help="repetitions per sweep point"
+        )
+        target.add_argument(
+            "--max-points", type=int, default=None, help="maximum number of sweep points"
+        )
+        target.add_argument(
+            "--no-milp", action="store_true", help="skip the exact MIP everywhere"
+        )
+        target.add_argument(
+            "--milp-time-limit",
+            type=float,
+            default=30.0,
+            help="per-instance MIP time limit (s)",
+        )
+        target.add_argument(
+            "--optional-curves",
+            action="store_true",
+            help="also run each figure's optional curves",
+        )
+        if run_knobs:
+            target.add_argument(
+                "--workers", type=int, default=None, help="block process-pool size"
+            )
+            target.add_argument(
+                "--memoize-instances",
+                action="store_true",
+                help="cache sampled instances per process (pays off with --workers)",
+            )
+
+    dag_plan_parser = dag_sub.add_parser(
+        "plan",
+        help="compile the campaign DAG and report stages, costs and cache status",
+    )
+    _add_manifest_arguments(dag_plan_parser, run_knobs=False)
+    dag_plan_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="also show the shard partition for N worker hosts",
+    )
+    dag_plan_parser.add_argument(
+        "--by",
+        choices=PLAN_AXES,
+        default="seed",
+        help="partition axis for --shards",
+    )
+    dag_plan_parser.add_argument(
+        "--balance",
+        choices=PLAN_BALANCES,
+        default="cost",
+        help="shard balancing policy for --shards (default: cost)",
+    )
+    _add_store_argument(dag_plan_parser, required_hint=False)
+    dag_plan_parser.set_defaults(func=_cmd_dag_plan)
+
+    dag_run_parser = dag_sub.add_parser(
+        "run",
+        help=(
+            "execute the campaign DAG against a store; cached stages are "
+            "skipped, so re-running an unchanged campaign performs zero solves"
+        ),
+    )
+    _add_manifest_arguments(dag_run_parser, run_knobs=True)
+    _add_store_argument(dag_run_parser, required_hint=True)
+    dag_run_parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help=(
+            "recompute every solve even when its artifact is cached "
+            "(downstream stages keep hitting: same inputs, same keys)"
+        ),
+    )
+    dag_run_parser.add_argument(
+        "--export-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "also write each figure's per-seed CSVs and the cross-seed "
+            "aggregate CSV into DIR"
+        ),
+    )
+    dag_run_parser.set_defaults(func=_cmd_dag_run)
+
+    dag_status_parser = dag_sub.add_parser(
+        "status",
+        help="stage completeness of the store's campaign (from its campaign.json)",
+    )
+    _add_store_argument(dag_status_parser, required_hint=True)
+    dag_status_parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "machine-readable output: the same per-shard/totals document "
+            "'shard status --json' prints"
+        ),
+    )
+    dag_status_parser.set_defaults(func=_cmd_dag_status)
 
     solve_parser = subparsers.add_parser(
         "solve", help="solve one random instance with every heuristic"
@@ -639,25 +791,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _run_campaign(manifest: CampaignManifest, store: ResultStore) -> list:
-    """Run (or finish) every (figure, seed) run of a campaign manifest."""
+    """Run (or finish) every (figure, seed) run of a campaign manifest.
+
+    Since the campaign DAG landed this is a thin wrapper over
+    :func:`repro.dag.scheduler.execute_solves`: each run's solve stages
+    execute (or cache-hit) in manifest order, the store receives the
+    same cells and run headers as before, and the per-run summary lines
+    keep printing as each run completes.
+    """
+    from .dag.scheduler import execute_solves
+
+    pipeline = build_pipeline(manifest)
+    artifacts = artifact_store_for(store.path)
     results = []
     for figure_id in manifest.figures:
+        scenario_hash = manifest.scenario_for(figure_id).stable_hash()
         for seed in manifest.seeds:
-            result = run_figure(
-                figure_id,
-                seed=seed,
-                repetitions=manifest.repetitions,
-                max_points=manifest.max_points,
-                include_milp=False if manifest.no_milp else None,
-                milp_time_limit=manifest.milp_time_limit,
-                workers=manifest.workers,
-                memoize_instances=manifest.memoize_instances,
-                include_optional=manifest.optional_curves,
-                store=store,
-                resume=True,
+            solves = [
+                stage
+                for unit, stage in pipeline.solves.items()
+                if unit.figure_id == figure_id and unit.seed == seed
+            ]
+            execute_solves(
+                pipeline, solves, store, artifacts, workers=manifest.workers
+            )
+            result = store.load_result(
+                figure_id, scenario_hash=scenario_hash, seed=seed
             )
             print(summary_line(result), flush=True)
             results.append(result)
+    artifacts.flush()
+    store.flush()
     return results
 
 
@@ -763,14 +927,17 @@ def _cmd_shard_plan(args: argparse.Namespace) -> int:
         milp_time_limit=args.milp_time_limit,
         optional_curves=bool(args.optional_curves),
     )
-    written = write_plans(manifest, args.out, shards=args.shards, by=args.by)
+    written = write_plans(
+        manifest, args.out, shards=args.shards, by=args.by, balance=args.balance
+    )
     total = sum(len(shard.units) for _, shard in written)
     print(
         f"planned {total} work unit(s) over {len(written)} shard(s) "
-        f"by {args.by} into {args.out}"
+        f"by {args.by} ({args.balance}) into {args.out}"
     )
     for path, shard in written:
-        print(f"  {path}  ({len(shard.units)} unit(s))")
+        cost = sum(unit_cost(manifest, unit) for unit in shard.units)
+        print(f"  {path}  ({len(shard.units)} unit(s), est. cost {cost:.0f})")
     return 0
 
 
@@ -789,6 +956,7 @@ def _cmd_shard_run(args: argparse.Namespace) -> int:
         args.plan,
         shard=None if args.shard is None else _parse_shard_coords(args.shard),
         by=args.by,
+        balance=args.balance,
     )
     with ResultStore(_store_path(args, required=True)) as store:
         report = run_shard(
@@ -808,18 +976,120 @@ def _cmd_store_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_status(rows, *, as_json: bool) -> int:
+    """Render shard-status rows (table or the shared JSON document)."""
+    payload = status_payload(rows)
+    if as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(catalog_table([row.as_row() for row in rows]))
+        pending = payload["units"] - payload["done"]
+        print(
+            f"{payload['done']}/{payload['units']} unit(s) stored at full depth"
+            + (f", {pending} pending" if pending else "; campaign complete")
+        )
+    return 0 if payload["complete"] else 1
+
+
 def _cmd_shard_status(args: argparse.Namespace) -> int:
     plans = load_shard_plans(args.plan)
     rows = status_rows(plans, args.stores)
-    print(catalog_table([row.as_row() for row in rows]))
-    total = sum(row.units for row in rows)
-    done = sum(row.done for row in rows)
-    pending = total - done
-    print(
-        f"{done}/{total} unit(s) stored at full depth"
-        + (f", {pending} pending" if pending else "; campaign complete")
+    return _print_status(rows, as_json=args.json)
+
+
+def _dag_manifest(args: argparse.Namespace) -> CampaignManifest:
+    """The campaign manifest a ``dag`` subcommand's arguments describe."""
+    return CampaignManifest(
+        figures=tuple(args.figures),
+        seeds=parse_seed_spec(args.seeds),
+        repetitions=args.repetitions,
+        max_points=args.max_points,
+        no_milp=bool(args.no_milp),
+        milp_time_limit=args.milp_time_limit,
+        workers=getattr(args, "workers", None),
+        optional_curves=bool(args.optional_curves),
+        memoize_instances=bool(getattr(args, "memoize_instances", False)),
     )
-    return 0 if pending == 0 else 1
+
+
+def _cmd_dag_plan(args: argparse.Namespace) -> int:
+    manifest = _dag_manifest(args)
+    pipeline = build_pipeline(manifest)
+    counts = pipeline.counts()
+    total = sum(counts.values())
+    per_kind = ", ".join(f"{kind}: {count}" for kind, count in counts.items())
+    cost = sum(unit_cost(manifest, unit) for unit in pipeline.solves)
+    print(f"{total} stage(s) ({per_kind}); est. solve cost {cost:.0f}")
+    if args.shards > 1:
+        shards = plan(manifest, shards=args.shards, by=args.by, balance=args.balance)
+        print(f"partition by {args.by} ({args.balance}) over {args.shards} shard(s):")
+        for shard in shards:
+            shard_cost = sum(unit_cost(manifest, unit) for unit in shard.units)
+            print(
+                f"  shard {shard.index}/{shard.shards}: "
+                f"{len(shard.units)} unit(s), est. cost {shard_cost:.0f}"
+            )
+    store_path = _store_path(args, required=False)
+    if store_path is not None:
+        artifacts = artifact_store_for(store_path)
+        try:
+            cached = sum(1 for stage in pipeline.stages() if artifacts.has(stage.key))
+        finally:
+            artifacts.close()
+        print(f"artifact cache at {store_path}: {cached}/{total} stage(s) cached")
+    return 0
+
+
+def _cmd_dag_run(args: argparse.Namespace) -> int:
+    manifest = _dag_manifest(args)
+    store = ResultStore(_store_path(args, required=True))
+    manifest_path = store.path / CAMPAIGN_MANIFEST
+    manifest_path.write_text(
+        json.dumps(manifest.to_dict(), indent=2), encoding="utf-8"
+    )
+    pipeline = build_pipeline(manifest)
+    try:
+        run = run_pipeline(
+            pipeline,
+            store,
+            workers=manifest.workers,
+            resume=not args.no_resume,
+            log=lambda line: print(line, flush=True),
+        )
+    finally:
+        store.close()
+    if args.export_dir is not None:
+        _write_dag_exports(run.renders, args.export_dir)
+    print(run.report.summary())
+    return 0
+
+
+def _write_dag_exports(renders: dict, export_dir: str) -> None:
+    """Write each figure's per-seed and aggregate CSVs under ``export_dir``."""
+    target = Path(export_dir)
+    target.mkdir(parents=True, exist_ok=True)
+    written = 0
+    for figure_id, output in sorted(renders.items()):
+        for seed, csv_text in sorted(
+            output["per_seed"].items(), key=lambda item: int(item[0])
+        ):
+            (target / f"{figure_id}_seed{seed}.csv").write_text(
+                csv_text, encoding="utf-8"
+            )
+            written += 1
+        if output.get("aggregate") is not None:
+            (target / f"{figure_id}_aggregate.csv").write_text(
+                output["aggregate"], encoding="utf-8"
+            )
+            written += 1
+    print(f"exported {written} CSV file(s) to {target}")
+
+
+def _cmd_dag_status(args: argparse.Namespace) -> int:
+    store_path = _store_path(args, required=True)
+    plans = load_shard_plans(store_path)
+    rows = status_rows(plans, [store_path])
+    return _print_status(rows, as_json=args.json)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -840,15 +1110,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_request(args: argparse.Namespace) -> int:
-    response = solve_remote(
-        args.url,
-        {
-            "heuristic": args.heuristic,
-            "application": {"tasks": args.tasks, "types": args.types},
-            "platform": {"machines": args.machines},
-            "options": {"seed": args.seed, "repetition": args.repetition},
-        },
-    )
+    with ServiceClient(args.url) as client:
+        response = client.solve(
+            {
+                "heuristic": args.heuristic,
+                "application": {"tasks": args.tasks, "types": args.types},
+                "platform": {"machines": args.machines},
+                "options": {"seed": args.seed, "repetition": args.repetition},
+            }
+        )
     print(json.dumps(response, indent=2, sort_keys=True))
     return 0
 

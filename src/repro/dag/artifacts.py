@@ -1,0 +1,68 @@
+"""Content-addressed artifact log for pipeline stage outputs.
+
+An :class:`ArtifactStore` maps stage content keys
+(:attr:`~repro.dag.stage.Stage.key`) to stored outputs on the
+append-only :class:`~repro.experiments.store.JsonlStore` base, which
+supplies the durability story for free: per-write flush, tail-scan
+recovery of interrupted runs, stale-index self-healing, atomic
+:meth:`~repro.experiments.store.JsonlStore.compact`.
+
+The store lives in an ``artifacts/`` subdirectory of the campaign store
+(``JsonlStore`` owns the ``index.json`` name inside its directory, so
+the artifact log cannot share the ``ResultStore`` directory itself), and
+results keep flowing into the ``ResultStore`` as before — the artifact
+log adds the cache addressing, it does not replace the result of record.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ..experiments.store import JsonlStore
+
+__all__ = ["ArtifactStore", "artifact_store_for"]
+
+#: Subdirectory of a campaign store holding the artifact log.
+ARTIFACTS_DIR = "artifacts"
+
+
+class ArtifactStore(JsonlStore):
+    """``content key -> stage output`` on the append-only JSONL base.
+
+    One record kind, ``artifact``; the payload is
+    ``{"key": ..., "stage": ..., "output": {...}}``.  Keys are content
+    hashes, so a re-put of a key can only ever carry an identical
+    output — last-write-wins indexing is trivially safe.
+    """
+
+    KINDS = ("artifact",)
+    RECORDS_FILE = "artifacts.jsonl"
+
+    def _key_of(self, kind: str, data: dict) -> str:
+        return str(data["key"])
+
+    def get(self, key: str) -> dict | None:
+        """The stored output of ``key``, or ``None`` on a cache miss."""
+        data = self._get("artifact", key)
+        return None if data is None else data["output"]
+
+    def has(self, key: str) -> bool:
+        """Whether ``key`` is a cache hit (no payload read)."""
+        return key in self._index["artifact"]
+
+    def put(self, key: str, stage: str, output: dict) -> None:
+        """Record ``output`` as the artifact of ``key``."""
+        self._put("artifact", key, {"key": key, "stage": stage, "output": output})
+
+    def keys(self) -> set[str]:
+        """Every stored content key."""
+        return set(self._index["artifact"])
+
+    def __len__(self) -> int:
+        return len(self._index["artifact"])
+
+
+def artifact_store_for(store_path: str | os.PathLike) -> ArtifactStore:
+    """The artifact log of the campaign store at ``store_path``."""
+    return ArtifactStore(Path(store_path) / ARTIFACTS_DIR)

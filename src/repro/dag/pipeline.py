@@ -1,0 +1,105 @@
+"""Compile a campaign manifest into its stage DAG.
+
+The pipeline that was implicit in CLI ordering — ``campaign`` /
+``shard run`` / ``store merge`` / ``export`` — compiled explicitly:
+one :class:`~repro.dag.stage.GenerateStage` per ``(figure, seed)`` run,
+one :class:`~repro.dag.stage.SolveStage` per work unit (the planner's
+``(figure, seed, curve, sweep value)`` granularity, unchanged), one
+:class:`~repro.dag.stage.AggregateStage` per run and one
+:class:`~repro.dag.stage.RenderStage` per figure.  Stage maps preserve
+the canonical :func:`~repro.campaign.plan.expand_units` order, so
+iteration order *is* topological order within each kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..campaign.plan import CampaignManifest, WorkUnit, expand_units
+from ..exceptions import ExperimentError
+from .stage import AggregateStage, GenerateStage, RenderStage, RunShape, SolveStage, Stage
+
+__all__ = ["Pipeline", "build_pipeline"]
+
+
+@dataclass(slots=True)
+class Pipeline:
+    """A campaign's full stage DAG, indexed by the planner's keys."""
+
+    manifest: CampaignManifest
+    generates: dict[tuple[str, int], GenerateStage] = field(default_factory=dict)
+    solves: dict[WorkUnit, SolveStage] = field(default_factory=dict)
+    aggregates: dict[tuple[str, int], AggregateStage] = field(default_factory=dict)
+    renders: dict[str, RenderStage] = field(default_factory=dict)
+
+    def stages(self) -> list[Stage]:
+        """Every stage, in topological (generate, solve, aggregate, render) order."""
+        return [
+            *self.generates.values(),
+            *self.solves.values(),
+            *self.aggregates.values(),
+            *self.renders.values(),
+        ]
+
+    def counts(self) -> dict[str, int]:
+        """``{kind: stage count}`` of the DAG."""
+        return {
+            "generate": len(self.generates),
+            "solve": len(self.solves),
+            "aggregate": len(self.aggregates),
+            "render": len(self.renders),
+        }
+
+    def solves_for(self, units) -> list[SolveStage]:
+        """The solve stages of ``units`` (e.g. one shard's), in unit order."""
+        stages = []
+        for unit in units:
+            stage = self.solves.get(unit)
+            if stage is None:
+                raise ExperimentError(
+                    f"unit {unit} is not part of this campaign's pipeline"
+                )
+            stages.append(stage)
+        return stages
+
+
+def build_pipeline(manifest: CampaignManifest) -> Pipeline:
+    """Compile ``manifest`` into its generate → solve → aggregate → render DAG."""
+    pipeline = Pipeline(manifest=manifest)
+    for unit in expand_units(manifest):
+        run_key = (unit.figure_id, unit.seed)
+        generate = pipeline.generates.get(run_key)
+        if generate is None:
+            generate = GenerateStage(
+                unit.figure_id, unit.seed, manifest.scenario_for(unit.figure_id)
+            )
+            pipeline.generates[run_key] = generate
+        pipeline.solves[unit] = SolveStage(
+            generate,
+            unit.curve,
+            unit.sweep_value,
+            milp_time_limit=manifest.milp_time_limit,
+        )
+    for run_key, generate in pipeline.generates.items():
+        figure_id, seed = run_key
+        spec = manifest.spec_for(figure_id)
+        shape = RunShape(
+            figure_id=figure_id,
+            seed=seed,
+            curves=manifest.curves_for(figure_id),
+            normalize_to=spec.normalize_to,
+        )
+        solves = tuple(
+            stage
+            for unit, stage in pipeline.solves.items()
+            if (unit.figure_id, unit.seed) == run_key
+        )
+        pipeline.aggregates[run_key] = AggregateStage(shape, generate, solves)
+    for figure_id in manifest.figures:
+        aggregates = tuple(
+            stage
+            for (fig, _), stage in pipeline.aggregates.items()
+            if fig == figure_id
+        )
+        pipeline.renders[figure_id] = RenderStage(figure_id, aggregates)
+    return pipeline

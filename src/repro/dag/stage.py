@@ -1,0 +1,394 @@
+"""Typed, content-addressed pipeline stages.
+
+A campaign's implicit pipeline — *generate* random instances, *solve*
+(sweep point, curve) blocks, *aggregate* each run's cells into series,
+*render* exports — becomes explicit here: every step is a
+:class:`Stage` with typed inputs (other stages), JSON-able parameters,
+and a pure :meth:`Stage.run` mapping its inputs' outputs to its own
+output.
+
+Each stage has a **content key**: a stable hash (canonical JSON +
+SHA-256, the :meth:`~repro.generators.scenarios.ScenarioConfig.stable_hash`
+convention) over
+
+* the stage's kind and code version (bump :attr:`Stage.CODE_VERSION`
+  when a stage's semantics change — every downstream key changes with
+  it),
+* its parameters, and
+* the content keys of its inputs, in input order.
+
+Two stages share a key iff they compute the same output, so a key is a
+cache address: the :class:`~repro.dag.artifacts.ArtifactStore` maps keys
+to stored outputs and any stage whose key is already stored is skipped
+as a cache hit.  Re-running an unchanged campaign therefore performs
+zero block solves, and editing any upstream parameter (a seed, a
+repetition count, a time limit that matters) invalidates exactly the
+stages it reaches.
+
+Stage outputs are plain JSON-able dicts — what the artifact log stores
+and what downstream ``run()`` implementations receive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..analysis.normalize import normalize_series
+from ..analysis.stats import Series
+from ..exceptions import ExperimentError
+from ..experiments.providers import MIP_LABEL, CellBlock, resolve_provider
+from ..experiments.reporting import aggregate_results
+from ..experiments.runner import ExperimentResult
+from ..generators.scenarios import ScenarioConfig
+from ..simulation.rng import RandomStreamFactory
+
+__all__ = [
+    "Stage",
+    "GenerateStage",
+    "SolveStage",
+    "AggregateStage",
+    "RenderStage",
+    "content_key",
+]
+
+#: Length of a content key (hex chars of the SHA-256 digest).
+KEY_LENGTH = 16
+
+
+def content_key(payload: dict) -> str:
+    """Stable content hash of a JSON-able payload.
+
+    Canonical JSON (sorted keys, no whitespace) + SHA-256, truncated to
+    :data:`KEY_LENGTH` hex characters — the same convention as
+    :meth:`ScenarioConfig.stable_hash`, so keys are stable across
+    processes and interpreter restarts.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:KEY_LENGTH]
+
+
+class Stage:
+    """One node of the campaign DAG.
+
+    Subclasses declare :attr:`kind` / :attr:`CODE_VERSION`, provide
+    JSON-able :attr:`params` plus their upstream :attr:`inputs`, and
+    implement :meth:`run`.  Identity is the :attr:`key` — equal keys
+    mean equal outputs, which is what makes the artifact store a cache.
+    """
+
+    #: Stage family ("generate" / "solve" / "aggregate" / "render").
+    kind: str = ""
+    #: Version of the stage's ``run()`` semantics; bumping it invalidates
+    #: every cached output of this stage kind (and everything downstream).
+    CODE_VERSION: str = "1"
+
+    def __init__(self, name: str, params: dict, inputs: tuple["Stage", ...] = ()):
+        self.name = name
+        self.params = params
+        self.inputs = inputs
+
+    @cached_property
+    def key(self) -> str:
+        """The stage's content key (hash of code version, params, input keys)."""
+        return content_key(
+            {
+                "stage": self.kind,
+                "code": self.CODE_VERSION,
+                "params": self.params,
+                "inputs": [stage.key for stage in self.inputs],
+            }
+        )
+
+    def run(self, inputs: list[dict]) -> dict:
+        """Compute this stage's output from its inputs' outputs.
+
+        ``inputs`` carries one output dict per entry of :attr:`inputs`,
+        in the same order.  Must be a pure function of ``(params,
+        inputs)`` — the content key's cache contract depends on it.
+        """
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r}, key={self.key})"
+
+
+class GenerateStage(Stage):
+    """Instance generation of one ``(figure, seed)`` run.
+
+    Instances themselves are cheap, deterministic functions of the
+    scenario and seed, so this stage does not materialise them — its
+    output is the *identity* of the instance population (scenario hash +
+    root entropy), which every downstream solve stage keys on and uses
+    to re-derive exactly the streams the legacy engine draws.
+    """
+
+    kind = "generate"
+
+    def __init__(self, figure_id: str, seed: int, scenario: ScenarioConfig):
+        self.figure_id = figure_id
+        self.seed = seed
+        self.scenario = scenario
+        super().__init__(
+            name=f"generate:{figure_id}/seed{seed}",
+            params={
+                "figure_id": figure_id,
+                "seed": seed,
+                "scenario": scenario.to_dict(),
+            },
+        )
+
+    def run(self, inputs: list[dict]) -> dict:
+        entropy = RandomStreamFactory(self.seed).entropy
+        if not isinstance(entropy, int):  # pragma: no cover - int seeds only
+            raise ExperimentError("generate stages require an integer seed")
+        return {
+            "scenario_hash": self.scenario.stable_hash(),
+            "entropy": int(entropy),
+            "repetitions": int(self.scenario.repetitions),
+        }
+
+
+class SolveStage(Stage):
+    """Solve + score one (figure, seed, curve, sweep value) block.
+
+    The unit of distribution and of storage: one solve stage produces
+    exactly one :class:`~repro.experiments.store.CellRecord`'s payload,
+    bit-for-bit what the legacy block engine computes for the same unit.
+    The MIP time limit participates in the key only for the MIP curve —
+    heuristic curves ignore it, so changing it must not invalidate them.
+    """
+
+    kind = "solve"
+
+    def __init__(
+        self,
+        generate: GenerateStage,
+        curve: str,
+        sweep_value: int,
+        *,
+        milp_time_limit: float = 30.0,
+    ):
+        self.generate = generate
+        self.curve = curve
+        self.sweep_value = int(sweep_value)
+        self.milp_time_limit = float(milp_time_limit)
+        params = {"curve": curve, "sweep_value": self.sweep_value}
+        if curve == MIP_LABEL:
+            params["milp_time_limit"] = self.milp_time_limit
+        super().__init__(
+            name=f"solve:{generate.figure_id}/seed{generate.seed}/{curve}/x{sweep_value}",
+            params=params,
+            inputs=(generate,),
+        )
+
+    @property
+    def figure_id(self) -> str:
+        return self.generate.figure_id
+
+    @property
+    def seed(self) -> int:
+        return self.generate.seed
+
+    def run(self, inputs: list[dict]) -> dict:
+        (generated,) = inputs
+        import numpy as np
+
+        streams = RandomStreamFactory(np.random.SeedSequence(generated["entropy"]))
+        block = CellBlock.sample(self.generate.scenario, self.sweep_value, streams)
+        provider = resolve_provider(self.curve, milp_time_limit=self.milp_time_limit)
+        result = provider.evaluate_block(block)
+        return {
+            "values": result.values(),
+            "failures": int(result.failures),
+            "repetitions": int(self.generate.scenario.repetitions),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class RunShape:
+    """Reporting identity of one (figure, seed) run inside the DAG."""
+
+    figure_id: str
+    seed: int
+    curves: tuple[str, ...]
+    normalize_to: str | None
+
+
+def _result_from_series(
+    shape: RunShape, scenario: ScenarioConfig, series: dict[str, Series], milp_failures: int
+) -> ExperimentResult:
+    """Assemble an :class:`ExperimentResult` the way ``load_result`` does."""
+    normalized = None
+    if shape.normalize_to is not None:
+        reference = series[shape.normalize_to]
+        normalized = {
+            label: normalize_series(curve, reference)
+            for label, curve in series.items()
+            if label != shape.normalize_to
+        }
+    return ExperimentResult(
+        figure_id=shape.figure_id,
+        scenario=scenario,
+        series=series,
+        normalized=normalized,
+        seed=shape.seed,
+        elapsed_seconds=0.0,
+        milp_failures=milp_failures,
+    )
+
+
+class AggregateStage(Stage):
+    """Fold one run's solve outputs into its curve series and CSV export.
+
+    Consumes the run's solve stages in canonical (curve-major, sweep
+    ascending) order and produces exactly what the legacy
+    ``ResultStore.load_result(...).to_csv()`` path renders — the same
+    :class:`~repro.analysis.stats.Series` fold, the same per-instance
+    normalisation — so a DAG export is bit-for-bit a legacy export.
+    """
+
+    kind = "aggregate"
+
+    def __init__(self, shape: RunShape, generate: GenerateStage, solves: tuple[SolveStage, ...]):
+        self.shape = shape
+        self.generate = generate
+        self.solves = solves
+        super().__init__(
+            name=f"aggregate:{shape.figure_id}/seed{shape.seed}",
+            params={
+                "figure_id": shape.figure_id,
+                "seed": shape.seed,
+                "curves": list(shape.curves),
+                "normalize_to": shape.normalize_to,
+            },
+            inputs=tuple(solves),
+        )
+
+    def _series(self, inputs: list[dict]) -> tuple[dict[str, Series], int]:
+        scenario = self.generate.scenario
+        repetitions = int(scenario.repetitions)
+        by_unit = {
+            (stage.curve, stage.sweep_value): output
+            for stage, output in zip(self.solves, inputs)
+        }
+        series: dict[str, Series] = {}
+        milp_failures = 0
+        for curve in self.shape.curves:
+            out = Series(label=curve)
+            for sweep_value in scenario.sweep_values:
+                cell = by_unit[(curve, int(sweep_value))]
+                values, failures = sliced_cell(cell, repetitions)
+                out.extend(sweep_value, values)
+                milp_failures += failures
+            series[curve] = out
+        return series, milp_failures
+
+    def result(self, inputs: list[dict]) -> ExperimentResult:
+        """The run as an :class:`ExperimentResult` (cross-seed pooling input)."""
+        series, failures = self._series(inputs)
+        return _result_from_series(self.shape, self.generate.scenario, series, failures)
+
+    def run(self, inputs: list[dict]) -> dict:
+        result = self.result(inputs)
+        return {
+            "csv": result.to_csv(),
+            "milp_failures": int(result.milp_failures),
+            "curves": list(self.shape.curves),
+            # Raw samples in curve-major, sweep-ascending order so the
+            # render stage can re-pool across seeds purely from artifact
+            # payloads (dict keys survive JSON only as strings; lists
+            # aligned with scenario.sweep_values avoid that entirely).
+            "samples": {
+                label: [curve.samples[x] for x in curve.x_values]
+                for label, curve in result.series.items()
+            },
+        }
+
+
+class RenderStage(Stage):
+    """Render one figure's cross-seed export from its per-run aggregates.
+
+    Pools every seed's series with the same
+    :func:`~repro.experiments.reporting.aggregate_results` call the
+    legacy ``export --aggregate seeds`` path uses.  Output carries the
+    per-seed CSVs (pass-through from the aggregates) plus the pooled
+    CSV, so one artifact record holds everything ``dag run`` exports for
+    the figure.
+    """
+
+    kind = "render"
+
+    def __init__(self, figure_id: str, aggregates: tuple[AggregateStage, ...], *, ci: str = "pooled"):
+        if not aggregates:
+            raise ExperimentError(f"render stage of {figure_id!r} needs at least one run")
+        self.figure_id = figure_id
+        self.aggregates = tuple(sorted(aggregates, key=lambda stage: stage.shape.seed))
+        self.ci = ci
+        super().__init__(
+            name=f"render:{figure_id}",
+            params={
+                "figure_id": figure_id,
+                "seeds": [stage.shape.seed for stage in self.aggregates],
+                "ci": ci,
+            },
+            inputs=self.aggregates,
+        )
+
+    def run(self, inputs: list[dict]) -> dict:
+        per_seed = {
+            str(stage.shape.seed): output["csv"]
+            for stage, output in zip(self.aggregates, inputs)
+        }
+        aggregate_csv = None
+        if len(self.aggregates) > 1:
+            results = []
+            for stage, output in zip(self.aggregates, inputs):
+                scenario = stage.generate.scenario
+                series: dict[str, Series] = {}
+                for label in stage.shape.curves:
+                    curve = Series(label=label)
+                    for sweep_value, values in zip(
+                        scenario.sweep_values, output["samples"][label]
+                    ):
+                        curve.extend(sweep_value, values)
+                    series[label] = curve
+                results.append(
+                    _result_from_series(
+                        stage.shape, scenario, series, int(output["milp_failures"])
+                    )
+                )
+            pooled = aggregate_results(results, ci=self.ci)
+            aggregate_csv = pooled.to_csv()
+        return {"per_seed": per_seed, "aggregate": aggregate_csv}
+
+
+def sliced_cell(output: dict, repetitions: int) -> tuple[list[float], int]:
+    """``(values, failures)`` of a solve output, restricted to ``repetitions``.
+
+    Mirrors :meth:`~repro.experiments.store.CellRecord.sliced`: a cached
+    output holding more repetitions than the run asks for serves the
+    prefix, with failures recounted from the slice's NaNs (exact for the
+    MIP curve — its NaNs are precisely its unproven repetitions).
+    """
+    stored = list(output["values"])
+    failures = int(output["failures"])
+    if repetitions > len(stored):
+        raise ExperimentError(
+            f"solve output holds {len(stored)} repetitions, {repetitions} requested"
+        )
+    values = stored[:repetitions]
+    if repetitions == len(stored):
+        return values, failures
+    if not failures:
+        return values, 0
+    return values, sum(1 for v in values if math.isnan(v))
+
+
+def values_consistent(output: dict, repetitions: int) -> bool:
+    """Whether a cached solve output still serves ``repetitions`` rows."""
+    values = output.get("values")
+    return isinstance(values, list) and len(values) >= repetitions

@@ -47,6 +47,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import threading
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -254,9 +255,13 @@ class JsonlStore:
       of records, at records of another key, or past EOF (e.g. an
       ``index.json`` copied from another store, or a records file
       rewritten underneath it) — is detected on first use and rebuilt
-      from the records file instead of surfacing as a parse error.
+      from the records file instead of surfacing as a parse error;
+    * one *instance* may be shared across threads: reads, writes and
+      :meth:`compact` serialise on an internal lock, so an appender
+      thread racing a compaction never strands its record in the
+      swapped-out file.
 
-    One store must not be written by several processes at once.
+    One store must not be written by several *processes* at once.
     """
 
     #: Record kinds this store indexes; anything else is ignored on scan.
@@ -281,6 +286,14 @@ class JsonlStore:
         #: The on-disk index lags the in-memory one (new appends, or a
         #: tail scan found records the stored index misses).
         self._index_dirty = False
+        #: Serialises every index/file mutation so one instance may be
+        #: shared across threads — above all an appender racing
+        #: :meth:`compact`, whose file swap would otherwise strand bytes
+        #: the appender just wrote in the replaced-away inode.
+        #: Reentrant because reads heal (:meth:`_rebuild`) and writes
+        #: auto-flush inside already-locked regions.  Separate *store
+        #: instances* are still single-writer (see the class docstring).
+        self._lock = threading.RLock()
         self._load()
 
     # -- subclass interface -------------------------------------------------------
@@ -392,22 +405,23 @@ class JsonlStore:
         this key means the index is stale; the index is then rebuilt from
         the records file and the lookup retried once.
         """
-        offset = self._index[kind].get(key)
-        if offset is None:
-            return None
-        try:
-            payload = self._read(offset)
-            if payload["kind"] == kind:
-                data = payload["data"]
-                if self._key_of(kind, data) == key:
-                    return data
-        except _PARSE_ERRORS:
-            pass
-        self._rebuild()
-        offset = self._index[kind].get(key)
-        if offset is None:
-            return None
-        return self._read(offset)["data"]
+        with self._lock:
+            offset = self._index[kind].get(key)
+            if offset is None:
+                return None
+            try:
+                payload = self._read(offset)
+                if payload["kind"] == kind:
+                    data = payload["data"]
+                    if self._key_of(kind, data) == key:
+                        return data
+            except _PARSE_ERRORS:
+                pass
+            self._rebuild()
+            offset = self._index[kind].get(key)
+            if offset is None:
+                return None
+            return self._read(offset)["data"]
 
     def _payloads(self, kind: str) -> list[tuple[str, dict]]:
         """Every indexed ``(key, payload)`` of a kind, in key order.
@@ -418,11 +432,12 @@ class JsonlStore:
         Like :meth:`_get`, a record that does not read back as its key
         triggers one index rebuild and retry.
         """
-        try:
-            return self._scan_payloads(kind)
-        except _PARSE_ERRORS:
-            self._rebuild()
-            return self._scan_payloads(kind)
+        with self._lock:
+            try:
+                return self._scan_payloads(kind)
+            except _PARSE_ERRORS:
+                self._rebuild()
+                return self._scan_payloads(kind)
 
     def _scan_payloads(self, kind: str) -> list[tuple[str, dict]]:
         index = self._index[kind]
@@ -461,9 +476,10 @@ class JsonlStore:
 
     def _put(self, kind: str, key: str, data: dict) -> None:
         """Append one record and point the index at it (last write wins)."""
-        offset = self._append(kind, data)
-        self._index[kind][key] = offset
-        self._maybe_flush()
+        with self._lock:
+            offset = self._append(kind, data)
+            self._index[kind][key] = offset
+            self._maybe_flush()
 
     def _maybe_flush(self) -> None:
         """Periodic index rewrite — call only *after* the new record's key
@@ -473,6 +489,19 @@ class JsonlStore:
             self.flush()
 
     # -- compaction ---------------------------------------------------------------
+    def _live_snapshot(self) -> list[tuple[int, str, str]]:
+        """Every indexed ``(offset, kind, key)`` in offset order.
+
+        ``list(...)`` pins each per-kind dict before iterating — cheap
+        insurance against a caller touching the index mid-sweep even
+        though :meth:`compact` already holds the instance lock.
+        """
+        return sorted(
+            (offset, kind, key)
+            for kind, index in self._index.items()
+            for key, offset in list(index.items())
+        )
+
     def compact(self) -> int:
         """Rewrite the records file keeping only the newest record per key.
 
@@ -485,46 +514,43 @@ class JsonlStore:
         crash at any point leaves either the old file or the new one,
         never a mix.  The in-memory index is rewritten to the new
         offsets and persisted.  Returns the number of bytes reclaimed.
+
+        Holds the instance lock for the whole rewrite: an appender
+        thread sharing this instance blocks until the swap is done
+        rather than writing into the about-to-be-replaced file.
         """
-        live = sorted(
-            (offset, kind, key)
-            for kind, index in self._index.items()
-            for key, offset in index.items()
-        )
-        try:
-            lines = self._live_lines(live)
-        except _PARSE_ERRORS:
-            # Stale index (same failure mode _get heals): rebuild from
-            # the records file and compact what is really there.
-            self._rebuild()
-            live = sorted(
-                (offset, kind, key)
-                for kind, index in self._index.items()
-                for key, offset in index.items()
+        with self._lock:
+            live = self._live_snapshot()
+            try:
+                lines = self._live_lines(live)
+            except _PARSE_ERRORS:
+                # Stale index (same failure mode _get heals): rebuild from
+                # the records file and compact what is really there.
+                self._rebuild()
+                live = self._live_snapshot()
+                lines = self._live_lines(live)
+            before = (
+                self._records_path.stat().st_size if self._records_path.exists() else 0
             )
-            lines = self._live_lines(live)
-        before = (
-            self._records_path.stat().st_size if self._records_path.exists() else 0
-        )
-        tmp = self._records_path.parent / (self._records_path.name + ".tmp")
-        offsets: list[tuple[str, str, int]] = []
-        position = 0
-        with open(tmp, "wb") as handle:
-            for (_, kind, key), line in zip(live, lines):
-                offsets.append((kind, key, position))
-                handle.write(line)
-                position += len(line)
-        os.replace(tmp, self._records_path)
-        # The per-kind dicts are aliased by subclasses; mutate in place.
-        for index in self._index.values():
-            index.clear()
-        for kind, key, offset in offsets:
-            self._index[kind][key] = offset
-        self._indexed_end = position
-        self._tail_torn = False
-        self._index_dirty = True
-        self.flush()
-        return before - position
+            tmp = self._records_path.parent / (self._records_path.name + ".tmp")
+            offsets: list[tuple[str, str, int]] = []
+            position = 0
+            with open(tmp, "wb") as handle:
+                for (_, kind, key), line in zip(live, lines):
+                    offsets.append((kind, key, position))
+                    handle.write(line)
+                    position += len(line)
+            os.replace(tmp, self._records_path)
+            # The per-kind dicts are aliased by subclasses; mutate in place.
+            for index in self._index.values():
+                index.clear()
+            for kind, key, offset in offsets:
+                self._index[kind][key] = offset
+            self._indexed_end = position
+            self._tail_torn = False
+            self._index_dirty = True
+            self.flush()
+            return before - position
 
     def _live_lines(self, live: list[tuple[int, str, str]]) -> list[bytes]:
         """The indexed records' raw lines, validated against their keys."""
@@ -551,17 +577,18 @@ class JsonlStore:
         A no-op when the on-disk index is already current, so read-only
         usage (``microrepro export`` on a shipped store) never writes.
         """
-        if not self._index_dirty:
+        with self._lock:
+            if not self._index_dirty:
+                self._unindexed = 0
+                return
+            payload = {"end": self._indexed_end}
+            for kind in self.KINDS:
+                payload[self._index_name(kind)] = self._index[kind]
+            tmp = self._index_path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            tmp.replace(self._index_path)
             self._unindexed = 0
-            return
-        payload = {"end": self._indexed_end}
-        for kind in self.KINDS:
-            payload[self._index_name(kind)] = self._index[kind]
-        tmp = self._index_path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload), encoding="utf-8")
-        tmp.replace(self._index_path)
-        self._unindexed = 0
-        self._index_dirty = False
+            self._index_dirty = False
 
     def close(self) -> None:
         """Flush the index (the records file is already on disk)."""

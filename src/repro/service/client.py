@@ -26,6 +26,7 @@ import socket
 import urllib.error
 import urllib.parse
 import urllib.request
+import warnings
 from http.client import HTTPConnection, HTTPException
 from time import sleep
 
@@ -290,11 +291,21 @@ def _request(url: str, data: bytes | None, timeout: float) -> dict:
         raise ExperimentError(f"cannot reach {url}: {exc.reason}") from exc
 
 
+def _warn_deprecated(helper: str, replacement: str) -> None:
+    warnings.warn(
+        f"{helper}() is deprecated; use {replacement} on a ServiceClient "
+        "(keep-alive connection, versioned endpoints, optional 429 retry)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def get_json(url: str, *, timeout: float = DEFAULT_TIMEOUT) -> dict:
     """GET a JSON object.
 
     .. deprecated:: use :meth:`ServiceClient.get`.
     """
+    _warn_deprecated("get_json", "ServiceClient.get")
     return _request(url, None, timeout)
 
 
@@ -303,6 +314,7 @@ def post_json(url: str, payload: dict, *, timeout: float = DEFAULT_TIMEOUT) -> d
 
     .. deprecated:: use :meth:`ServiceClient.post`.
     """
+    _warn_deprecated("post_json", "ServiceClient.post")
     return _request(url, json.dumps(payload).encode("utf-8"), timeout)
 
 
@@ -313,7 +325,12 @@ def solve_remote(base_url: str, request: dict, *, timeout: float = DEFAULT_TIMEO
        method this never retries a 429 — existing callers catch the
        :class:`~repro.exceptions.ServiceOverloadedError` themselves.
     """
-    return post_json(base_url.rstrip("/") + "/solve", request, timeout=timeout)
+    _warn_deprecated("solve_remote", "ServiceClient.solve")
+    return _request(
+        base_url.rstrip("/") + "/solve",
+        json.dumps(request).encode("utf-8"),
+        timeout,
+    )
 
 
 def service_stats(base_url: str, *, timeout: float = DEFAULT_TIMEOUT) -> dict:
@@ -321,4 +338,5 @@ def service_stats(base_url: str, *, timeout: float = DEFAULT_TIMEOUT) -> dict:
 
     .. deprecated:: use :meth:`ServiceClient.stats`.
     """
-    return get_json(base_url.rstrip("/") + "/stats", timeout=timeout)
+    _warn_deprecated("service_stats", "ServiceClient.stats")
+    return _request(base_url.rstrip("/") + "/stats", None, timeout)
