@@ -27,6 +27,18 @@ burst of distinct concurrent requests, and asserts:
   response;
 * shedding is accounted as ``shed``, never as ``errors``.
 
+**Phase 3 — telemetry** (``--trace <tmpdir>``): one traced round trip
+through a 2-process worker pool, and asserts:
+
+* a caller-supplied ``X-Request-Id`` is echoed back verbatim, and a
+  request without one gets a server-generated id;
+* ``GET /v1/metrics`` returns valid Prometheus text (``# TYPE`` lines,
+  well-formed samples) covering the service/batcher/cache/session
+  series, and ``/v1/stats`` carries the same registry snapshot;
+* the span log is non-empty and links the HTTP request to its batcher
+  group and to the pool worker's solve under one trace id — across the
+  process boundary.
+
 Exit code 0 on success; any assertion or timeout kills the server and
 exits non-zero.  Runs from a source checkout::
 
@@ -35,11 +47,13 @@ exits non-zero.  Runs from a source checkout::
 
 from __future__ import annotations
 
+import json
 import os
 import queue
 import re
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -50,6 +64,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.exceptions import ServiceOverloadedError  # noqa: E402 - path bootstrap
 from repro.service import (  # noqa: E402 - path bootstrap above
+    ServiceClient,
     direct_response,
     normalize_request,
     service_stats,
@@ -303,9 +318,132 @@ def phase_overload() -> bool:
         stop_server(process)
 
 
+#: Series every scrape must expose once a solve went through — one per
+#: instrumented subsystem (service, batcher, cache, sessions, backend).
+REQUIRED_SERIES = (
+    "repro_service_requests_total",
+    "repro_service_latency_seconds_bucket",
+    "repro_batcher_requests_total",
+    "repro_cache_misses_total",
+    "repro_sessions_lifecycle_total",
+    "repro_backend_info",
+)
+
+#: A well-formed Prometheus text sample: name, optional labels, value.
+SAMPLE_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+infa]+$")
+
+
+def check_prometheus_text(text: str) -> list[tuple[bool, str]]:
+    """Format checks over one ``/v1/metrics`` scrape."""
+    lines = text.splitlines()
+    samples = [line for line in lines if line and not line.startswith("#")]
+    typed = {
+        line.split()[2]
+        for line in lines
+        if line.startswith("# TYPE ") and len(line.split()) == 4
+    }
+    malformed = [line for line in samples if not SAMPLE_RE.match(line)]
+    if malformed:
+        print(f"malformed sample lines: {malformed[:5]}")
+    missing = [
+        series
+        for series in REQUIRED_SERIES
+        if not any(line.startswith(series) for line in samples)
+    ]
+    if missing:
+        print(f"missing series: {missing}")
+    return [
+        (bool(samples), "scrape carries sample lines"),
+        (not malformed, "every sample line is well-formed"),
+        (bool(typed), "scrape carries # TYPE headers"),
+        (not missing, "service/batcher/cache/session/backend series present"),
+    ]
+
+
+def load_spans(trace_dir: str) -> list[dict]:
+    """Every span record in the trace log, in append order."""
+    trace_file = Path(trace_dir) / "trace.jsonl"
+    if not trace_file.exists():
+        return []
+    spans = []
+    for line in trace_file.read_text(encoding="utf-8").splitlines():
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("kind") == "span":
+            spans.append(record["data"])
+    return spans
+
+
+def phase_telemetry() -> bool:
+    """Phase 3: request ids, /v1/metrics scrape, cross-process span tree."""
+    print("== phase 3: telemetry, --trace ==")
+    trace_dir = tempfile.mkdtemp(prefix="smoke-trace-")
+    process, url = start_server(
+        "--window-ms", "50", "--workers", "2", "--trace", trace_dir
+    )
+    try:
+        client = ServiceClient(url)
+        payload = {
+            "heuristic": "H4w",
+            "application": {"tasks": 20, "types": 3},
+            "platform": {"machines": 6},
+            "options": {"seed": 0},
+        }
+        response = client.solve(payload, request_id="smoke-trace-1")
+        echoed = client.last_request_id
+        reference = direct_response(normalize_request(payload))
+        if response["assignment"] != reference["assignment"]:
+            print("FAIL: traced response diverged from the direct solve")
+            return False
+
+        client.solve({**payload, "options": {"seed": 1}})
+        generated = client.last_request_id
+
+        metrics_text = client.metrics()
+        stats = client.stats()
+    finally:
+        stop_server(process)
+
+    spans = load_spans(trace_dir)
+    by_id = {record["span_id"]: record for record in spans}
+    http_spans = [
+        record
+        for record in spans
+        if record["name"] == "http.request"
+        and record.get("request_id") == "smoke-trace-1"
+    ]
+    groups = [record for record in spans if record["name"] == "batcher.group"]
+    worker_solves = [record for record in spans if record["name"] == "pool.worker_solve"]
+    trace_ids = {record["trace_id"] for record in http_spans}
+    linked_groups = [
+        record for record in groups if by_id.get(record.get("parent_id", ""), {}).get("name") == "http.request"
+    ]
+    linked_solves = [
+        record for record in worker_solves if record["trace_id"] in {g["trace_id"] for g in groups}
+    ]
+
+    checks = [
+        (echoed == "smoke-trace-1", "caller's X-Request-Id echoed back"),
+        (bool(generated) and generated != "smoke-trace-1", "request id generated when absent"),
+        ("metrics" in stats, "/v1/stats carries the registry snapshot"),
+        (bool(spans), "trace log is non-empty"),
+        (len(http_spans) == 1 and len(trace_ids) == 1, "traced request logged one http.request span"),
+        (bool(linked_groups), "batcher group parented on the http request"),
+        (bool(linked_solves), "pool worker solve joined the trace across the process boundary"),
+    ]
+    checks.extend(check_prometheus_text(metrics_text))
+    print(
+        f"{len(spans)} spans in {trace_dir} "
+        f"({len(groups)} groups, {len(worker_solves)} pool worker solves)"
+    )
+    return report(checks)
+
+
 def main() -> int:
     ok = phase_mixed_traffic()
     ok = phase_overload() and ok
+    ok = phase_telemetry() and ok
     return 0 if ok else 1
 
 

@@ -44,6 +44,7 @@ __all__ = [
     "get_backend",
     "set_backend",
     "use_backend",
+    "activate_backend",
     "backend_info",
     "BACKEND_ENV_VAR",
     "AUTO_BACKEND",
@@ -227,6 +228,35 @@ class use_backend:
 
     def __exit__(self, *exc_info) -> None:
         set_backend(self._previous)
+
+
+class activate_backend:
+    """Temporarily install a :class:`KernelBackend` *instance* as active.
+
+    The seam the tracing instrumentation uses to swap in a span-timed
+    wrapper of the current backend for the duration of one solve
+    (:mod:`repro.obs.instrument`).  Unlike :func:`use_backend` it takes
+    an instance, not a registry name, so wrappers never pollute the
+    registry.  Concurrent activations on different threads may briefly
+    see each other's instance; that is harmless for wrappers that keep
+    the wrapped kernels' bit-for-bit behaviour (the only supported use).
+    """
+
+    __slots__ = ("_backend", "_previous")
+
+    def __init__(self, backend: KernelBackend):
+        self._backend = backend
+        self._previous: KernelBackend | None = None
+
+    def __enter__(self) -> KernelBackend:
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self._backend
+        return self._backend
+
+    def __exit__(self, *exc_info) -> None:
+        global _ACTIVE
+        _ACTIVE = self._previous
 
 
 def numba_status() -> tuple[bool, str | None]:

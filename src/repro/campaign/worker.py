@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..experiments.store import ResultStore
+from ..obs.trace import span
 from .plan import ShardPlan, WorkUnit
 
 __all__ = ["ShardReport", "run_shard"]
@@ -117,17 +118,28 @@ def run_shard(
     manifest = shard.manifest
     report = ShardReport(shard=shard.index, shards=shard.shards)
     start = time.perf_counter()
-    pipeline = build_pipeline(manifest)
-    artifacts = artifact_store_for(store.path)
-    pipeline_report = execute_solves(
-        pipeline,
-        pipeline.solves_for(shard.units),
-        store,
-        artifacts,
-        workers=workers,
-        resume=resume,
-        log=log,
-    )
+    with span(
+        "campaign.shard",
+        shard=shard.index,
+        shards=shard.shards,
+        units=len(shard.units),
+    ) as shard_span:
+        pipeline = build_pipeline(manifest)
+        artifacts = artifact_store_for(store.path)
+        pipeline_report = execute_solves(
+            pipeline,
+            pipeline.solves_for(shard.units),
+            store,
+            artifacts,
+            workers=workers,
+            resume=resume,
+            log=log,
+        )
+        shard_span.set(
+            computed=pipeline_report.computed["solve"],
+            hits=pipeline_report.hits["solve"],
+            stolen=pipeline_report.stolen,
+        )
     report.computed = pipeline_report.computed["solve"]
     report.skipped = pipeline_report.hits["solve"]
     report.runs = list(_group_units(shard.units))

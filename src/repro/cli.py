@@ -43,6 +43,12 @@ and fire one request at a running service::
     microrepro request --url http://127.0.0.1:8000 --heuristic H4w \
         --tasks 10 --types 3 --machines 5 --seed 7
 
+Record request/solve spans while serving (``GET /v1/metrics`` exposes
+the Prometheus counters either way) and summarize where the time went::
+
+    microrepro serve --port 8000 --trace traces/
+    microrepro trace summarize traces/ --tree
+
 Replay a seeded failure/recovery timeline through the live replanner —
 in process or against a running service's ``/v1/session`` API — and
 verify warm-started replans against the cold re-solve reference::
@@ -114,6 +120,9 @@ from .generators.applications import random_chain_application
 from .generators.platforms import random_failure_rates, random_processing_times
 from .heuristics import PAPER_HEURISTICS, get_heuristic
 from .live import LiveConfig, compare_reports, run_timeline, run_timeline_remote
+from .obs.summary import format_table, format_tree, load_spans, summarize_spans
+from .obs.trace import TRACE_ENV_VAR
+from .obs.trace import configure as configure_tracing
 from .service.batcher import DEFAULT_MAX_BATCH, DEFAULT_WINDOW_SECONDS
 from .service.client import ServiceClient
 from .service.server import serve as serve_service
@@ -657,7 +666,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_MAX_SESSIONS,
         help="bound on concurrently open sessions (new ones shed with 429)",
     )
+    serve_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="record request/solve spans into this trace store directory "
+        f"(defaults to ${TRACE_ENV_VAR}; omit both to disable tracing); "
+        "inspect with 'microrepro trace summarize DIR'",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="inspect recorded trace spans (see 'serve --trace')",
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_summarize_parser = trace_sub.add_parser(
+        "summarize",
+        help="aggregate a trace store into a per-span hot-path table",
+    )
+    trace_summarize_parser.add_argument(
+        "path",
+        metavar="PATH",
+        help="trace store directory (or a bare trace.jsonl file)",
+    )
+    trace_summarize_parser.add_argument(
+        "--tree",
+        action="store_true",
+        help="also print the span tree of one trace (newest by default)",
+    )
+    trace_summarize_parser.add_argument(
+        "--trace-id",
+        default=None,
+        metavar="ID",
+        help="which trace the --tree view shows (default: the newest)",
+    )
+    trace_summarize_parser.add_argument(
+        "--json", action="store_true", help="print the aggregates as JSON"
+    )
+    trace_summarize_parser.set_defaults(func=_cmd_trace_summarize)
 
     request_parser = subparsers.add_parser(
         "request",
@@ -1105,7 +1152,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending or None,
         session_ttl=args.session_ttl,
         max_sessions=args.max_sessions,
+        trace=args.trace or os.environ.get(TRACE_ENV_VAR) or None,
     )
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    spans = load_spans(args.path)
+    aggregates = summarize_spans(spans)
+    if args.json:
+        payload = {
+            "spans": len(spans),
+            "aggregates": [
+                {
+                    "name": aggregate.name,
+                    "count": aggregate.count,
+                    "total_seconds": round(aggregate.total_seconds, 6),
+                    "self_seconds": round(aggregate.self_seconds, 6),
+                    "mean_ms": round(aggregate.mean_ms, 3),
+                }
+                for aggregate in aggregates
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(format_table(aggregates))
+    if args.tree:
+        print()
+        print(format_tree(spans, trace_id=args.trace_id))
     return 0
 
 
@@ -1215,6 +1289,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         if args.backend is not None:
             set_backend(args.backend)
+        # Tracing is process-wide: $REPRO_TRACE switches it on for any
+        # command (campaign/dag runs trace too, not just `serve`, whose
+        # --trace flag still takes precedence over the variable).
+        trace_dir = os.environ.get(TRACE_ENV_VAR)
+        if trace_dir and getattr(args, "trace", None) is None:
+            configure_tracing(trace_dir)
         return int(args.func(args))
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from ..campaign.plan import CampaignManifest, WorkUnit, expand_units
 from ..exceptions import ExperimentError
+from ..obs.trace import span
 from .stage import AggregateStage, GenerateStage, RenderStage, RunShape, SolveStage, Stage
 
 __all__ = ["Pipeline", "build_pipeline"]
@@ -65,6 +66,13 @@ class Pipeline:
 
 def build_pipeline(manifest: CampaignManifest) -> Pipeline:
     """Compile ``manifest`` into its generate → solve → aggregate → render DAG."""
+    with span("dag.build_pipeline", figures=len(manifest.figures)) as build_span:
+        pipeline = _build_pipeline(manifest)
+        build_span.set(stages=sum(pipeline.counts().values()))
+    return pipeline
+
+
+def _build_pipeline(manifest: CampaignManifest) -> Pipeline:
     pipeline = Pipeline(manifest=manifest)
     for unit in expand_units(manifest):
         run_key = (unit.figure_id, unit.seed)

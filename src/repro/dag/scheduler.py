@@ -35,6 +35,8 @@ from ..campaign.plan import WorkUnit
 from ..experiments.providers import resolve_provider
 from ..experiments.runner import _evaluate_block_job, execute_blocks
 from ..experiments.store import CellRecord, ResultStore, RunMeta
+from ..obs.instrument import timed_kernels
+from ..obs.trace import activate, capture, current_context, emit_spans, span, tracing_active
 from .artifacts import ArtifactStore, artifact_store_for
 from .cost import unit_cost
 from .pipeline import Pipeline
@@ -201,7 +203,7 @@ def _load(stage: Stage, artifacts: ArtifactStore, report: PipelineReport) -> dic
     if output is not None:
         return output
     inputs = [_load(parent, artifacts, report) for parent in stage.inputs]
-    output = stage.run(inputs)
+    output = _run_stage(stage, inputs)
     artifacts.put(stage.key, stage.name, output)
     report.computed[stage.kind] += 1
     return output
@@ -214,10 +216,35 @@ def _ensure(stage: Stage, artifacts: ArtifactStore, report: PipelineReport) -> d
         report.hits[stage.kind] += 1
         return output
     inputs = [_load(parent, artifacts, report) for parent in stage.inputs]
-    output = stage.run(inputs)
+    output = _run_stage(stage, inputs)
     artifacts.put(stage.key, stage.name, output)
     report.computed[stage.kind] += 1
     return output
+
+
+def _run_stage(stage: Stage, inputs: list[dict]) -> dict:
+    """Run one stage under a ``dag.stage`` span keyed by its content key."""
+    with span("dag.stage", kind=stage.kind, key=stage.key, stage=stage.name):
+        return stage.run(inputs)
+
+
+def _evaluate_block_job_traced(payload):
+    """Picklable traced block job: same result, plus the worker's spans.
+
+    ``payload`` is ``(context, args)`` — the submitting side's
+    :class:`~repro.obs.trace.TraceContext` and the plain
+    :func:`_evaluate_block_job` argument tuple.  Spans produced in the
+    pool worker (the block solve itself plus per-kernel timings) are
+    buffered and returned for the parent process to emit, so the trace
+    tree crosses the process boundary under one trace id.
+    """
+    context, args = payload
+    with capture() as spans:
+        with activate(context):
+            with span("dag.block_job", sweep_value=args[1], curve=args[2]):
+                with timed_kernels():
+                    result = _evaluate_block_job(args)
+    return result, spans
 
 
 def _cell_from_output(stage: SolveStage, scenario_hash: str, output: dict) -> CellRecord:
@@ -357,65 +384,85 @@ def execute_solves(
     if pool_size is not None and pool_size > 1 and any(pending_by_run.values()):
         # Parallel path: every pending unit of every run in one stealing
         # dispatch — per-run queues priced by the cost model, so MIP-heavy
-        # runs are drained by every idle slot instead of straggling.
-        def job_args(stage: SolveStage):
-            return (
-                stage.generate.scenario,
-                stage.sweep_value,
-                stage.curve,
-                generated[(stage.figure_id, stage.seed)]["entropy"],
-                manifest.milp_time_limit,
-                manifest.memoize_instances,
-            )
+        # runs are drained by every idle slot instead of straggling.  The
+        # dispatch span opens before the queues are built so the context
+        # the traced items carry is the dispatch itself — block-job spans
+        # coming back from the workers hang directly off it.
+        with span("dag.dispatch", slots=pool_size) as dispatch_span:
 
-        # Queue items are the picklable job-arg tuples (the executor
-        # pickles what it is submitted); identity maps each tuple back
-        # to its stage for recording.
-        stage_of: dict[int, SolveStage] = {}
-        queues, costs = [], []
-        for run_key, stages in pending_by_run.items():
-            queue = []
-            for stage in stages:
-                args = job_args(stage)
-                stage_of[id(args)] = stage
-                queue.append(args)
-            queues.append(queue)
-            costs.append(
-                [
-                    unit_cost(
-                        manifest,
-                        WorkUnit(
-                            stage.figure_id, stage.seed, stage.curve, stage.sweep_value
-                        ),
-                    )
-                    for stage in stages
-                ]
-            )
-        outstanding = {
-            run_key: len(stages) for run_key, stages in pending_by_run.items()
-        }
-        for run_key, count in outstanding.items():
-            if count == 0:
-                finish_run(run_key, 0.0)
+            def job_args(stage: SolveStage):
+                return (
+                    stage.generate.scenario,
+                    stage.sweep_value,
+                    stage.curve,
+                    generated[(stage.figure_id, stage.seed)]["entropy"],
+                    manifest.milp_time_limit,
+                    manifest.memoize_instances,
+                )
 
-        def on_result(args, result) -> None:
-            stage = stage_of[id(args)]
-            values, failures = result
-            record_solve(stage, values, failures)
-            run_key = (stage.figure_id, stage.seed)
-            outstanding[run_key] -= 1
-            if outstanding[run_key] == 0:
-                finish_run(run_key, time.perf_counter() - start)
+            # Queue items are the picklable job-arg tuples (the executor
+            # pickles what it is submitted); identity maps each tuple back
+            # to its stage for recording.  Under tracing, each item also
+            # carries the dispatching context so worker spans attach to it.
+            traced = tracing_active()
+            trace_context = current_context() if traced else None
+            job_fn = _evaluate_block_job_traced if traced else _evaluate_block_job
+            stage_of: dict[int, SolveStage] = {}
+            queues, costs = [], []
+            for run_key, stages in pending_by_run.items():
+                queue = []
+                for stage in stages:
+                    item = job_args(stage)
+                    if traced:
+                        item = (trace_context, item)
+                    stage_of[id(item)] = stage
+                    queue.append(item)
+                queues.append(queue)
+                costs.append(
+                    [
+                        unit_cost(
+                            manifest,
+                            WorkUnit(
+                                stage.figure_id,
+                                stage.seed,
+                                stage.curve,
+                                stage.sweep_value,
+                            ),
+                        )
+                        for stage in stages
+                    ]
+                )
+            outstanding = {
+                run_key: len(stages) for run_key, stages in pending_by_run.items()
+            }
+            for run_key, count in outstanding.items():
+                if count == 0:
+                    finish_run(run_key, 0.0)
 
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            dispatch = steal_dispatch(
-                pool,
-                _evaluate_block_job,
-                queues,
-                costs,
-                slots=pool_size,
-                steal=True,
-                on_result=on_result,
+            def on_result(args, result) -> None:
+                stage = stage_of[id(args)]
+                if traced:
+                    result, worker_spans = result
+                    emit_spans(worker_spans)
+                values, failures = result
+                record_solve(stage, values, failures)
+                run_key = (stage.figure_id, stage.seed)
+                outstanding[run_key] -= 1
+                if outstanding[run_key] == 0:
+                    finish_run(run_key, time.perf_counter() - start)
+
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                dispatch = steal_dispatch(
+                    pool,
+                    job_fn,
+                    queues,
+                    costs,
+                    slots=pool_size,
+                    steal=True,
+                    on_result=on_result,
+                )
+            dispatch_span.set(
+                runs=len(queues), executed=dispatch.executed, stolen=dispatch.stolen
             )
         report.stolen += dispatch.stolen
     else:
@@ -433,18 +480,21 @@ def execute_solves(
                 (stage.sweep_value, stage.curve): stage for stage in pending
             }
             run_start = time.perf_counter()
-            execute_blocks(
-                scenario,
-                generated[run_key]["entropy"],
-                [(stage.sweep_value, stage.curve) for stage in pending],
-                providers,
-                lambda sweep_value, label, values, failures: record_solve(
-                    by_unit[(int(sweep_value), label)], values, failures
-                ),
-                milp_time_limit=manifest.milp_time_limit,
-                workers=None,
-                memoize=manifest.memoize_instances,
-            )
+            with span(
+                "dag.run", figure=figure_id, seed=seed, blocks=len(pending)
+            ), timed_kernels():
+                execute_blocks(
+                    scenario,
+                    generated[run_key]["entropy"],
+                    [(stage.sweep_value, stage.curve) for stage in pending],
+                    providers,
+                    lambda sweep_value, label, values, failures: record_solve(
+                        by_unit[(int(sweep_value), label)], values, failures
+                    ),
+                    milp_time_limit=manifest.milp_time_limit,
+                    workers=None,
+                    memoize=manifest.memoize_instances,
+                )
             finish_run(run_key, time.perf_counter() - run_start)
     report.elapsed_seconds += time.perf_counter() - start
     return report
@@ -471,22 +521,25 @@ def run_pipeline(
     artifacts = artifacts if artifacts is not None else artifact_store_for(store.path)
     report = PipelineReport()
     start = time.perf_counter()
-    execute_solves(
-        pipeline,
-        list(pipeline.solves.values()),
-        store,
-        artifacts,
-        workers=workers,
-        resume=resume,
-        report=report,
-        log=log,
-    )
-    for stage in pipeline.aggregates.values():
-        _ensure(stage, artifacts, report)
-    renders = {
-        figure_id: _ensure(stage, artifacts, report)
-        for figure_id, stage in pipeline.renders.items()
-    }
+    with span(
+        "dag.pipeline", solves=len(pipeline.solves), figures=len(pipeline.renders)
+    ):
+        execute_solves(
+            pipeline,
+            list(pipeline.solves.values()),
+            store,
+            artifacts,
+            workers=workers,
+            resume=resume,
+            report=report,
+            log=log,
+        )
+        for stage in pipeline.aggregates.values():
+            _ensure(stage, artifacts, report)
+        renders = {
+            figure_id: _ensure(stage, artifacts, report)
+            for figure_id, stage in pipeline.renders.items()
+        }
     artifacts.flush()
     store.flush()
     report.elapsed_seconds = time.perf_counter() - start

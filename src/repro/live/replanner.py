@@ -57,6 +57,7 @@ from ..core.instance import ProblemInstance
 from ..core.platform import Platform
 from ..exceptions import ExperimentError
 from ..heuristics import get_heuristic
+from ..obs.trace import span
 from ..heuristics.base import solve_one
 from ..heuristics.local_search import specialized_move_mask
 
@@ -314,7 +315,11 @@ class Replanner:
         self, event_time: float, kind: str, machine: int | None
     ) -> ReplanRecord:
         start = time.perf_counter()
-        via = self._replan()
+        with span(
+            "replan", kind=kind, machine=machine, heuristic=self.heuristic
+        ) as replan_span:
+            via = self._replan()
+            replan_span.set(via=via)
         latency = time.perf_counter() - start
         setattr(self.counters, via, getattr(self.counters, via) + 1)
         return self._record(event_time, kind, machine, via, self._period, latency)

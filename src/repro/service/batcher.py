@@ -44,8 +44,17 @@ from dataclasses import dataclass, field
 
 from ..exceptions import ServiceOverloadedError
 from ..heuristics.base import batch_solve_min_repetitions
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import (
+    TraceContext,
+    activate,
+    current_context,
+    emit_spans,
+    span,
+    tracing_active,
+)
 from .cache import SolveCache
-from .pool import SolveWorkerPool, solve_group
+from .pool import SolveWorkerPool, solve_group, solve_group_traced
 from .requests import SolveRequest
 
 __all__ = ["BatcherStats", "MicroBatcher", "DEFAULT_WINDOW_SECONDS", "DEFAULT_MAX_BATCH"]
@@ -57,18 +66,99 @@ DEFAULT_WINDOW_SECONDS = 0.002
 DEFAULT_MAX_BATCH = 64
 
 
-@dataclass(slots=True)
 class BatcherStats:
-    """Counters of one :class:`MicroBatcher` (reset with the process)."""
+    """Counters of one :class:`MicroBatcher` (reset with the process).
 
-    requests: int = 0
-    flushes: int = 0
-    batched_requests: int = 0
-    fallback_requests: int = 0
-    coalesced: int = 0
-    shed: int = 0
-    max_group: int = 0
-    solve_seconds: float = 0.0
+    Registry-backed (see :class:`~repro.obs.metrics.MetricsRegistry`):
+    the historical attributes read the shared series that
+    ``GET /v1/metrics`` exposes, so the two surfaces cannot drift.
+    """
+
+    __slots__ = ("_requests", "_flushes", "_solved", "_coalesced", "_shed",
+                 "_max_group", "_solve_seconds")
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        registry = registry if registry is not None else MetricsRegistry()
+        self._requests = registry.counter(
+            "repro_batcher_requests_total", "Requests submitted to the micro-batcher."
+        )
+        self._flushes = registry.counter(
+            "repro_batcher_flushes_total", "Groups flushed to a solve."
+        )
+        self._solved = registry.counter(
+            "repro_batcher_solved_requests_total",
+            "Requests solved per execution path.",
+            labels=("path",),
+        )
+        # Pre-register both paths so an idle scrape shows them at 0.
+        for path in ("batched", "fallback"):
+            self._solved.labels(path=path)
+        self._coalesced = registry.counter(
+            "repro_batcher_coalesced_total",
+            "Requests that joined an identical in-flight solve.",
+        )
+        self._shed = registry.counter(
+            "repro_batcher_shed_total",
+            "Requests shed by admission control (solve queue full).",
+        )
+        self._max_group = registry.gauge(
+            "repro_batcher_max_group", "Largest group flushed so far."
+        )
+        self._solve_seconds = registry.counter(
+            "repro_batcher_solve_seconds_total",
+            "Wall-clock seconds spent in group solves.",
+        )
+
+    def note_request(self) -> None:
+        self._requests.inc()
+
+    def note_coalesced(self) -> None:
+        self._coalesced.inc()
+
+    def note_shed(self) -> None:
+        self._shed.inc()
+
+    def note_flush(self, group_size: int) -> None:
+        self._flushes.inc()
+        self._max_group.max(group_size)
+
+    def note_solved(self, count: int, batched: bool) -> None:
+        self._solved.labels(path="batched" if batched else "fallback").inc(count)
+
+    def add_solve_seconds(self, elapsed: float) -> None:
+        self._solve_seconds.inc(elapsed)
+
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def flushes(self) -> int:
+        return self._flushes.value
+
+    @property
+    def batched_requests(self) -> int:
+        return self._solved.labels(path="batched").value
+
+    @property
+    def fallback_requests(self) -> int:
+        return self._solved.labels(path="fallback").value
+
+    @property
+    def coalesced(self) -> int:
+        return self._coalesced.value
+
+    @property
+    def shed(self) -> int:
+        return self._shed.value
+
+    @property
+    def max_group(self) -> int:
+        return self._max_group.value
+
+    @property
+    def solve_seconds(self) -> float:
+        return self._solve_seconds.value
 
     def as_dict(self) -> dict:
         """JSON-ready counters for ``/stats``."""
@@ -91,6 +181,14 @@ class _Group:
     requests: list[SolveRequest] = field(default_factory=list)
     futures: dict[str, asyncio.Future] = field(default_factory=dict)
     timer: asyncio.TimerHandle | None = None
+    #: Trace context of the first submitter (tracing only): the group
+    #: span — and everything under it — joins *that* request's trace,
+    #: which is how coalesced/batched members are attributed to the one
+    #: group solve that served them.
+    context: TraceContext | None = None
+    #: ``perf_counter`` at group creation; the flushed group's window
+    #: wait (tracing only).
+    created: float = 0.0
 
 
 class MicroBatcher:
@@ -141,6 +239,7 @@ class MicroBatcher:
         cache: SolveCache | None = None,
         pool: SolveWorkerPool | None = None,
         max_pending: int | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -153,7 +252,7 @@ class MicroBatcher:
         self.cache = cache
         self.pool = pool
         self.max_pending = max_pending
-        self.stats = BatcherStats()
+        self.stats = BatcherStats(registry)
         self._groups: dict[tuple, _Group] = {}
         #: request key -> unresolved future, covering both pending groups
         #: and groups whose solve is already running on the executor; an
@@ -174,25 +273,29 @@ class MicroBatcher:
         :class:`~repro.exceptions.ServiceOverloadedError` when the
         request would exceed ``max_pending`` (nothing was enqueued).
         """
-        self.stats.requests += 1
+        self.stats.note_request()
         if self.cache is not None:
-            response, tier = await self._cache_get(request.key)
+            with span("cache.lookup", key=request.key) as lookup_span:
+                response, tier = await self._cache_get(request.key)
+                lookup_span.set(tier=tier or "miss")
             if response is not None:
                 return dict(response, cached=tier)
         inflight = self._inflight.get(request.key)
         if inflight is not None:
             # Identical request already pending or mid-solve: one solve
             # serves both.
-            self.stats.coalesced += 1
-            return dict(await asyncio.shield(inflight), cached=False)
+            self.stats.note_coalesced()
+            with span("batcher.wait", key=request.key, coalesced=True):
+                return dict(await asyncio.shield(inflight), cached=False)
         if self.max_pending is not None and len(self._inflight) >= self.max_pending:
-            self.stats.shed += 1
+            self.stats.note_shed()
             raise ServiceOverloadedError(
                 f"solve queue is full ({self.max_pending} pending request(s)); "
                 "retry later"
             )
         future = self._enqueue(request)
-        return dict(await asyncio.shield(future), cached=False)
+        with span("batcher.wait", key=request.key, coalesced=False):
+            return dict(await asyncio.shield(future), cached=False)
 
     async def _cache_get(self, key: str) -> tuple[dict | None, str | None]:
         """Cache lookup; the persistent tier's file I/O stays off the loop.
@@ -212,6 +315,12 @@ class MicroBatcher:
         group = self._groups.get(request.signature)
         if group is None:
             group = _Group()
+            if tracing_active():
+                # The group's trace is the first submitter's: later
+                # members and coalesced joiners are attributed through
+                # the group span's request_keys attribute.
+                group.context = current_context()
+                group.created = time.perf_counter()
             self._groups[request.signature] = group
             group.timer = loop.call_later(
                 self.window, self._flush, request.signature
@@ -247,62 +356,88 @@ class MicroBatcher:
             return len(requests) >= self.batch_min
         return len(requests) >= batch_solve_min_repetitions(requests[0].heuristic)
 
+    async def _run_solve(
+        self, loop: asyncio.AbstractEventLoop, group: _Group
+    ) -> tuple[list[dict], bool]:
+        """One flushed group's solve on the right executor.
+
+        With tracing active both executors run the traced twin
+        (:func:`~repro.service.pool.solve_group_traced`) — the current
+        context crosses the thread/process boundary in the payload and
+        the worker-side spans come back with the result.
+        """
+        use_batch = self._use_batch(group.requests)
+        if tracing_active():
+            with span("pool.roundtrip", pooled=self.pool is not None):
+                responses, batched, worker_spans = await loop.run_in_executor(
+                    self.pool.executor if self.pool is not None else None,
+                    solve_group_traced,
+                    tuple(group.requests),
+                    use_batch,
+                    current_context(),
+                )
+            emit_spans(worker_spans)
+            return responses, batched
+        if self.pool is not None:
+            return await loop.run_in_executor(
+                self.pool.executor, solve_group, tuple(group.requests), use_batch
+            )
+        return await loop.run_in_executor(None, self._solve, tuple(group.requests))
+
     async def _solve_group(self, group: _Group) -> None:
-        self.stats.flushes += 1
-        self.stats.max_group = max(self.stats.max_group, len(group.requests))
+        self.stats.note_flush(len(group.requests))
         loop = asyncio.get_running_loop()
         start = time.perf_counter()
-        try:
-            if self.pool is not None:
-                responses, batched = await loop.run_in_executor(
-                    self.pool.executor,
-                    solve_group,
-                    tuple(group.requests),
-                    self._use_batch(group.requests),
-                )
-            else:
-                responses, batched = await loop.run_in_executor(
-                    None, self._solve, tuple(group.requests)
-                )
-        except BaseException as exc:  # noqa: BLE001 - fan the failure out
-            for key, future in group.futures.items():
-                self._release(key, future)
-                if future.done():
-                    # A waiter cancelled by its disconnecting client:
-                    # nothing to deliver, and set_exception would raise.
-                    continue
-                future.set_exception(exc)
-                # Mark the exception retrieved immediately: a waiter that
-                # disconnected *after* enqueueing (shielded future, not
-                # cancelled) never awaits it, and every such future would
-                # otherwise log "exception was never retrieved" at GC.
-                # Waiters that are still listening re-raise on await
-                # regardless.
-                future.exception()
-            return
-        finally:
-            self.stats.solve_seconds += time.perf_counter() - start
-        if batched:
-            self.stats.batched_requests += len(group.requests)
-        else:
-            self.stats.fallback_requests += len(group.requests)
-        if self.cache is not None:
-            # Before resolving the futures, so a submitter that saw its
-            # response can rely on the cache already holding it; the
-            # persistent tier's appends stay off the loop.
-            pairs = [
-                (request.key, response)
-                for request, response in zip(group.requests, responses)
-            ]
-            if self.cache.store is None:
-                self._persist(pairs)
-            else:
-                await loop.run_in_executor(None, self._persist, pairs)
-        for request, response in zip(group.requests, responses):
-            future = group.futures[request.key]
-            self._release(request.key, future)
-            if not future.done():
-                future.set_result(response)
+        with activate(group.context), span(
+            "batcher.group",
+            requests=len(group.requests),
+            heuristic=group.requests[0].heuristic,
+            request_keys=",".join(group.futures),
+            window_wait_ms=round((start - group.created) * 1000.0, 3)
+            if group.created
+            else 0.0,
+        ) as group_span:
+            try:
+                responses, batched = await self._run_solve(loop, group)
+            except BaseException as exc:  # noqa: BLE001 - fan the failure out
+                group_span.set(failed=type(exc).__name__)
+                for key, future in group.futures.items():
+                    self._release(key, future)
+                    if future.done():
+                        # A waiter cancelled by its disconnecting client:
+                        # nothing to deliver, and set_exception would raise.
+                        continue
+                    future.set_exception(exc)
+                    # Mark the exception retrieved immediately: a waiter that
+                    # disconnected *after* enqueueing (shielded future, not
+                    # cancelled) never awaits it, and every such future would
+                    # otherwise log "exception was never retrieved" at GC.
+                    # Waiters that are still listening re-raise on await
+                    # regardless.
+                    future.exception()
+                return
+            finally:
+                self.stats.add_solve_seconds(time.perf_counter() - start)
+            self.stats.note_solved(len(group.requests), batched)
+            group_span.set(batched=batched)
+            if self.cache is not None:
+                # Before resolving the futures, so a submitter that saw its
+                # response can rely on the cache already holding it; the
+                # persistent tier's appends stay off the loop.
+                pairs = [
+                    (request.key, response)
+                    for request, response in zip(group.requests, responses)
+                ]
+                with span("cache.write", responses=len(pairs)):
+                    if self.cache.store is None:
+                        self._persist(pairs)
+                    else:
+                        await loop.run_in_executor(None, self._persist, pairs)
+            for request, response in zip(group.requests, responses):
+                future = group.futures[request.key]
+                self._release(request.key, future)
+                if not future.done():
+                    future.set_result(response)
 
     def _release(self, key: str, future: asyncio.Future) -> None:
         """Drop an in-flight entry (only if it is still *this* future)."""

@@ -26,19 +26,73 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..experiments.store import JsonlStore
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["CacheStats", "SolveCacheStore", "SolveCache"]
 
 
-@dataclass(slots=True)
 class CacheStats:
-    """Counters of one :class:`SolveCache` (reset with the process)."""
+    """Counters of one :class:`SolveCache` (reset with the process).
 
-    memory_hits: int = 0
-    store_hits: int = 0
-    misses: int = 0
-    puts: int = 0
-    evictions: int = 0
+    Registry-backed: each counter is a
+    :class:`~repro.obs.metrics.MetricsRegistry` series (shared with
+    ``GET /v1/metrics`` when the service passes its registry in), and
+    the historical int attributes read straight from it — one source of
+    truth for ``/v1/stats`` and the exposition endpoint.
+    """
+
+    __slots__ = ("_hits", "_misses", "_puts", "_evictions")
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        registry = registry if registry is not None else MetricsRegistry()
+        self._hits = registry.counter(
+            "repro_cache_hits_total", "Solve-cache hits per tier.", labels=("tier",)
+        )
+        # Pre-register both tiers so an idle scrape shows them at 0.
+        for tier in ("memory", "store"):
+            self._hits.labels(tier=tier)
+        self._misses = registry.counter(
+            "repro_cache_misses_total", "Solve-cache lookups that missed both tiers."
+        )
+        self._puts = registry.counter(
+            "repro_cache_puts_total", "Responses written through the solve cache."
+        )
+        self._evictions = registry.counter(
+            "repro_cache_memory_evictions_total",
+            "LRU evictions from the in-memory cache tier.",
+        )
+
+    def note_hit(self, tier: str) -> None:
+        self._hits.labels(tier=tier).inc()
+
+    def note_miss(self) -> None:
+        self._misses.inc()
+
+    def note_put(self) -> None:
+        self._puts.inc()
+
+    def note_eviction(self) -> None:
+        self._evictions.inc()
+
+    @property
+    def memory_hits(self) -> int:
+        return self._hits.labels(tier="memory").value
+
+    @property
+    def store_hits(self) -> int:
+        return self._hits.labels(tier="store").value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def puts(self) -> int:
+        return self._puts.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
 
     @property
     def hits(self) -> int:
@@ -182,18 +236,21 @@ class SolveCache:
         *,
         capacity: int = 1024,
         max_bytes: int | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> "SolveCache":
         """A cache with a persistent tier at ``cache_dir`` (``None`` = memory only).
 
         ``max_bytes`` bounds the persistent tier's append log via
         compaction + oldest-first eviction (ignored without a tier).
+        ``registry`` shares the hit/miss/put counters with a service's
+        metrics registry (a private one is created otherwise).
         """
         store = (
             SolveCacheStore(cache_dir, max_bytes=max_bytes)
             if cache_dir is not None
             else None
         )
-        return cls(capacity=capacity, store=store)
+        return cls(capacity=capacity, store=store, stats=CacheStats(registry))
 
     def get(self, key: str) -> tuple[dict | None, str | None]:
         """``(response, tier)`` for a key; ``(None, None)`` on a miss.
@@ -205,21 +262,21 @@ class SolveCache:
             cached = self._memory.get(key)
             if cached is not None:
                 self._memory.move_to_end(key)
-                self.stats.memory_hits += 1
+                self.stats.note_hit("memory")
                 return cached, "memory"
             if self.store is not None:
                 response = self.store.get(key)
                 if response is not None:
-                    self.stats.store_hits += 1
+                    self.stats.note_hit("store")
                     self._remember(key, response)
                     return response, "store"
-            self.stats.misses += 1
+            self.stats.note_miss()
             return None, None
 
     def put(self, key: str, response: dict) -> None:
         """Write a freshly solved response through both tiers."""
         with self._lock:
-            self.stats.puts += 1
+            self.stats.note_put()
             self._remember(key, response)
             if self.store is not None:
                 self.store.put(key, response)
@@ -231,7 +288,7 @@ class SolveCache:
         self._memory.move_to_end(key)
         while len(self._memory) > self.capacity:
             self._memory.popitem(last=False)
-            self.stats.evictions += 1
+            self.stats.note_eviction()
 
     def __len__(self) -> int:
         return len(self._memory)

@@ -126,6 +126,11 @@ class ServiceClient:
         self.timeout = float(timeout)
         self.retries = int(retries)
         self._conn: HTTPConnection | None = None
+        #: ``X-Request-Id`` echoed by the last response (``None`` before
+        #: the first call).  When a call supplies ``request_id`` the
+        #: server echoes it back verbatim; otherwise the server mints
+        #: one — either way this is the id to grep for in a trace.
+        self.last_request_id: str | None = None
 
     # -- lifecycle ---------------------------------------------------------------
     @property
@@ -152,13 +157,23 @@ class ServiceClient:
         payload: dict | None = None,
         *,
         retries: int | None = None,
+        request_id: str | None = None,
     ) -> dict:
-        """One JSON round trip with the automatic 429 backoff loop."""
+        """One JSON round trip with the automatic 429 backoff loop.
+
+        ``request_id`` is sent as ``X-Request-Id`` when given; either
+        way the id the server answered under lands in
+        :attr:`last_request_id`.
+        """
         budget = self.retries if retries is None else int(retries)
         attempt = 0
         while True:
             try:
-                return self._roundtrip(method, path, payload)
+                # Only thread request_id through when given: _roundtrip's
+                # historical 3-argument signature is an override point.
+                if request_id is None:
+                    return self._roundtrip(method, path, payload)
+                return self._roundtrip(method, path, payload, request_id)
             except ServiceOverloadedError as exc:
                 if attempt >= budget:
                     raise
@@ -166,10 +181,8 @@ class ServiceClient:
                 hint = exc.retry_after_seconds
                 sleep(min(hint if hint and hint > 0 else 0.05, MAX_RETRY_SLEEP))
 
-    def _roundtrip(self, method: str, path: str, payload: dict | None) -> dict:
-        url = self.base_url + path
-        body = json.dumps(payload).encode("utf-8") if payload is not None else None
-        headers = {"Content-Type": "application/json"} if body is not None else {}
+    def _exchange(self, method: str, path: str, body, headers: dict, url: str):
+        """One raw HTTP exchange on the keep-alive connection."""
         for last_try in (False, True):
             if self._conn is None:
                 self._conn = HTTPConnection(self._host, self._port, timeout=self.timeout)
@@ -177,13 +190,28 @@ class ServiceClient:
                 self._conn.request(method, path, body=body, headers=headers)
                 response = self._conn.getresponse()
                 raw = response.read()  # must drain fully to keep the connection reusable
-                break
+                return response, raw
             except (ConnectionError, HTTPException, socket.timeout, OSError) as exc:
                 # A stale keep-alive connection fails exactly like this;
                 # retry once on a fresh socket before giving up.
                 self.close()
                 if last_try:
                     raise ExperimentError(f"cannot reach {url}: {exc}") from exc
+
+    def _roundtrip(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None,
+        request_id: str | None = None,
+    ) -> dict:
+        url = self.base_url + path
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        if request_id is not None:
+            headers["X-Request-Id"] = request_id
+        response, raw = self._exchange(method, path, body, headers, url)
+        self.last_request_id = response.getheader("X-Request-Id")
         data = _decode(raw, url)
         if 200 <= response.status < 300:
             return data
@@ -204,13 +232,32 @@ class ServiceClient:
         return self.request("POST", path, payload)
 
     # -- API surface -------------------------------------------------------------
-    def solve(self, request: dict, *, retries: int | None = None) -> dict:
+    def solve(
+        self,
+        request: dict,
+        *,
+        retries: int | None = None,
+        request_id: str | None = None,
+    ) -> dict:
         """``POST /v1/solve`` one request; retries 429s per the budget."""
-        return self.request("POST", "/v1/solve", request, retries=retries)
+        return self.request(
+            "POST", "/v1/solve", request, retries=retries, request_id=request_id
+        )
 
     def stats(self) -> dict:
         """``GET /v1/stats``."""
         return self.get("/v1/stats")
+
+    def metrics(self) -> str:
+        """``GET /v1/metrics`` — the Prometheus text exposition page."""
+        url = self.base_url + "/v1/metrics"
+        response, raw = self._exchange("GET", "/v1/metrics", None, {}, url)
+        self.last_request_id = response.getheader("X-Request-Id")
+        if response.status != 200:
+            raise ExperimentError(
+                _error_message(_decode(raw, url), url, response.status)
+            )
+        return raw.decode("utf-8")
 
     def healthz(self) -> dict:
         """``GET /v1/healthz``."""

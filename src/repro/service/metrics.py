@@ -1,47 +1,13 @@
-"""Small metric primitives shared by the service's stats surfaces.
+"""Deprecated alias of :mod:`repro.obs.metrics` (kept for imports).
 
-Lives in its own module so both the HTTP front end
-(:mod:`repro.service.server`) and the session manager
-(:mod:`repro.service.sessions`) can record latencies without importing
-each other.
+The latency reservoir moved into the unified observability layer —
+``from repro.obs.metrics import LatencyReservoir`` is the supported
+path.  This module re-exports the old names so existing imports keep
+working; it will be removed once nothing references it.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from ..obs.metrics import RESERVOIR_SIZE, LatencyReservoir
 
 __all__ = ["LatencyReservoir", "RESERVOIR_SIZE"]
-
-#: Latency samples kept for the ``/v1/stats`` percentiles.
-RESERVOIR_SIZE = 512
-
-
-@dataclass(slots=True)
-class LatencyReservoir:
-    """Fixed-size reservoir of the most recent request latencies.
-
-    A ring buffer over the last ``size`` samples: O(1) per record, fixed
-    memory forever, and the percentiles track *current* behaviour
-    instead of averaging this minute's overload away against last
-    hour's idle.
-    """
-
-    size: int = RESERVOIR_SIZE
-    _samples: list[float] = field(default_factory=list)
-    _next: int = 0
-
-    def add(self, value: float) -> None:
-        if len(self._samples) < self.size:
-            self._samples.append(value)
-        else:
-            self._samples[self._next] = value
-        self._next = (self._next + 1) % self.size
-
-    def percentile(self, q: float) -> float:
-        """Nearest-rank percentile (``0 < q <= 1``); ``0.0`` when empty."""
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        rank = max(1, math.ceil(q * len(ordered)))
-        return ordered[rank - 1]

@@ -29,9 +29,11 @@ from concurrent.futures import ProcessPoolExecutor, wait
 
 from ..batch import InstanceStack
 from ..heuristics.base import solve_stack, supports_batch
+from ..obs import trace
+from ..obs.instrument import timed_kernels
 from .requests import SolveRequest, build_response
 
-__all__ = ["solve_group", "SolveWorkerPool"]
+__all__ = ["solve_group", "solve_group_traced", "SolveWorkerPool"]
 
 
 def solve_group(
@@ -62,6 +64,36 @@ def solve_group(
         for row, request in enumerate(requests)
     ]
     return responses, batched
+
+
+def solve_group_traced(
+    requests: tuple[SolveRequest, ...],
+    use_batch: bool,
+    context: trace.TraceContext | None,
+) -> tuple[list[dict], bool, list[dict]]:
+    """:func:`solve_group` plus span capture; ``(responses, batched, spans)``.
+
+    The traced twin the batcher ships when tracing is on: the caller's
+    :class:`~repro.obs.trace.TraceContext` rides along in the picklable
+    payload, the solve runs under a worker-local capture buffer (a
+    worker process must not append to the parent's trace file), and the
+    buffered spans — the worker-side solve span plus aggregated
+    per-kernel timings — come back with the result for the parent to
+    emit.  The solve itself is byte-for-byte :func:`solve_group`, so
+    responses stay identical to the untraced path.
+    """
+    with trace.capture() as spans:
+        with trace.activate(context):
+            with trace.span(
+                "pool.worker_solve",
+                pid=os.getpid(),
+                requests=len(requests),
+                heuristic=requests[0].heuristic,
+            ) as solve_span:
+                with timed_kernels():
+                    responses, batched = solve_group(requests, use_batch)
+                solve_span.set(batched=batched)
+    return responses, batched, spans
 
 
 def _worker_ready() -> int:

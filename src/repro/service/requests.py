@@ -46,6 +46,7 @@ from ..generators.platforms import PAPER_F_RANGE, PAPER_W_RANGE
 from ..generators.scenarios import ScenarioConfig, sample_instance
 from ..heuristics import get_heuristic
 from ..heuristics.base import Heuristic, solve_one
+from ..obs.trace import span
 from ..simulation.rng import RandomStreamFactory
 
 __all__ = [
@@ -405,11 +406,12 @@ def direct_response(request: SolveRequest) -> dict:
     response body (modulo the ``batched`` marker); the equivalence tests
     and the CI service smoke both compare against it.
     """
-    instance = request.sample()
-    heuristic = request.resolve_heuristic()
-    rng = request.rng() if heuristic.randomized else None
-    assignment = solve_one(heuristic, instance, rng)
-    evaluation = evaluate(instance, Mapping(assignment, instance.num_machines))
-    return build_response(
-        request, assignment, evaluation.period, batched=False
-    )
+    with span("solve.direct", key=request.key, heuristic=request.heuristic):
+        instance = request.sample()
+        heuristic = request.resolve_heuristic()
+        rng = request.rng() if heuristic.randomized else None
+        assignment = solve_one(heuristic, instance, rng)
+        evaluation = evaluate(instance, Mapping(assignment, instance.num_machines))
+        return build_response(
+            request, assignment, evaluation.period, batched=False
+        )

@@ -23,14 +23,23 @@ aliases that answer identically plus a ``Deprecation: true`` header:
     mapping back, read state, close.  Idle sessions expire.
 ``GET /v1/stats``
     Live counters: request/cache/batcher/session stats plus latency
-    aggregates and p50/p95/p99 percentiles over fixed-size reservoirs.
+    aggregates and p50/p95/p99 percentiles over fixed-size reservoirs,
+    and a ``metrics`` snapshot of the unified registry.
+``GET /v1/metrics``
+    The same registry in Prometheus text exposition format
+    (:meth:`repro.obs.metrics.MetricsRegistry.render`), for scraping.
 ``GET /v1/healthz``
     Liveness probe (also used by the CLI/smoke to await readiness).
 
 Keep-alive is supported, so a client can stream many requests over one
-connection.  Every error status (400/404/429/500/504) carries one
-uniform envelope — ``{"error": {"code", "message"[,
-"retry_after_seconds"]}}`` — instead of tearing the connection down.
+connection.  Every response carries an ``X-Request-Id`` header — the
+client's, echoed, when it sent a well-formed one, else generated — so
+coalesced and micro-batched requests stay attributable to the group
+solve that served them (the id is recorded on the request's root span
+when tracing is on; see :mod:`repro.obs.trace`).  Every error status
+(400/404/429/500/504) carries one uniform envelope — ``{"error":
+{"code", "message"[, "retry_after_seconds"]}}`` — instead of tearing
+the connection down.
 """
 
 from __future__ import annotations
@@ -41,15 +50,16 @@ import json
 import math
 import re
 import time
-from dataclasses import dataclass, field
 
 from .._version import __version__
 from ..backend import backend_info
 from ..exceptions import ReproError, ServiceOverloadedError
 from ..live.replanner import Replanner
+from ..obs.metrics import LatencyReservoir, MetricsRegistry
+from ..obs.trace import configure as configure_tracing
+from ..obs.trace import request_id_or_new, span, trace_path
 from .batcher import DEFAULT_MAX_BATCH, DEFAULT_WINDOW_SECONDS, MicroBatcher
 from .cache import SolveCache
-from .metrics import LatencyReservoir
 from .pool import SolveWorkerPool
 from .requests import (
     SessionRequest,
@@ -75,29 +85,96 @@ LEGACY_ALIASES = ("/solve", "/stats", "/healthz")
 _SESSION_ROUTE = re.compile(r"/session/([A-Za-z0-9_-]+)(/event)?")
 
 
-@dataclass(slots=True)
 class ServiceStats:
     """Request-level counters of one service process.
 
     Uptime is measured on the monotonic clock — ``time.time()`` would
     make ``uptime_seconds`` jump (or go negative) across an NTP step —
     while ``started_at_unix`` keeps the human-readable wall-clock start.
+
+    Registry-backed since the unified telemetry layer landed: every
+    counter is a :class:`~repro.obs.metrics.MetricsRegistry` series
+    (shared with ``GET /v1/metrics``), and the historical attributes
+    read from it — ``/v1/stats`` and the exposition endpoint can never
+    disagree.
     """
 
-    started_monotonic: float = field(default_factory=time.monotonic)
-    started_at_unix: float = field(default_factory=time.time)
-    solved: int = 0
-    errors: int = 0
-    shed: int = 0
-    deadline_exceeded: int = 0
-    latency_seconds: float = 0.0
-    latency_max_seconds: float = 0.0
-    reservoir: LatencyReservoir = field(default_factory=LatencyReservoir)
+    __slots__ = (
+        "started_monotonic",
+        "started_at_unix",
+        "reservoir",
+        "_solved",
+        "_errors",
+        "_shed",
+        "_deadline",
+        "_latency",
+        "_latency_max",
+    )
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        registry = registry if registry is not None else MetricsRegistry()
+        self.started_monotonic = time.monotonic()
+        self.started_at_unix = time.time()
+        self.reservoir = LatencyReservoir()
+        self._solved = registry.counter(
+            "repro_service_requests_total", "Solve requests answered 200."
+        )
+        self._errors = registry.counter(
+            "repro_service_errors_total",
+            "Requests answered with an error envelope (4xx/5xx, 429/504 aside).",
+        )
+        self._shed = registry.counter(
+            "repro_service_shed_total",
+            "Requests shed by admission control (HTTP 429).",
+        )
+        self._deadline = registry.counter(
+            "repro_service_deadline_exceeded_total",
+            "Requests whose deadline expired before the solve (HTTP 504).",
+        )
+        self._latency = registry.histogram(
+            "repro_service_latency_seconds", "End-to-end solve latency."
+        )
+        self._latency_max = registry.gauge(
+            "repro_service_latency_max_seconds", "Largest solve latency seen."
+        )
+
+    @property
+    def solved(self) -> int:
+        return self._solved.value
+
+    @property
+    def errors(self) -> int:
+        return self._errors.value
+
+    @property
+    def shed(self) -> int:
+        return self._shed.value
+
+    @property
+    def deadline_exceeded(self) -> int:
+        return self._deadline.value
+
+    @property
+    def latency_seconds(self) -> float:
+        return self._latency.sum
+
+    @property
+    def latency_max_seconds(self) -> float:
+        return self._latency_max.value
+
+    def note_error(self) -> None:
+        self._errors.inc()
+
+    def note_shed(self) -> None:
+        self._shed.inc()
+
+    def note_deadline(self) -> None:
+        self._deadline.inc()
 
     def record(self, elapsed: float) -> None:
-        self.solved += 1
-        self.latency_seconds += elapsed
-        self.latency_max_seconds = max(self.latency_max_seconds, elapsed)
+        self._solved.inc()
+        self._latency.observe(elapsed)
+        self._latency_max.max(elapsed)
         self.reservoir.add(elapsed)
 
     def as_dict(self) -> dict:
@@ -176,9 +253,15 @@ class SolveService:
         self.host = host
         self.port = port
         self.retry_after = float(retry_after)
+        #: One registry for every layer of this process — the single
+        #: source of truth behind ``/v1/stats`` and ``GET /v1/metrics``.
+        self.registry = MetricsRegistry()
         self.cache: SolveCache | None = (
             SolveCache.open(
-                cache_dir, capacity=cache_capacity, max_bytes=cache_max_bytes
+                cache_dir,
+                capacity=cache_capacity,
+                max_bytes=cache_max_bytes,
+                registry=self.registry,
             )
             if cache_dir is not None or cache_capacity > 0
             else None
@@ -193,9 +276,20 @@ class SolveService:
             cache=self.cache,
             pool=self.pool,
             max_pending=max_pending,
+            registry=self.registry,
         )
-        self.stats = ServiceStats()
-        self.sessions = SessionManager(ttl=session_ttl, max_sessions=max_sessions)
+        self.stats = ServiceStats(self.registry)
+        self.sessions = SessionManager(
+            ttl=session_ttl, max_sessions=max_sessions, registry=self.registry
+        )
+        self.registry.gauge(
+            "repro_backend_info",
+            "Active kernel backend (value is always 1).",
+            labels=("name",),
+        ).labels(name=backend_info()["name"]).set(1)
+        self.registry.gauge(
+            "repro_service_workers", "Solve worker processes attached."
+        ).set(workers)
         self._server: asyncio.Server | None = None
         self._sweeper: asyncio.Task | None = None
 
@@ -259,9 +353,22 @@ class SolveService:
                 if request is None:
                     break
                 method, target, headers, body = request
-                status, payload, extra_headers = await self._dispatch(
-                    method, target, body
-                )
+                request_id = request_id_or_new(headers.get("x-request-id"))
+                with span(
+                    "http.request",
+                    method=method,
+                    path=target.split("?", 1)[0],
+                    request_id=request_id,
+                ) as request_span:
+                    status, payload, extra_headers = await self._dispatch(
+                        method, target, body
+                    )
+                    request_span.set(status=status)
+                extra_headers = dict(extra_headers or {})
+                # Echoed (or generated) on every response, so a client —
+                # including one whose request was coalesced into another
+                # group member's solve — can join its logs to the trace.
+                extra_headers["X-Request-Id"] = request_id
                 keep_alive = headers.get("connection", "keep-alive") != "close"
                 await _write_response(
                     writer,
@@ -294,7 +401,7 @@ class SolveService:
             return status, payload, headers
         if path == "/v1" or path.startswith("/v1/"):
             return await self._route(method, path[3:] or "/", path, body)
-        self.stats.errors += 1
+        self.stats.note_error()
         return _error(404, "not_found", f"no such endpoint: {method} {path}")
 
     async def _route(
@@ -305,6 +412,10 @@ class SolveService:
             return await self._solve(body)
         if route == "/stats" and method == "GET":
             return 200, self.stats_payload(), None
+        if route == "/metrics" and method == "GET":
+            # Prometheus text exposition; _write_response sends str
+            # payloads as text/plain instead of JSON.
+            return 200, self.metrics_text(), None
         if route == "/healthz" and method == "GET":
             return 200, {"status": "ok", "version": __version__, "api": "v1"}, None
         if route == "/session" and method == "POST":
@@ -318,12 +429,12 @@ class SolveService:
                 return self._session_state(session_id)
             if not is_event and method == "DELETE":
                 return self._session_close(session_id)
-        self.stats.errors += 1
+        self.stats.note_error()
         return _error(404, "not_found", f"no such endpoint: {method} {path}")
 
     def _shed(self, exc: ServiceOverloadedError) -> tuple[int, dict, dict | None]:
         # Load shedding, not an error: the request was never admitted.
-        self.stats.shed += 1
+        self.stats.note_shed()
         seconds = getattr(exc, "retry_after_seconds", None)
         retry_after = max(0, math.ceil(self.retry_after if seconds is None else seconds))
         return _error(
@@ -351,7 +462,7 @@ class SolveService:
         except (asyncio.TimeoutError, TimeoutError):
             # The solve itself keeps running (shielded) and lands in the
             # cache, so the client's retry after the deadline is cheap.
-            self.stats.deadline_exceeded += 1
+            self.stats.note_deadline()
             return _error(
                 504,
                 "deadline_exceeded",
@@ -359,10 +470,10 @@ class SolveService:
                 "before the solve completed",
             )
         except ReproError as exc:
-            self.stats.errors += 1
+            self.stats.note_error()
             return _error(400, "bad_request", str(exc))
         except Exception as exc:  # noqa: BLE001 - a solver bug must not kill the connection
-            self.stats.errors += 1
+            self.stats.note_error()
             return _error(500, "internal", f"{type(exc).__name__}: {exc}")
         self.stats.record(time.perf_counter() - start)
         return 200, response, None
@@ -383,10 +494,10 @@ class SolveService:
         except ServiceOverloadedError as exc:
             return self._shed(exc)
         except ReproError as exc:
-            self.stats.errors += 1
+            self.stats.note_error()
             return _error(400, "bad_request", str(exc))
         except Exception as exc:  # noqa: BLE001 - keep the connection alive
-            self.stats.errors += 1
+            self.stats.note_error()
             return _error(500, "internal", f"{type(exc).__name__}: {exc}")
         return 200, session.created_payload(), None
 
@@ -406,15 +517,19 @@ class SolveService:
             # solves) keep flowing while this one computes.
             async with session.lock:
                 session.touch()
-                record = await asyncio.get_running_loop().run_in_executor(
-                    None, session.replanner.apply, event_time, kind, machine
-                )
+                with span(
+                    "session.event", session=session.id, kind=kind, machine=machine
+                ) as event_span:
+                    record = await asyncio.get_running_loop().run_in_executor(
+                        None, session.replanner.apply, event_time, kind, machine
+                    )
+                    event_span.set(via=record.via)
                 session.touch()
         except ReproError as exc:
-            self.stats.errors += 1
+            self.stats.note_error()
             return _error(400, "bad_request", str(exc))
         except Exception as exc:  # noqa: BLE001 - keep the connection alive
-            self.stats.errors += 1
+            self.stats.note_error()
             return _error(500, "internal", f"{type(exc).__name__}: {exc}")
         self.sessions.note_record(record)
         return 200, {"session": session.id, **record.to_dict()}, None
@@ -436,7 +551,7 @@ class SolveService:
 
     def _session_error(self, exc: ReproError) -> tuple[int, dict, dict | None]:
         """400 for malformed payloads, 404 for unknown/expired sessions."""
-        self.stats.errors += 1
+        self.stats.note_error()
         if str(exc).startswith("no such session"):
             return _error(404, "session_not_found", str(exc))
         return _error(400, "bad_request", str(exc))
@@ -456,7 +571,40 @@ class SolveService:
             self.cache.stats_payload() if self.cache is not None else None
         )
         payload["workers"] = self.pool.workers if self.pool is not None else 0
+        self._refresh_gauges()
+        payload["metrics"] = self.registry.snapshot()
         return payload
+
+    def _refresh_gauges(self) -> None:
+        """Update scrape-time gauges (uptime, table/store footprints)."""
+        registry = self.registry
+        registry.gauge(
+            "repro_service_uptime_seconds", "Seconds since the service started."
+        ).set(round(time.monotonic() - self.stats.started_monotonic, 3))
+        registry.gauge(
+            "repro_sessions_active", "Currently open replanning sessions."
+        ).set(len(self.sessions))
+        if self.cache is not None and self.cache.store is not None:
+            store = self.cache.store
+            registry.gauge(
+                "repro_cache_store_entries", "Records in the persistent cache tier."
+            ).set(len(store))
+            registry.gauge(
+                "repro_cache_store_bytes", "Size of the persistent cache log."
+            ).set(store.size_bytes())
+            registry.gauge(
+                "repro_cache_store_evictions",
+                "Entries evicted from the persistent tier.",
+            ).set(store.evictions)
+            registry.gauge(
+                "repro_cache_store_compactions",
+                "Compactions of the persistent cache log.",
+            ).set(store.compactions)
+
+    def metrics_text(self) -> str:
+        """The ``GET /v1/metrics`` body (Prometheus text exposition)."""
+        self._refresh_gauges()
+        return self.registry.render()
 
 
 def _parse_json(body: bytes) -> dict:
@@ -518,7 +666,7 @@ async def _read_request(
 async def _write_response(
     writer: asyncio.StreamWriter,
     status: int,
-    payload: dict,
+    payload: dict | str,
     *,
     keep_alive: bool,
     headers: dict | None = None,
@@ -531,13 +679,19 @@ async def _write_response(
         500: "Internal Server Error",
         504: "Gateway Timeout",
     }
-    body = json.dumps(payload).encode("utf-8")
+    if isinstance(payload, str):
+        # Text payloads (the Prometheus exposition) go out as-is.
+        body = payload.encode("utf-8")
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = json.dumps(payload).encode("utf-8")
+        content_type = "application/json"
     extra = "".join(
         f"{name}: {value}\r\n" for name, value in (headers or {}).items()
     )
     head = (
         f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"{extra}"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
@@ -578,14 +732,21 @@ def serve(
     max_pending: int | None = None,
     session_ttl: float = DEFAULT_SESSION_TTL,
     max_sessions: int = DEFAULT_MAX_SESSIONS,
+    trace: str | None = None,
     announce=_announce,
 ) -> None:
     """Blocking entry point: run a solve service until interrupted.
 
     Announces the effective URL on stdout once the socket is bound
     (``port=0`` binds a free port), which is what ``microrepro serve``
-    and the CI smoke wait for.
+    and the CI smoke wait for.  ``trace`` switches span tracing on for
+    this process, appending to a :class:`~repro.obs.trace.TraceStore`
+    at that directory (off by default; also reachable via
+    ``REPRO_TRACE``).
     """
+    if trace is not None:
+        configure_tracing(trace)
+        announce(f"tracing spans to {trace_path()}")
     service = SolveService(
         host=host,
         port=port,

@@ -27,7 +27,7 @@ import uuid
 
 from ..exceptions import ExperimentError, ServiceOverloadedError
 from ..live.replanner import Replanner
-from .metrics import LatencyReservoir
+from ..obs.metrics import LatencyReservoir, MetricsRegistry
 from .requests import SessionRequest
 
 __all__ = ["LiveSession", "SessionManager"]
@@ -109,29 +109,91 @@ class SessionManager:
     caller's responsibility, under the session's lock) leaves it.
     """
 
+    #: The replanner tiers broken out in stats and the metrics registry.
+    REPLAN_TIERS = ("cache", "warm", "cold", "infeasible")
+
     def __init__(
         self,
         *,
         ttl: float = DEFAULT_SESSION_TTL,
         max_sessions: int = DEFAULT_MAX_SESSIONS,
+        registry: MetricsRegistry | None = None,
     ):
         if ttl <= 0:
             raise ExperimentError(f"session ttl must be > 0, got {ttl}")
         self.ttl = float(ttl)
         self.max_sessions = int(max_sessions)
         self._sessions: dict[str, LiveSession] = {}
-        self.created = 0
-        self.closed = 0
-        self.expired = 0
-        self.events = 0
-        self.replans = {"cache": 0, "warm": 0, "cold": 0, "infeasible": 0}
-        self.served = 0
-        self.missed = 0
+        # Registry-backed counters (shared with GET /v1/metrics when the
+        # service passes its registry in); the historical int attributes
+        # below read from these series.
+        registry = registry if registry is not None else MetricsRegistry()
+        self._lifecycle = registry.counter(
+            "repro_sessions_lifecycle_total",
+            "Session lifecycle transitions.",
+            labels=("event",),
+        )
+        self._events = registry.counter(
+            "repro_session_events_total", "Platform events applied to sessions."
+        )
+        self._replans = registry.counter(
+            "repro_replans_total",
+            "Replans per tier of the live replanner cascade.",
+            labels=("tier",),
+        )
+        # Pre-register every label child so the first /v1/metrics scrape
+        # exposes the full series at 0 instead of omitting idle ones.
+        for event in ("created", "closed", "expired"):
+            self._lifecycle.labels(event=event)
+        for tier in self.REPLAN_TIERS:
+            self._replans.labels(tier=tier)
+        self._served = registry.counter(
+            "repro_session_events_served_total",
+            "Events served by the current plan (no replan needed).",
+        )
+        self._missed = registry.counter(
+            "repro_session_events_missed_total",
+            "Request probes missed while the platform was infeasible.",
+        )
+        self._replan_latency = registry.histogram(
+            "repro_replan_seconds", "Latency of one replan (any tier)."
+        )
         self.reservoir = LatencyReservoir()
         # Availability mass of departed sessions, so the aggregate in
         # /v1/stats keeps accounting for closed/expired timelines.
         self._gone_available = 0.0
         self._gone_unavailable = 0.0
+
+    @property
+    def created(self) -> int:
+        return self._lifecycle.labels(event="created").value
+
+    @property
+    def closed(self) -> int:
+        return self._lifecycle.labels(event="closed").value
+
+    @property
+    def expired(self) -> int:
+        return self._lifecycle.labels(event="expired").value
+
+    @property
+    def events(self) -> int:
+        return self._events.value
+
+    @property
+    def replans(self) -> dict:
+        """Replan counts per tier (a fresh dict; mutate via the registry)."""
+        return {
+            tier: self._replans.labels(tier=tier).value for tier in self.REPLAN_TIERS
+        }
+
+    @property
+    def served(self) -> int:
+        return self._served.value
+
+    @property
+    def missed(self) -> int:
+        return self._missed.value
 
     # -- table -------------------------------------------------------------------
     def __len__(self) -> int:
@@ -152,7 +214,7 @@ class SessionManager:
             spec, replanner, self.ttl if spec.ttl_seconds is None else spec.ttl_seconds
         )
         self._sessions[session.id] = session
-        self.created += 1
+        self._lifecycle.labels(event="created").inc()
         self.note_record(replanner.initial)
         return session
 
@@ -169,7 +231,7 @@ class SessionManager:
         """Remove and return a session (``DELETE`` handler)."""
         session = self.get(session_id)
         self._drop(session)
-        self.closed += 1
+        self._lifecycle.labels(event="closed").inc()
         return session
 
     def _drop(self, session: LiveSession) -> None:
@@ -180,14 +242,15 @@ class SessionManager:
     # -- accounting ----------------------------------------------------------------
     def note_record(self, record) -> None:
         """Fold one applied event into the aggregate counters."""
-        self.events += 1
-        if record.via in self.replans:
-            self.replans[record.via] += 1
+        self._events.inc()
+        if record.via in self.REPLAN_TIERS:
+            self._replans.labels(tier=record.via).inc()
+            self._replan_latency.observe(record.latency_seconds)
             self.reservoir.add(record.latency_seconds)
         elif record.via == "serve":
-            self.served += 1
+            self._served.inc()
         elif record.via == "miss":
-            self.missed += 1
+            self._missed.inc()
 
     # -- expiry --------------------------------------------------------------------
     def sweep(self, now: float | None = None) -> int:
@@ -204,7 +267,7 @@ class SessionManager:
         ]
         for session in expired:
             self._drop(session)
-            self.expired += 1
+            self._lifecycle.labels(event="expired").inc()
         return len(expired)
 
     async def run_sweeper(self, interval: float | None = None) -> None:
